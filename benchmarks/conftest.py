@@ -1,0 +1,32 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Every benchmark regenerates one of the paper's tables/figures, asserts
+the headline shape of the result, and writes the regenerated table to
+``benchmarks/reports/`` so it can be inspected (and pasted into
+EXPERIMENTS.md) after a run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+REPORTS_DIR = Path(__file__).parent / "reports"
+
+
+@pytest.fixture(scope="session")
+def reports_dir() -> Path:
+    REPORTS_DIR.mkdir(exist_ok=True)
+    return REPORTS_DIR
+
+
+@pytest.fixture
+def save_report(reports_dir):
+    """Write an ExperimentOutput's report to reports/<name>.txt."""
+
+    def _save(filename: str, output) -> None:
+        path = reports_dir / filename
+        path.write_text(output.report() + "\n", encoding="utf-8")
+
+    return _save

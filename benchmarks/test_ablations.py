@@ -1,0 +1,83 @@
+"""Ablation benches for the design choices DESIGN.md calls out."""
+
+import pytest
+
+from repro.constants import UHF_CENTER_FREQUENCY
+from repro.experiments import ablations
+from repro.relay.self_interference import max_stable_range_m
+
+
+def test_eq4_table(benchmark, save_report):
+    out = benchmark.pedantic(ablations.eq4_range_table, rounds=1, iterations=1)
+    save_report("ablation_eq4.txt", out)
+    # Paper numbers: 30 dB ~ 0.75 m, 80 dB ~ 238 m (lambda-dependent).
+    assert 0.6 < max_stable_range_m(30.0, UHF_CENTER_FREQUENCY) < 1.0
+    assert 200.0 < max_stable_range_m(80.0, UHF_CENTER_FREQUENCY) < 300.0
+
+
+def test_guard_band_ablation(benchmark, save_report):
+    out = benchmark.pedantic(
+        lambda: ablations.guard_band_ablation(seed=0), rounds=1, iterations=1
+    )
+    save_report("ablation_guard_band.txt", out)
+    isolations = [float(row[1]) for row in out.rows]
+    # Isolation collapses as the LPF widens toward the BLF.
+    assert isolations[0] - isolations[-1] > 30.0
+
+
+def test_frequency_shift_ablation(benchmark, save_report):
+    out = benchmark.pedantic(
+        ablations.frequency_shift_ablation, rounds=1, iterations=1
+    )
+    save_report("ablation_frequency_shift.txt", out)
+    outcomes = {row[0]: row[1] for row in out.rows}
+    assert "REJECTED" in outcomes["400"]
+    assert "stable" in outcomes["1e+03"]
+
+
+def test_peak_rule_ablation(benchmark, save_report):
+    out = benchmark.pedantic(
+        lambda: ablations.peak_rule_ablation(n_trials=6, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    save_report("ablation_peak_rule.txt", out)
+    nearest = float(out.rows[0][1])
+    argmax = float(out.rows[1][1])
+    assert nearest <= argmax + 1e-9
+
+
+def test_disentangle_ablation(benchmark, save_report):
+    out = benchmark.pedantic(
+        lambda: ablations.disentangle_ablation(n_trials=6, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    save_report("ablation_disentangle.txt", out)
+    with_eq10 = float(out.rows[0][1])
+    without = float(out.rows[1][1])
+    assert without > 3.0 * with_eq10
+
+
+def test_grid_resolution_ablation(benchmark, save_report):
+    out = benchmark.pedantic(
+        lambda: ablations.grid_resolution_ablation(n_trials=4, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    save_report("ablation_grid_resolution.txt", out)
+    coarse = float(out.rows[0][1])
+    fine = float(out.rows[-1][1])
+    assert fine <= coarse + 0.02  # finer grids never hurt (noise aside)
+
+
+def test_matched_filter_frequency_ablation(benchmark, save_report):
+    out = benchmark.pedantic(
+        lambda: ablations.matched_filter_frequency_ablation(n_trials=6, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    save_report("ablation_matched_filter_frequency.txt", out)
+    f_err = float(out.rows[0][1])
+    f2_err = float(out.rows[1][1])
+    assert abs(f_err - f2_err) < 0.05

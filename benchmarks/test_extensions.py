@@ -1,0 +1,94 @@
+"""Benches for the implemented future-work extensions (paper §9)."""
+
+import numpy as np
+import pytest
+
+from repro.constants import SPEED_OF_LIGHT, UHF_CENTER_FREQUENCY
+from repro.localization import (
+    Grid2D,
+    Grid3D,
+    Localizer,
+    MeasurementModel,
+    locate_3d,
+    self_localize_from_measurements,
+)
+from repro.relay import ChainPlan, DaisyChainMeasurementModel
+
+F = UHF_CENTER_FREQUENCY
+
+
+def run_3d_trial(seed: int) -> float:
+    rng = np.random.default_rng(seed)
+    xs, ys = np.meshgrid(np.linspace(0, 1.6, 21), np.linspace(0, 1.6, 21))
+    positions = np.column_stack(
+        [xs.ravel(), ys.ravel(), np.full(xs.size, 2.0)]
+    )
+    tag = np.array(
+        [rng.uniform(0.3, 1.3), rng.uniform(0.3, 1.3), rng.uniform(0.2, 0.8)]
+    )
+    d = np.linalg.norm(positions - tag, axis=1)
+    channels = np.exp(-2j * np.pi * F * 2 * d / SPEED_OF_LIGHT)
+    noise = 10 ** (-20.0 / 20.0) / np.sqrt(2)
+    channels = channels + noise * (
+        rng.standard_normal(len(channels))
+        + 1j * rng.standard_normal(len(channels))
+    )
+    grid = Grid3D(-0.5, 2.5, -0.5, 2.5, 0.0, 1.8, 0.15)
+    estimate = locate_3d(positions, channels, grid, F)
+    return float(np.linalg.norm(estimate - tag))
+
+
+def run_chain_trial(seed: int) -> float:
+    rng = np.random.default_rng(seed)
+    plan = ChainPlan(reader_frequency_hz=F, shift_hz=1.0e6, n_relays=2)
+    model = DaisyChainMeasurementModel((0.0, 0.0), plan)
+    hop1 = np.array([40.0, 0.0])
+    tag = np.array([80.0 + rng.uniform(0.0, 3.0), rng.uniform(0.8, 2.5)])
+    measurements = [
+        model.measure([hop1, np.array([x, 0.0])], tag, rng, snr_db=22.0)
+        for x in np.linspace(79.0, 82.0, 40)
+    ]
+    grid = Grid2D(76.0, 86.0, 0.2, 4.0, 0.1)
+    result = Localizer(frequency_hz=F).locate(measurements, search_grid=grid)
+    return result.error_to(tag)
+
+
+def run_selfloc_trial(seed: int) -> float:
+    rng = np.random.default_rng(seed)
+    reader = (6.0, 5.0)
+    origin = np.array([rng.uniform(0.0, 2.0), rng.uniform(0.5, 2.5)])
+    relative = np.column_stack([np.linspace(0.0, 3.0, 40), np.zeros(40)])
+    model = MeasurementModel(reader_position=reader, reader_frequency_hz=F)
+    measurements = [
+        model.measure(origin + q, (2.0, 3.0), rng, snr_db=20.0)
+        for q in relative
+    ]
+    grid = Grid2D(-1.0, 3.5, 0.0, 4.0, 0.03)
+    estimate, _ = self_localize_from_measurements(
+        measurements, relative, reader, grid, F
+    )
+    return float(np.linalg.norm(estimate - origin))
+
+
+def test_3d_localization_bench(benchmark):
+    """3-D fixes from a planar trajectory (paper §5.2 extension)."""
+    errors = benchmark.pedantic(
+        lambda: [run_3d_trial(s) for s in range(3)], rounds=1, iterations=1
+    )
+    assert float(np.median(errors)) < 0.10
+
+
+def test_daisy_chain_bench(benchmark):
+    """Phase localization through a 2-relay chain at 80+ m (§9)."""
+    errors = benchmark.pedantic(
+        lambda: [run_chain_trial(s) for s in range(3)], rounds=1, iterations=1
+    )
+    assert float(np.median(errors)) < 0.20
+
+
+def test_self_localization_bench(benchmark):
+    """Drone self-localization from the reference RFID channel (§9)."""
+    errors = benchmark.pedantic(
+        lambda: [run_selfloc_trial(s) for s in range(3)], rounds=1, iterations=1
+    )
+    assert float(np.median(errors)) < 0.30

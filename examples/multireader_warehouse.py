@@ -1,0 +1,71 @@
+"""Multi-reader deployment: interference management without protocol
+changes.
+
+Warehouses already host several readers (paper §3/§4.3). The relay (a)
+locks onto the strongest reader via the Eq. 5 sweep, and (b) suppresses
+the others with its baseband filters — their carriers land far outside
+the filter passbands after downconversion. This example quantifies the
+suppression for a three-reader floor and shows the locked reader
+changing as the drone crosses the floor.
+
+Run:  python examples/multireader_warehouse.py
+"""
+
+import numpy as np
+
+from repro.channel.environment import Environment
+from repro.dsp.filters import LowPassFilter
+from repro.reader import ReaderSite, residual_interference_db, strongest_reader
+from repro.reader.multireader import received_power_dbm
+from repro.relay.freq_discovery import ism_channels
+from repro.sim.results import format_table
+
+
+def main() -> None:
+    channels = ism_channels()
+    sites = [
+        ReaderSite(position=(0.0, 0.0), frequency_hz=float(channels[5]),
+                   tx_power_dbm=30.0, name="dock"),
+        ReaderSite(position=(28.0, 5.0), frequency_hz=float(channels[20]),
+                   tx_power_dbm=30.0, name="aisle-east"),
+        ReaderSite(position=(15.0, 35.0), frequency_hz=float(channels[40]),
+                   tx_power_dbm=30.0, name="mezzanine"),
+    ]
+    env = Environment.two_floor_building()
+    lpf = LowPassFilter(100e3, 4e6, order=6)
+
+    rows = []
+    for drone_xy in [(4.0, 3.0), (24.0, 8.0), (16.0, 30.0)]:
+        locked = strongest_reader(sites, drone_xy, env)
+        others = [s for s in sites if s is not locked]
+        suppressions = []
+        for other in others:
+            db = residual_interference_db(locked, other, lpf)
+            suppressions.append(
+                f"{other.name}: "
+                + (">120" if db == float("inf") else f"{db:.0f}")
+                + " dB"
+            )
+        rows.append(
+            [
+                f"({drone_xy[0]:.0f}, {drone_xy[1]:.0f})",
+                locked.name,
+                f"{received_power_dbm(locked, drone_xy, env):.1f} dBm",
+                "; ".join(suppressions),
+            ]
+        )
+    print("the relay locks to the strongest reader and filters the rest:")
+    print(format_table(
+        ["drone position", "locked reader", "rx power", "others suppressed by"],
+        rows,
+    ))
+
+    # Different positions should lock different readers on this floor.
+    locked_names = {row[1] for row in rows}
+    assert len(locked_names) >= 2, "expected the lock to follow the drone"
+    print("\nno Gen2 protocol change needed: filtering does the management "
+          "(paper §4.3); same-channel collisions defer to [25].")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Quickstart: localize one RFID through a drone-mounted relay.
+
+A stationary reader sits 10 m away from the aisle; the drone flies a
+3 m path; a passive tag sits ~2 m to the side of it. The reader
+captures the tag's channel through the relay at every pose, the
+relay-embedded reference RFID disentangles the two half-links (paper
+Eq. 10), and the SAR matched filter (Eq. 12) recovers the tag position.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.localization import Grid2D, Localizer, MeasurementModel
+from repro.mobility import Drone, LineTrajectory, OptiTrack
+
+READER_FREQUENCY_HZ = 915.0e6
+
+
+def main() -> None:
+    rng = np.random.default_rng(seed=7)
+
+    # The world: reader, flight path, and a tag we want to find.
+    reader_position = (-10.0, 0.0)
+    tag_position = np.array([1.8, 2.1])
+    trajectory = LineTrajectory(start=(0.0, 0.0), end=(3.0, 0.0))
+
+    # Fly the drone; OptiTrack observes the poses the localizer will use.
+    drone = Drone(hover_jitter_std_m=0.01)
+    flown = drone.fly(trajectory, sample_spacing_m=0.05, rng=rng)
+    observed = OptiTrack().observe_trajectory(flown, rng)
+
+    # Through-relay channel measurements at every pose (phasor level).
+    model = MeasurementModel(
+        reader_position=reader_position,
+        reader_frequency_hz=READER_FREQUENCY_HZ,
+    )
+    measurements = []
+    for true_pose, seen_pose in zip(flown, observed):
+        m = model.measure(true_pose.position, tag_position, rng, snr_db=25.0)
+        measurements.append(
+            type(m)(
+                position=seen_pose.position,
+                h_target=m.h_target,
+                h_reference=m.h_reference,
+                snr_db=m.snr_db,
+                time=m.time,
+            )
+        )
+
+    # Localize. The drone scans one side of the aisle, so search there.
+    localizer = Localizer(frequency_hz=READER_FREQUENCY_HZ)
+    search = Grid2D(x_min=-1.0, x_max=4.0, y_min=0.2, y_max=4.5, resolution=0.1)
+    result = localizer.locate(measurements, search_grid=search)
+
+    error_cm = result.error_to(tag_position) * 100.0
+    print(f"true tag position:      ({tag_position[0]:.3f}, {tag_position[1]:.3f}) m")
+    print(f"estimated position:     ({result.position[0]:.3f}, {result.position[1]:.3f}) m")
+    print(f"localization error:     {error_cm:.1f} cm")
+    print(f"peak-to-path distance:  {result.peak_distance_to_trajectory:.2f} m")
+    assert error_cm < 50.0, "quickstart should localize within half a meter"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,115 @@
+"""Warehouse inventory: scan an aisle of tagged items with one flight.
+
+The motivating workload of the paper's introduction: a warehouse aisle
+flanked by steel shelves holds a dozen RFID-tagged items; a ceiling
+reader cannot reach most of them, so a drone-mounted relay flies the
+aisle, the Gen2 anti-collision MAC inventories every tag it powers, and
+the through-relay SAR pipeline localizes each discovered tag to its
+shelf position.
+
+Run:  python examples/warehouse_inventory.py
+"""
+
+import numpy as np
+
+from repro.channel.environment import Environment, STEEL
+from repro.hardware import PassiveTag
+from repro.localization import Grid2D
+from repro.mobility import LineTrajectory
+from repro.sim import Item, ItemDatabase, World, WorldConfig
+from repro.sim.results import format_table
+
+AISLE_LENGTH_M = 10.0
+SHELF_Y_M = 2.2
+ITEM_NAMES = (
+    "drill-box", "cable-spool", "pump-kit", "valve-crate", "bearing-set",
+    "motor-1kW", "sensor-tray", "pipe-bundle", "filter-pack", "gear-box",
+    "panel-stack", "tool-chest",
+)
+
+
+def build_world(rng: np.random.Generator) -> World:
+    env = Environment(max_reflections=1)
+    env.add_wall((0.0, SHELF_Y_M + 0.6), (AISLE_LENGTH_M, SHELF_Y_M + 0.6),
+                 STEEL, "shelf-back")
+    # A dozen items on the shelf along the aisle.
+    tags = [
+        PassiveTag(
+            epc=0xA000 + i,
+            position=(0.6 + i * 0.8, SHELF_Y_M + rng.uniform(-0.3, 0.3)),
+            rng=np.random.default_rng(100 + i),
+        )
+        for i in range(12)
+    ]
+    config = WorldConfig(sample_spacing_m=0.1, use_gen2_mac=True)
+    return World(
+        environment=env,
+        reader_position=(-12.0, 0.0),
+        tags=tags,
+        rng=rng,
+        config=config,
+    )
+
+
+def build_catalog(world: World) -> ItemDatabase:
+    """The manufacturer database of paper §3: EPC -> item + shelf spot."""
+    return ItemDatabase(
+        [
+            Item(
+                epc=tag.epc_int,
+                name=ITEM_NAMES[i],
+                expected_position=tuple(tag.position),
+            )
+            for i, tag in enumerate(world.tags)
+        ]
+    )
+
+
+def main() -> None:
+    rng = np.random.default_rng(seed=11)
+    world = build_world(rng)
+    catalog = build_catalog(world)
+    flight = LineTrajectory((0.0, 0.0), (AISLE_LENGTH_M, 0.0))
+
+    print(f"scanning a {AISLE_LENGTH_M:.0f} m aisle with {len(world.tags)} "
+          "tagged items...")
+    observations = world.scan(flight)
+
+    search = Grid2D(-1.0, AISLE_LENGTH_M + 1.0, 0.3, 4.5, 0.1)
+    located, counts = {}, {}
+    errors = {}
+    for epc, obs in observations.items():
+        counts[epc] = obs.n_reads
+        if obs.n_reads < 5:
+            continue
+        result = world.localize(obs, search_grid=search)
+        located[epc] = result.position
+        errors[epc] = result.error_to(obs.true_position)
+
+    report = catalog.reconcile(located, counts)
+    rows = []
+    for found in sorted(report.found, key=lambda f: f.item.epc):
+        epc = found.item.epc
+        rows.append(
+            [
+                found.item.name,
+                f"{epc:#06x}",
+                str(found.n_reads),
+                f"({found.position[0]:.2f}, {found.position[1]:.2f})",
+                f"{errors[epc] * 100:.0f} cm",
+                "misplaced" if (found.displacement_m or 0) > 1.0 else "on shelf",
+            ]
+        )
+    print(format_table(
+        ["item", "EPC", "reads", "estimated position (m)", "error", "status"],
+        rows,
+    ))
+    print(f"\nfound {len(report.found)}/{len(catalog)} cataloged items "
+          f"({report.found_fraction:.0%}); missing: "
+          f"{[m.name for m in report.missing] or 'none'}")
+    print("the reader alone reaches none of these at 12 m (paper Fig. 11).")
+    assert report.found_fraction >= 0.9
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment lacks the ``wheel`` package, so ``pip install -e .``
+cannot build the PEP 660 editable wheel. ``python setup.py develop`` (or
+``pip install -e . --no-build-isolation`` on newer toolchains) installs the
+package from pyproject.toml metadata instead.
+"""
+
+from setuptools import setup
+
+setup()

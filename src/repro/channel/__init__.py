@@ -1,0 +1,56 @@
+"""RF propagation substrate.
+
+Phasor-level channel models for the localization experiments: free-space
+and log-distance path loss, wall attenuation, and geometric (image-
+method) multipath ray tracing that produces exactly the superposition of
+paths in the paper's Eq. 8-9, including the "ghost peak" behaviour of
+Fig. 6(b).
+"""
+
+from repro.channel.geometry import (
+    Point,
+    Wall,
+    distance,
+    mirror_point,
+    segment_intersection,
+    segments_cross,
+)
+from repro.channel.pathloss import (
+    free_space_gain_db,
+    free_space_path_loss_db,
+    free_space_range_for_loss,
+    log_distance_path_loss_db,
+)
+from repro.channel.multipath import (
+    Ray,
+    one_way_channel,
+    round_trip_channel,
+    trace_rays,
+)
+from repro.channel.environment import Environment, Material
+from repro.channel.antenna import DipoleAntenna, IsotropicAntenna, PatchAntenna
+from repro.channel.link import Link, LinkBudget
+
+__all__ = [
+    "Point",
+    "Wall",
+    "distance",
+    "mirror_point",
+    "segment_intersection",
+    "segments_cross",
+    "free_space_path_loss_db",
+    "free_space_gain_db",
+    "free_space_range_for_loss",
+    "log_distance_path_loss_db",
+    "Ray",
+    "trace_rays",
+    "one_way_channel",
+    "round_trip_channel",
+    "Environment",
+    "Material",
+    "IsotropicAntenna",
+    "DipoleAntenna",
+    "PatchAntenna",
+    "Link",
+    "LinkBudget",
+]

@@ -1,0 +1,198 @@
+"""Image-method ray tracing and multipath channel synthesis.
+
+Given an environment of walls, :func:`trace_rays` enumerates the
+propagation paths between two nodes: the direct path (attenuated by any
+wall it punches through) and specular reflections up to a configurable
+order. :func:`one_way_channel` then superposes them into the complex
+channel of the paper's Eq. 8:
+
+    h = sum_i  a_i * exp(-j 2 pi f d_i / c)
+
+with amplitudes a_i combining free-space spreading, reflection
+coefficients, and wall transmission losses. Backscatter links are
+round trip; by channel reciprocity the round-trip channel is the square
+of the one-way channel, which contains the pairwise path products of
+Eq. 8's double sum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.channel.geometry import (
+    Wall,
+    as_point,
+    distance,
+    mirror_point,
+    reflection_point,
+    segments_cross,
+)
+from repro.channel.pathloss import free_space_amplitude
+from repro.constants import SPEED_OF_LIGHT
+from repro.errors import GeometryError
+
+MAX_SUPPORTED_REFLECTIONS = 2
+
+
+@dataclass(frozen=True)
+class Ray:
+    """One propagation path between two nodes.
+
+    ``gain`` is the linear amplitude factor from interactions only
+    (reflections and wall transmissions); free-space spreading is applied
+    by the channel synthesis using ``length``.
+    """
+
+    length: float
+    gain: float
+    bounces: int
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.length <= 0:
+            raise GeometryError(f"ray length must be positive, got {self.length}")
+        if self.gain < 0:
+            raise GeometryError(f"ray gain must be >= 0, got {self.gain}")
+
+
+def _transmission_gain(
+    a, b, walls: Sequence[Wall], skip: Sequence[Wall] = ()
+) -> float:
+    """Amplitude factor for walls the segment a-b punches through."""
+    gain = 1.0
+    for wall in walls:
+        if wall in skip:
+            continue
+        if segments_cross(a, b, wall.p1, wall.p2):
+            gain *= 10.0 ** (-wall.transmission_loss_db / 20.0)
+    return gain
+
+
+def trace_rays(
+    a,
+    b,
+    walls: Sequence[Wall] = (),
+    max_reflections: int = 1,
+    min_gain: float = 1e-6,
+) -> List[Ray]:
+    """Enumerate propagation paths from ``a`` to ``b``.
+
+    Parameters
+    ----------
+    a, b:
+        Endpoint coordinates (2-D).
+    walls:
+        Environment walls; each may obstruct and/or reflect.
+    max_reflections:
+        Reflection order: 0 = direct only, 1 adds single bounces,
+        2 adds double bounces.
+    min_gain:
+        Paths whose interaction gain falls below this are dropped.
+
+    Returns
+    -------
+    list of Ray
+        Always contains the direct path first (even when heavily
+        obstructed its gain may round to zero but the entry remains,
+        so "the direct path may not be the strongest" scenarios of
+        paper §5.2 are representable).
+    """
+    if not 0 <= max_reflections <= MAX_SUPPORTED_REFLECTIONS:
+        raise GeometryError(
+            f"max_reflections must be 0-{MAX_SUPPORTED_REFLECTIONS}, "
+            f"got {max_reflections}"
+        )
+    a, b = as_point(a), as_point(b)
+    if np.allclose(a, b):
+        raise GeometryError("ray tracing requires distinct endpoints")
+    rays: List[Ray] = [
+        Ray(
+            length=distance(a, b),
+            gain=_transmission_gain(a, b, walls),
+            bounces=0,
+            description="direct",
+        )
+    ]
+    if max_reflections >= 1:
+        for wall in walls:
+            if wall.reflectivity <= 0.0:
+                continue
+            point = reflection_point(a, b, wall)
+            if point is None:
+                continue
+            length = distance(a, point) + distance(point, b)
+            gain = (
+                wall.reflectivity
+                * _transmission_gain(a, point, walls, skip=(wall,))
+                * _transmission_gain(point, b, walls, skip=(wall,))
+            )
+            if gain >= min_gain:
+                rays.append(
+                    Ray(length, gain, 1, description=f"bounce:{wall.name or id(wall)}")
+                )
+    if max_reflections >= 2:
+        for first in walls:
+            if first.reflectivity <= 0.0:
+                continue
+            for second in walls:
+                if second is first or second.reflectivity <= 0.0:
+                    continue
+                # Double image: mirror b across second, then find the
+                # first-wall specular point toward that image.
+                image_b = mirror_point(b, second)
+                p1 = reflection_point(a, image_b, first)
+                if p1 is None:
+                    continue
+                p2 = reflection_point(p1, b, second)
+                if p2 is None:
+                    continue
+                length = distance(a, p1) + distance(p1, p2) + distance(p2, b)
+                gain = (
+                    first.reflectivity
+                    * second.reflectivity
+                    * _transmission_gain(a, p1, walls, skip=(first,))
+                    * _transmission_gain(p1, p2, walls, skip=(first, second))
+                    * _transmission_gain(p2, b, walls, skip=(second,))
+                )
+                if gain >= min_gain:
+                    rays.append(
+                        Ray(
+                            length,
+                            gain,
+                            2,
+                            description=(
+                                f"bounce2:{first.name or id(first)}"
+                                f"+{second.name or id(second)}"
+                            ),
+                        )
+                    )
+    return rays
+
+
+def one_way_channel(rays: Sequence[Ray], frequency_hz: float) -> complex:
+    """Superpose rays into a one-way complex channel (paper Eq. 8 terms).
+
+    Each ray contributes ``gain * (lambda / 4 pi d) * exp(-j 2 pi f d / c)``.
+    """
+    if frequency_hz <= 0:
+        raise GeometryError(f"frequency must be positive, got {frequency_hz}")
+    h = 0.0 + 0.0j
+    for ray in rays:
+        amplitude = ray.gain * free_space_amplitude(ray.length, frequency_hz)
+        phase = -2.0 * np.pi * frequency_hz * ray.length / SPEED_OF_LIGHT
+        h += amplitude * np.exp(1j * phase)
+    return complex(h)
+
+
+def round_trip_channel(rays: Sequence[Ray], frequency_hz: float) -> complex:
+    """Round-trip channel over a reciprocal link: the one-way square.
+
+    Expanding the square reproduces the double sum of paper Eq. 8: every
+    forward path i pairs with every return path j, with total length
+    ``d_i + d_j`` — for the direct path this is the familiar 2d.
+    """
+    h = one_way_channel(rays, frequency_hz)
+    return complex(h * h)

@@ -1,0 +1,188 @@
+"""Physical constants and UHF RFID band/protocol parameters.
+
+All frequencies are in Hz, distances in meters, powers in dBm unless a
+name says otherwise. The Gen2 timing values follow the EPCglobal Class-1
+Generation-2 air-interface protocol, v2.0.1, and the band plan follows
+the FCC 902--928 MHz ISM rules that the paper's experiments use.
+"""
+
+from __future__ import annotations
+
+# --------------------------------------------------------------------------
+# Physics
+# --------------------------------------------------------------------------
+
+SPEED_OF_LIGHT = 299_792_458.0
+"""Speed of light in vacuum, m/s."""
+
+BOLTZMANN_DBM_PER_HZ = -173.8
+"""Thermal noise density kT at 290 K, in dBm/Hz."""
+
+# --------------------------------------------------------------------------
+# UHF ISM band plan (FCC part 15, as used by the paper)
+# --------------------------------------------------------------------------
+
+UHF_BAND_START = 902.0e6
+"""Lower edge of the US UHF RFID ISM band."""
+
+UHF_BAND_STOP = 928.0e6
+"""Upper edge of the US UHF RFID ISM band."""
+
+UHF_CHANNEL_SPACING = 500.0e3
+"""FCC channel spacing; readers hop across 50 channels."""
+
+UHF_NUM_CHANNELS = 50
+"""Number of hopping channels in the US band plan."""
+
+UHF_CENTER_FREQUENCY = 915.0e6
+"""Band center, used as the default reader carrier."""
+
+UHF_WAVELENGTH = SPEED_OF_LIGHT / UHF_CENTER_FREQUENCY
+"""Wavelength at band center (~32.8 cm)."""
+
+FCC_HOP_DWELL_SECONDS = 0.4
+"""Maximum dwell time on a hopping channel (FCC 15.247 allows 0.4 s)."""
+
+# --------------------------------------------------------------------------
+# EPC Gen2 physical layer
+# --------------------------------------------------------------------------
+
+GEN2_TARI_MIN = 6.25e-6
+"""Minimum reader data-0 symbol length (Tari)."""
+
+GEN2_TARI_MAX = 25.0e-6
+"""Maximum reader data-0 symbol length (Tari)."""
+
+GEN2_TARI_DEFAULT = 12.5e-6
+"""A common Tari choice; gives a ~125 kHz-wide reader query spectrum."""
+
+GEN2_BLF_MIN = 40.0e3
+"""Minimum backscatter link frequency the protocol allows."""
+
+GEN2_BLF_MAX = 640.0e3
+"""Maximum backscatter link frequency the protocol allows."""
+
+GEN2_BLF_DEFAULT = 500.0e3
+"""BLF used throughout the paper (uplink band-pass filter is centered here)."""
+
+GEN2_QUERY_BANDWIDTH = 125.0e3
+"""Approximate occupied bandwidth of the reader-to-tag query (paper Fig. 4)."""
+
+GEN2_RN16_BITS = 16
+"""Length of the RN16 handle a tag backscatters first."""
+
+GEN2_EPC_BITS = 96
+"""Standard EPC length (96-bit) used by Alien Squiggle tags."""
+
+GEN2_PC_BITS = 16
+"""Protocol-control word length preceding the EPC."""
+
+GEN2_CRC16_BITS = 16
+"""CRC-16 appended to PC+EPC replies."""
+
+GEN2_MAX_Q = 15
+"""Maximum Gen2 slot-count exponent Q."""
+
+# --------------------------------------------------------------------------
+# Tag hardware (Alien Squiggle ALN-9640-class passive tags)
+# --------------------------------------------------------------------------
+
+TAG_SENSITIVITY_DBM = -15.0
+"""Minimum received power for a passive tag to power up (paper §2)."""
+
+TAG_MODULATION_LOSS_DB = 6.0
+"""Backscatter conversion loss: reflected power is below incident power."""
+
+TAG_ANTENNA_GAIN_DBI = 2.0
+"""Typical dipole-like tag antenna gain."""
+
+TAG_MIN_MODULATION_DEPTH = 0.10
+"""Minimum downlink modulation depth a tag needs to decode commands."""
+
+# --------------------------------------------------------------------------
+# Reader hardware (USRP N210-based reader of the paper)
+# --------------------------------------------------------------------------
+
+READER_TX_POWER_DBM = 30.0
+"""Reader transmit power (1 W, the FCC conducted limit)."""
+
+READER_ANTENNA_GAIN_DBI = 6.0
+"""Reader antenna gain (patch antenna; FCC EIRP limit is 36 dBm)."""
+
+READER_NOISE_FIGURE_DB = 6.0
+"""Receiver noise figure of the USRP-class front end."""
+
+READER_DECODE_SNR_DB = 3.0
+"""Minimum post-processing SNR to decode a tag reply (paper §7.3b)."""
+
+# --------------------------------------------------------------------------
+# Relay hardware (the paper's PCB prototype, §6.1/§6.2)
+# --------------------------------------------------------------------------
+
+RELAY_PA_P1DB_DBM = 29.0
+"""Downlink power amplifier 1-dB compression point."""
+
+RELAY_LPF_CUTOFF_HZ = 100.0e3
+"""Downlink low-pass filter cut-off (passes the reader query only)."""
+
+RELAY_BPF_CENTER_HZ = 500.0e3
+"""Uplink band-pass filter center (passes the tag response only)."""
+
+RELAY_BPF_HALF_BANDWIDTH_HZ = 150.0e3
+"""Uplink band-pass half-bandwidth around the BLF."""
+
+RELAY_FREQUENCY_SHIFT_HZ = 1.0e6
+"""Downlink/uplink frequency shift |f2 - f1| (paper §5.2: as little as 1 MHz)."""
+
+RELAY_ANTENNA_SEPARATION_M = 0.10
+"""Spacing between the relay's antennas on the PCB (10 cm, §7.1)."""
+
+RELAY_WEIGHT_GRAMS = 35.0
+"""Total relay weight; must stay under the drone payload."""
+
+RELAY_POWER_CONSUMPTION_W = 5.8
+"""Relay power draw from the drone battery (§6.2)."""
+
+RELAY_SUPPLY_VOLTAGE_V = 5.5
+"""Relay DC supply voltage (behind the DC-DC converter)."""
+
+RELAY_FREQ_SWEEP_CHUNK_SECONDS = 1.0e-3
+"""Frequency discovery operates on contiguous 1-ms chunks (paper §4.2)."""
+
+RELAY_FREQ_SWEEP_TOTAL_SECONDS = 20.0e-3
+"""Total frequency-discovery sweep time (paper §4.2)."""
+
+# --------------------------------------------------------------------------
+# Drone (Parrot Bebop 2, §6.2) and ground robot (iRobot Create 2, §7.3)
+# --------------------------------------------------------------------------
+
+DRONE_MAX_PAYLOAD_GRAMS = 200.0
+"""Bebop 2 maximum payload."""
+
+DRONE_BATTERY_VOLTAGE_V = 12.0
+"""Bebop 2 battery output voltage."""
+
+DRONE_BATTERY_MAX_CURRENT_A = 21.6
+"""Bebop 2 battery maximum discharge current."""
+
+DRONE_DIMENSIONS_M = (0.32, 0.38)
+"""Bebop 2 footprint."""
+
+ROBOT_SPEED_MPS = 0.3
+"""iRobot Create 2 cruise speed used for the microbenchmarks."""
+
+DRONE_SPEED_MPS = 0.5
+"""Indoor drone cruise speed along the flight path."""
+
+# --------------------------------------------------------------------------
+# Localization defaults
+# --------------------------------------------------------------------------
+
+SAR_DEFAULT_GRID_RESOLUTION_M = 0.02
+"""Fine search-grid spacing for the SAR matched filter."""
+
+SAR_DEFAULT_APERTURE_M = 3.0
+"""Default synthetic-aperture length (paper: practical range 3-5 m)."""
+
+OPTITRACK_ACCURACY_M = 0.005
+"""Sub-centimeter ground-truth accuracy of the OptiTrack system (§6.3)."""

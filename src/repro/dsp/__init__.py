@@ -1,0 +1,61 @@
+"""Sample-level DSP substrate.
+
+This package models the analog signal chain of RFly's relay and reader at
+complex-baseband sample level: oscillators with CFO/phase offsets, mixers,
+Butterworth filters, variable-gain and power amplifiers, thermal noise,
+and power/phase measurements.
+
+Representation convention
+-------------------------
+A :class:`~repro.dsp.signal.Signal` stores the complex envelope of an RF
+signal relative to a declared ``center_frequency``. Samples are in units
+of sqrt(watt), so ``|x|**2`` is instantaneous power in watts. Mixing with
+a local oscillator shifts the declared center by the LO's *nominal*
+frequency and rotates the envelope by the LO's frequency error and phase,
+which is exactly how carrier-frequency offset appears in hardware.
+"""
+
+from repro.dsp.signal import Signal
+from repro.dsp.units import (
+    db_to_linear,
+    dbm_to_watts,
+    linear_to_db,
+    watts_to_dbm,
+)
+from repro.dsp.oscillator import Oscillator
+from repro.dsp.mixer import downconvert, upconvert
+from repro.dsp.filters import BandPassFilter, Filter, LowPassFilter
+from repro.dsp.amplifier import AmplifierChain, PowerAmplifier, VariableGainAmplifier
+from repro.dsp.noise import awgn, thermal_noise, thermal_noise_power_dbm
+from repro.dsp.measurements import (
+    mean_power_dbm,
+    peak_power_dbm,
+    phase_of_tone,
+    tone,
+    tone_power_dbm,
+)
+
+__all__ = [
+    "Signal",
+    "Oscillator",
+    "downconvert",
+    "upconvert",
+    "Filter",
+    "LowPassFilter",
+    "BandPassFilter",
+    "VariableGainAmplifier",
+    "PowerAmplifier",
+    "AmplifierChain",
+    "awgn",
+    "thermal_noise",
+    "thermal_noise_power_dbm",
+    "tone",
+    "mean_power_dbm",
+    "peak_power_dbm",
+    "tone_power_dbm",
+    "phase_of_tone",
+    "db_to_linear",
+    "linear_to_db",
+    "dbm_to_watts",
+    "watts_to_dbm",
+]

@@ -1,0 +1,126 @@
+"""Amplifier models: VGAs, the downlink power amplifier, and gain chains.
+
+The relay's amplification (paper §6.1) is a serial combination of
+variable-gain amplifiers plus, on the downlink, a power amplifier with a
+29 dBm 1-dB compression point. Gains are programmed subject to stability
+constraints (total loop gain below isolation); those rules live in
+:mod:`repro.relay.gain_control` — this module provides the blocks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsp.signal import Signal
+from repro.dsp.units import db_to_linear, dbm_to_watts
+from repro.errors import ConfigurationError
+
+
+class VariableGainAmplifier:
+    """An ideal linear amplifier with a settable gain within limits."""
+
+    def __init__(
+        self,
+        gain_db: float = 0.0,
+        min_gain_db: float = -10.0,
+        max_gain_db: float = 40.0,
+    ) -> None:
+        if min_gain_db > max_gain_db:
+            raise ConfigurationError(
+                f"min gain {min_gain_db} exceeds max gain {max_gain_db}"
+            )
+        self.min_gain_db = float(min_gain_db)
+        self.max_gain_db = float(max_gain_db)
+        self._gain_db = 0.0
+        self.gain_db = gain_db
+
+    @property
+    def gain_db(self) -> float:
+        """Current power gain in dB."""
+        return self._gain_db
+
+    @gain_db.setter
+    def gain_db(self, value: float) -> None:
+        """Current power gain in dB."""
+        if not self.min_gain_db <= value <= self.max_gain_db:
+            raise ConfigurationError(
+                f"gain {value} dB outside [{self.min_gain_db}, {self.max_gain_db}]"
+            )
+        self._gain_db = float(value)
+
+    def apply(self, sig: Signal) -> Signal:
+        """Apply this stage to a signal and return the result."""
+        amplitude_gain = np.sqrt(db_to_linear(self._gain_db))
+        return sig.scaled(amplitude_gain)
+
+    def __call__(self, sig: Signal) -> Signal:
+        return self.apply(sig)
+
+
+class PowerAmplifier:
+    """A power amplifier with soft saturation (Rapp model).
+
+    The output amplitude follows ``g*x / (1 + (g|x|/A_sat)^(2p))^(1/2p)``.
+    The saturation amplitude is derived from the specified 1-dB
+    compression point, the standard datasheet figure (the paper's PA has
+    P1dB = 29 dBm).
+    """
+
+    def __init__(
+        self, gain_db: float, p1db_dbm: float, smoothness: float = 2.0
+    ) -> None:
+        if smoothness <= 0:
+            raise ConfigurationError("smoothness must be positive")
+        self.gain_db = float(gain_db)
+        self.p1db_dbm = float(p1db_dbm)
+        self.smoothness = float(smoothness)
+        # At the 1-dB compression point the output is 1 dB below the
+        # linear extrapolation: |out| = g |x| * 10^(-1/20). Solving the
+        # Rapp equation for A_sat with y = g|x| at that point:
+        #   10^(-1/20) = (1 + (y/A)^2p)^(-1/2p)
+        # => (y/A)^2p = 10^(2p/20) - 1
+        y1 = float(np.sqrt(dbm_to_watts(p1db_dbm + 1.0)))  # linear-extrapolated amp
+        p2 = 2.0 * self.smoothness
+        ratio = (10.0 ** (p2 / 20.0) - 1.0) ** (1.0 / p2)
+        self.saturation_amplitude = y1 / ratio
+
+    @property
+    def saturation_power_dbm(self) -> float:
+        """Hard output ceiling implied by the Rapp model, in dBm."""
+        watts = self.saturation_amplitude**2
+        return float(10.0 * np.log10(watts / 1e-3))
+
+    def apply(self, sig: Signal) -> Signal:
+        """Apply this stage to a signal and return the result."""
+        gain = np.sqrt(db_to_linear(self.gain_db))
+        y = sig.samples * gain
+        magnitude = np.abs(y)
+        p2 = 2.0 * self.smoothness
+        compression = (1.0 + (magnitude / self.saturation_amplitude) ** p2) ** (
+            1.0 / p2
+        )
+        return sig.with_samples(y / compression)
+
+    def __call__(self, sig: Signal) -> Signal:
+        return self.apply(sig)
+
+
+class AmplifierChain:
+    """A serial combination of amplifier stages applied in order."""
+
+    def __init__(self, stages) -> None:
+        self.stages = list(stages)
+
+    @property
+    def total_gain_db(self) -> float:
+        """Sum of small-signal gains across all stages."""
+        return float(sum(stage.gain_db for stage in self.stages))
+
+    def apply(self, sig: Signal) -> Signal:
+        """Apply this stage to a signal and return the result."""
+        for stage in self.stages:
+            sig = stage.apply(sig)
+        return sig
+
+    def __call__(self, sig: Signal) -> Signal:
+        return self.apply(sig)

@@ -1,0 +1,123 @@
+"""Signal measurements: power, tone extraction, phase.
+
+These mirror the lab instruments of the paper's evaluation — the spectrum
+analyzer used for the isolation measurements of §7.1 and the reader's
+coherent channel estimator used for Fig. 10.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsp.signal import Signal
+from repro.dsp.units import watts_to_dbm
+from repro.errors import SignalError
+
+
+def tone(
+    frequency_offset_hz: float,
+    duration: float,
+    sample_rate: float,
+    amplitude: float = 1.0,
+    center_frequency: float = 0.0,
+    phase_rad: float = 0.0,
+    start_time: float = 0.0,
+) -> Signal:
+    """A complex exponential at an offset from the declared center.
+
+    Used as the probe signal of the isolation measurements (e.g. the
+    "f1 + 50 kHz" query stand-in of §7.1).
+    """
+    n = int(round(duration * sample_rate))
+    if n <= 0:
+        raise SignalError(f"tone duration {duration}s yields no samples")
+    t = start_time + np.arange(n) / sample_rate
+    samples = amplitude * np.exp(
+        1j * (2.0 * np.pi * frequency_offset_hz * t + phase_rad)
+    )
+    return Signal(samples, sample_rate, center_frequency, start_time)
+
+
+def mean_power_dbm(sig: Signal) -> float:
+    """Mean power of a signal in dBm (``-inf`` for silence)."""
+    return float(watts_to_dbm(sig.mean_power_watts))
+
+
+def peak_power_dbm(sig: Signal) -> float:
+    """Peak instantaneous power in dBm."""
+    if len(sig) == 0:
+        return float("-inf")
+    return float(watts_to_dbm(np.max(np.abs(sig.samples) ** 2)))
+
+
+def _tone_amplitude(sig: Signal, frequency_offset_hz: float) -> complex:
+    """Complex amplitude of the tone at a baseband offset (DFT projection)."""
+    if len(sig) == 0:
+        raise SignalError("cannot measure a tone in an empty signal")
+    t = sig.times
+    reference = np.exp(-1j * 2.0 * np.pi * frequency_offset_hz * t)
+    return complex(np.mean(sig.samples * reference))
+
+
+def tone_power_dbm(sig: Signal, frequency_offset_hz: float) -> float:
+    """Power of the tone at a given baseband offset, in dBm.
+
+    This is the spectrum-analyzer marker measurement used to quantify
+    leakage through the relay's four self-interference paths.
+    """
+    amplitude = _tone_amplitude(sig, frequency_offset_hz)
+    return float(watts_to_dbm(abs(amplitude) ** 2))
+
+
+def peak_tone_power_dbm(
+    sig: Signal,
+    frequency_offset_hz: float,
+    span_hz: float = 5.0e3,
+    step_hz: float = 100.0,
+) -> float:
+    """Peak tone power within a span around an offset, in dBm.
+
+    Mimics a spectrum-analyzer marker peak search: oscillator CFO moves
+    tones by up to a few kHz off their nominal position, and the §7.1
+    isolation measurement must find them where they actually are.
+    """
+    if span_hz <= 0 or step_hz <= 0:
+        raise SignalError("span and step must be positive")
+    offsets = np.arange(
+        frequency_offset_hz - span_hz / 2, frequency_offset_hz + span_hz / 2, step_hz
+    )
+    t = sig.times
+    # One matrix of projections: rows are candidate offsets.
+    reference = np.exp(-2j * np.pi * np.outer(offsets, t))
+    amplitudes = np.abs(reference @ sig.samples) / len(sig)
+    return float(watts_to_dbm(np.max(amplitudes) ** 2))
+
+
+def phase_of_tone(sig: Signal, frequency_offset_hz: float) -> float:
+    """Phase (radians, in (-pi, pi]) of the tone at a baseband offset."""
+    return float(np.angle(_tone_amplitude(sig, frequency_offset_hz)))
+
+
+def estimate_snr_db(sig: Signal, signal_band_hz: tuple) -> float:
+    """Crude SNR estimate: in-band power over out-of-band power density.
+
+    ``signal_band_hz`` is a (low, high) envelope-frequency interval. The
+    out-of-band density is extrapolated over the signal band to estimate
+    the in-band noise contribution.
+    """
+    low, high = signal_band_hz
+    if not low < high:
+        raise SignalError(f"invalid band ({low}, {high})")
+    n = len(sig)
+    if n == 0:
+        raise SignalError("cannot estimate SNR of an empty signal")
+    spectrum = np.fft.fftshift(np.fft.fft(sig.samples)) / n
+    freqs = np.fft.fftshift(np.fft.fftfreq(n, d=1.0 / sig.sample_rate))
+    in_band = (freqs >= low) & (freqs <= high)
+    if not np.any(in_band) or np.all(in_band):
+        raise SignalError("band does not split the spectrum")
+    power_in = np.sum(np.abs(spectrum[in_band]) ** 2)
+    density_out = np.mean(np.abs(spectrum[~in_band]) ** 2)
+    noise_in_band = density_out * np.count_nonzero(in_band)
+    signal_power = max(power_in - noise_in_band, 1e-30)
+    return float(10.0 * np.log10(signal_power / max(noise_in_band, 1e-30)))

@@ -1,0 +1,71 @@
+"""Frequency up/down-conversion (RF mixers).
+
+In the complex-envelope representation, an ideal mixer moves the declared
+``center_frequency`` by the LO's *nominal* frequency; the LO's CFO and
+phase offset appear as a time-varying rotation of the envelope — Eq. 6 of
+the paper: ``phi'(t) = 2 pi (f' - f) t + phi``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsp.oscillator import Oscillator
+from repro.dsp.signal import Signal
+from repro.errors import SignalError
+
+
+def downconvert(signal: Signal, lo: Oscillator) -> Signal:
+    """Mix ``signal`` down by the LO frequency.
+
+    The output center is ``signal.center_frequency - lo.nominal_frequency``
+    and the envelope is rotated by the conjugate of the LO error terms.
+    """
+    rotation = np.conj(lo.envelope_rotation(signal.times))
+    # The LO's CFO relative to its nominal frequency is already inside
+    # ``rotation``; the deliberate shift is accounted in the center.
+    return Signal(
+        signal.samples * rotation,
+        signal.sample_rate,
+        signal.center_frequency - lo.nominal_frequency,
+        signal.start_time,
+    )
+
+
+def upconvert(signal: Signal, lo: Oscillator) -> Signal:
+    """Mix ``signal`` up by the LO frequency (inverse of :func:`downconvert`).
+
+    Using the *same* :class:`Oscillator` instance for a downconvert and a
+    later upconvert cancels its CFO and phase exactly — the mechanism
+    behind the relay's mirrored architecture (paper §4.3).
+    """
+    rotation = lo.envelope_rotation(signal.times)
+    return Signal(
+        signal.samples * rotation,
+        signal.sample_rate,
+        signal.center_frequency + lo.nominal_frequency,
+        signal.start_time,
+    )
+
+
+def retune(signal: Signal, new_center_frequency: float) -> Signal:
+    """Re-express a signal's envelope relative to a different center.
+
+    The physical signal is unchanged: the envelope is rotated by the
+    difference frequency so that spectral content keeps its absolute
+    position. Fails if the shift would alias outside Nyquist for any
+    content present; callers are responsible for choosing adequate rates.
+    """
+    delta = signal.center_frequency - new_center_frequency
+    if abs(delta) >= signal.sample_rate:
+        raise SignalError(
+            f"retune by {delta} Hz exceeds the representable band at "
+            f"{signal.sample_rate} S/s"
+        )
+    rotation = np.exp(2j * np.pi * delta * signal.times)
+    return Signal(
+        signal.samples * rotation,
+        signal.sample_rate,
+        new_center_frequency,
+        signal.start_time,
+    )

@@ -1,0 +1,45 @@
+"""Decibel and power unit conversions used throughout the package."""
+
+from __future__ import annotations
+
+import numpy as np
+
+_MILLIWATT = 1.0e-3
+
+
+def db_to_linear(value_db):
+    """Convert a power ratio in dB to a linear ratio.
+
+    Accepts scalars or arrays; returns the same shape.
+    """
+    return np.power(10.0, np.asarray(value_db, dtype=float) / 10.0)
+
+
+def linear_to_db(ratio):
+    """Convert a linear power ratio to dB.
+
+    Non-positive ratios map to ``-inf`` rather than raising, which is the
+    convenient behaviour when measuring the power of an empty band.
+    """
+    ratio = np.asarray(ratio, dtype=float)
+    with np.errstate(divide="ignore"):
+        return 10.0 * np.log10(ratio)
+
+
+def dbm_to_watts(power_dbm):
+    """Convert power in dBm to watts."""
+    return _MILLIWATT * db_to_linear(power_dbm)
+
+
+def watts_to_dbm(power_watts):
+    """Convert power in watts to dBm (``-inf`` for zero power)."""
+    return linear_to_db(np.asarray(power_watts, dtype=float) / _MILLIWATT)
+
+
+def amplitude_for_power_dbm(power_dbm) -> float:
+    """Amplitude (sqrt watts) of a complex tone with the given mean power.
+
+    A complex exponential ``A * exp(j w t)`` has mean power ``A**2``, so
+    the amplitude is simply the square root of the power in watts.
+    """
+    return float(np.sqrt(dbm_to_watts(power_dbm)))

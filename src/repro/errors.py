@@ -1,0 +1,76 @@
+"""Exception hierarchy for the RFly reproduction.
+
+Every error raised by this package derives from :class:`RFlyError`, so
+callers can catch one type at an API boundary. Subsystems raise the most
+specific subclass that applies.
+"""
+
+from __future__ import annotations
+
+
+class RFlyError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigurationError(RFlyError):
+    """A subsystem was configured with inconsistent or invalid parameters."""
+
+
+class SignalError(RFlyError):
+    """A DSP operation received an incompatible or malformed signal."""
+
+
+class SampleRateError(SignalError):
+    """Two signals (or a signal and a filter) disagree on sample rate."""
+
+
+class ProtocolError(RFlyError):
+    """An EPC Gen2 frame or state transition violates the protocol."""
+
+
+class CRCError(ProtocolError):
+    """A received frame failed its CRC check."""
+
+
+class EncodingError(ProtocolError):
+    """A bitstream could not be PIE/FM0/Miller encoded or decoded."""
+
+
+class RelayError(RFlyError):
+    """The relay could not operate as requested."""
+
+
+class RelayInstabilityError(RelayError):
+    """Loop gain exceeded unity: the relay would oscillate (paper Eq. 3)."""
+
+
+class FrequencyLockError(RelayError):
+    """Frequency discovery failed to lock onto a reader carrier."""
+
+
+class LinkBudgetError(RFlyError):
+    """A link-budget computation was asked for an impossible configuration."""
+
+
+class TagNotPoweredError(RFlyError):
+    """The addressed tag did not harvest enough power to respond."""
+
+
+class LocalizationError(RFlyError):
+    """The localizer could not produce an estimate."""
+
+
+class InsufficientMeasurementsError(LocalizationError):
+    """Too few through-relay channel measurements to run the SAR solver."""
+
+
+class GeometryError(RFlyError):
+    """Invalid geometric input (degenerate segment, point outside room...)."""
+
+
+class MobilityError(RFlyError):
+    """A trajectory or vehicle model was asked for an impossible motion."""
+
+
+class PayloadError(MobilityError):
+    """The attached payload exceeds what the vehicle can carry."""

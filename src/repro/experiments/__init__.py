@@ -1,0 +1,11 @@
+"""Experiment runners that regenerate every figure of the paper.
+
+Each module exposes ``run(...)`` returning a structured result and a
+``format_result(...)`` that renders the paper-comparable table. The
+``benchmarks/`` tree drives these under pytest-benchmark; they can also
+be run directly: ``python -m repro.experiments.fig12_localization``.
+"""
+
+from repro.experiments.runner import ExperimentOutput
+
+__all__ = ["ExperimentOutput"]

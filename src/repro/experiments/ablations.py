@@ -1,0 +1,286 @@
+"""Ablations of RFly's design choices (DESIGN.md §5).
+
+Each function isolates one design decision and quantifies what breaks
+without it:
+
+* :func:`eq4_range_table` — the isolation -> range law (Eq. 3-4).
+* :func:`guard_band_ablation` — inter-link isolation collapses when the
+  downlink LPF widens into the tag's sub-band.
+* :func:`frequency_shift_ablation` — intra-link (out-of-band full
+  duplex) requires the shift to clear the filter bandwidths.
+* :func:`peak_rule_ablation` — nearest-peak vs argmax under multipath.
+* :func:`disentangle_ablation` — localization without the reference-
+  RFID division fails whenever the reader-relay leg has multipath.
+* :func:`matched_filter_frequency_ablation` — using the reader's f
+  instead of the exact f2 in Eq. 12 (the paper's (f-f2)/f < 0.01 claim).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.constants import UHF_CENTER_FREQUENCY
+from repro.dsp.units import db_to_linear
+from repro.errors import ConfigurationError
+from repro.experiments.runner import ExperimentOutput, fmt
+from repro.localization import Localizer, disentangle_series, multires_locate
+from repro.localization.measurement import ThroughRelayMeasurement
+from repro.relay.isolation import measure_isolation
+from repro.relay.mirrored import MirroredRelay, RelayConfig
+from repro.relay.self_interference import LeakagePath, max_stable_range_m
+from repro.sim.scenarios import fig12_trial, multipath_heatmap_scenario
+
+F = UHF_CENTER_FREQUENCY
+
+
+def eq4_range_table() -> ExperimentOutput:
+    """Isolation -> maximum stable range (paper Eq. 4 numbers)."""
+    rows: List[List[str]] = []
+    for isolation in (30.0, 40.0, 50.0, 60.0, 70.0, 80.0):
+        rows.append(
+            [fmt(isolation), fmt(max_stable_range_m(isolation, F), 4)]
+        )
+    return ExperimentOutput(
+        name="Eq. 4 — isolation vs maximum range",
+        headers=["isolation (dB)", "max range (m)"],
+        rows=rows,
+        paper_claims={
+            "30 dB": "0.75 m",
+            "80 dB": "238 m",
+            "70 dB": "83 m (the §7.2 theoretical LoS range)",
+        },
+        measured={
+            "30 dB": f"{max_stable_range_m(30.0, F):.2f} m",
+            "80 dB": f"{max_stable_range_m(80.0, F):.0f} m",
+            "70 dB": f"{max_stable_range_m(70.0, F):.0f} m",
+        },
+        notes=(
+            "The paper's figures correspond to a slightly shorter "
+            "wavelength (~0.30 m); at 915 MHz the same law gives the "
+            "values above."
+        ),
+    )
+
+
+def guard_band_ablation(seed: int = 0) -> ExperimentOutput:
+    """Inter-link isolation vs downlink LPF cutoff.
+
+    Once the cutoff approaches the 500 kHz BLF the filter passes the
+    relayed tag response and the guard-band defense of §4.2 is gone.
+    """
+    rows: List[List[str]] = []
+    for cutoff_khz in (100.0, 200.0, 300.0, 450.0):
+        rng = np.random.default_rng(seed)
+        relay = MirroredRelay(
+            915e6, RelayConfig(lpf_cutoff_hz=cutoff_khz * 1e3), rng
+        )
+        isolation = measure_isolation(relay, LeakagePath.INTER_DOWNLINK)
+        rows.append([fmt(cutoff_khz), fmt(isolation, 4)])
+    first = float(rows[0][1])
+    last = float(rows[-1][1])
+    return ExperimentOutput(
+        name="Ablation — guard-band filtering (LPF cutoff sweep)",
+        headers=["LPF cutoff (kHz)", "inter-downlink isolation (dB)"],
+        rows=rows,
+        paper_claims={"100 kHz cutoff": "~110 dB inter-link isolation"},
+        measured={
+            "100 kHz cutoff": f"{first:.0f} dB",
+            "collapse at 450 kHz": f"{last:.0f} dB",
+        },
+    )
+
+
+def frequency_shift_ablation() -> ExperimentOutput:
+    """The frequency shift must clear the filter bandwidths (§6.1)."""
+    rows: List[List[str]] = []
+    for shift_khz in (400.0, 700.0, 1000.0, 2000.0):
+        try:
+            RelayConfig(frequency_shift_hz=shift_khz * 1e3)
+            outcome = "stable configuration"
+        except ConfigurationError:
+            outcome = "REJECTED: signal would feed back within a path"
+        rows.append([fmt(shift_khz), outcome])
+    return ExperimentOutput(
+        name="Ablation — frequency shift vs filter bandwidth",
+        headers=["shift (kHz)", "outcome"],
+        rows=rows,
+        paper_claims={
+            "shift > filter BW": "required so no signal feeds back (§6.1)",
+            "1 MHz shift": "sufficient while keeping (f-f2)/f < 0.01 (§5.2)",
+        },
+        measured={
+            "shift > filter BW": "enforced by RelayConfig",
+            "1 MHz shift": "accepted",
+        },
+    )
+
+
+def peak_rule_ablation(n_trials: int = 10, seed: int = 0) -> ExperimentOutput:
+    """Nearest-peak rule vs plain argmax under heavy multipath."""
+    nearest_errors, argmax_errors = [], []
+    with_rule = Localizer(frequency_hz=F, use_nearest_peak_rule=True)
+    without = Localizer(frequency_hz=F, use_nearest_peak_rule=False)
+    for trial in range(n_trials):
+        scenario = multipath_heatmap_scenario(seed * 100 + trial)
+        nearest_errors.append(
+            with_rule.locate(
+                scenario.measurements, search_grid=scenario.search_grid
+            ).error_to(scenario.tag_position)
+        )
+        argmax_errors.append(
+            without.locate(
+                scenario.measurements, search_grid=scenario.search_grid
+            ).error_to(scenario.tag_position)
+        )
+    rows = [
+        ["nearest-to-trajectory (§5.2)", fmt(float(np.median(nearest_errors)))],
+        ["highest peak (ablated)", fmt(float(np.median(argmax_errors)))],
+    ]
+    return ExperimentOutput(
+        name="Ablation — multipath peak selection",
+        headers=["rule", "median error (m)"],
+        rows=rows,
+        paper_claims={"nearest <= argmax": "the rule rejects ghosts"},
+        measured={
+            "nearest <= argmax": str(
+                float(np.median(nearest_errors))
+                <= float(np.median(argmax_errors)) + 1e-9
+            )
+        },
+    )
+
+
+def disentangle_ablation(n_trials: int = 8, seed: int = 0) -> ExperimentOutput:
+    """Localizing with the raw (entangled) channel vs Eq. 10.
+
+    Without the reference-RFID division, the reader-relay half-link's
+    phase progression corrupts the array equations and the estimate
+    collapses (paper §5.1: knowing the drone location is NOT enough
+    because of residual multipath on that half-link).
+    """
+    localizer = Localizer(frequency_hz=F)
+    disentangled_errors, entangled_errors = [], []
+    for trial in range(n_trials):
+        scenario = fig12_trial(seed * 500 + trial)
+        disentangled_errors.append(
+            localizer.locate(
+                scenario.measurements, search_grid=scenario.search_grid
+            ).error_to(scenario.tag_position)
+        )
+        # Ablated: pretend h_target is already the half-link (set the
+        # reference to 1), skipping Eq. 10.
+        raw = [
+            ThroughRelayMeasurement(
+                position=m.position,
+                h_target=m.h_target,
+                h_reference=1.0 + 0.0j,
+                snr_db=m.snr_db,
+                time=m.time,
+            )
+            for m in scenario.measurements
+        ]
+        entangled_errors.append(
+            localizer.locate(raw, search_grid=scenario.search_grid).error_to(
+                scenario.tag_position
+            )
+        )
+    rows = [
+        ["with Eq. 10 disentanglement", fmt(float(np.median(disentangled_errors)))],
+        ["raw entangled channel", fmt(float(np.median(entangled_errors)))],
+    ]
+    return ExperimentOutput(
+        name="Ablation — reference-RFID disentanglement",
+        headers=["pipeline", "median error (m)"],
+        rows=rows,
+        paper_claims={"entangled channel": "cannot localize (>> disentangled)"},
+        measured={
+            "entangled channel": f"{np.median(entangled_errors):.2f} m vs "
+            f"{np.median(disentangled_errors):.2f} m"
+        },
+    )
+
+
+def matched_filter_frequency_ablation(
+    n_trials: int = 8, seed: int = 0
+) -> ExperimentOutput:
+    """Using the reader's f vs the exact f2 in Eq. 12 (§5.2)."""
+    f_localizer = Localizer(frequency_hz=F)
+    f2_localizer = Localizer(frequency_hz=F + 1.0e6)
+    f_errors, f2_errors = [], []
+    for trial in range(n_trials):
+        scenario = fig12_trial(seed * 700 + trial)
+        f_errors.append(
+            f_localizer.locate(
+                scenario.measurements, search_grid=scenario.search_grid
+            ).error_to(scenario.tag_position)
+        )
+        f2_errors.append(
+            f2_localizer.locate(
+                scenario.measurements, search_grid=scenario.search_grid
+            ).error_to(scenario.tag_position)
+        )
+    delta = abs(float(np.median(f_errors)) - float(np.median(f2_errors)))
+    rows = [
+        ["reader's f (paper's shortcut)", fmt(float(np.median(f_errors)))],
+        ["exact f2", fmt(float(np.median(f2_errors)))],
+    ]
+    return ExperimentOutput(
+        name="Ablation — matched-filter frequency (f vs f2)",
+        headers=["frequency", "median error (m)"],
+        rows=rows,
+        paper_claims={"difference": "negligible while (f - f2)/f < 0.01"},
+        measured={"difference": f"{delta * 100:.1f} cm"},
+    )
+
+
+def grid_resolution_ablation(n_trials: int = 6, seed: int = 0) -> ExperimentOutput:
+    """Fine-grid resolution vs achievable accuracy.
+
+    The SAR estimate cannot beat the search quantization: the error
+    floor tracks the fine resolution until physics (noise, multipath)
+    dominates. This bounds how much compute the multires search needs.
+    """
+    from repro.sim.scenarios import aperture_microbenchmark
+
+    rows: List[List[str]] = []
+    for resolution in (0.10, 0.05, 0.02):
+        errors = []
+        localizer = Localizer(frequency_hz=F, fine_resolution=resolution)
+        for trial in range(n_trials):
+            scenario = aperture_microbenchmark(2.0, seed * 300 + trial, snr_db=30.0)
+            errors.append(
+                localizer.locate(
+                    scenario.measurements, search_grid=scenario.search_grid
+                ).error_to(scenario.tag_position)
+            )
+        rows.append([fmt(resolution), fmt(float(np.median(errors)))])
+    coarse = float(rows[0][1])
+    fine = float(rows[-1][1])
+    return ExperimentOutput(
+        name="Ablation — fine-grid resolution",
+        headers=["fine resolution (m)", "median error (m)"],
+        rows=rows,
+        paper_claims={"finer grid": "error floor follows quantization"},
+        measured={"finer grid": f"{coarse:.2f} m -> {fine:.2f} m median"},
+    )
+
+
+def run_all(seed: int = 0) -> List[ExperimentOutput]:
+    """All ablations, in DESIGN.md order."""
+    return [
+        eq4_range_table(),
+        guard_band_ablation(seed),
+        frequency_shift_ablation(),
+        peak_rule_ablation(seed=seed),
+        disentangle_ablation(seed=seed),
+        matched_filter_frequency_ablation(seed=seed),
+        grid_resolution_ablation(seed=seed),
+    ]
+
+
+if __name__ == "__main__":  # pragma: no cover - manual regeneration
+    for output in run_all():
+        print(output.report())
+        print()

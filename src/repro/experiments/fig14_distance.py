@@ -1,0 +1,113 @@
+"""Fig. 14: localization accuracy vs projected reader distance.
+
+50 trials with a fixed 1 m aperture; the reader's transmit power maps
+to a projected distance through the free-space model, and the estimate
+SNR falls accordingly. Paper: SAR stays below an 18 cm median out to
+40 m (p90 < 24 cm); beyond 50 m the SNR drops under 3 dB and the 90th
+percentile error grows to 82 cm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.constants import UHF_CENTER_FREQUENCY
+from repro.experiments.runner import ExperimentOutput, fmt
+from repro.localization import Localizer
+from repro.sim.results import percentile
+from repro.sim.scenarios import distance_microbenchmark
+
+DEFAULT_DISTANCES = (5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 35.0, 40.0, 45.0, 50.0, 55.0)
+
+
+@dataclass
+class Fig14Result:
+    """SAR and RSSI errors per projected distance (meters)."""
+
+    distances_m: np.ndarray
+    sar_errors: Dict[float, np.ndarray]
+    rssi_errors: Dict[float, np.ndarray]
+
+
+def run(
+    distances_m: Sequence[float] = DEFAULT_DISTANCES,
+    trials_per_point: int = 10,
+    seed: int = 0,
+) -> Fig14Result:
+    """Run the projected-distance microbenchmark sweep."""
+    localizer = Localizer(frequency_hz=UHF_CENTER_FREQUENCY)
+    sar: Dict[float, List[float]] = {d: [] for d in distances_m}
+    rssi: Dict[float, List[float]] = {d: [] for d in distances_m}
+    for distance in distances_m:
+        for trial in range(trials_per_point):
+            scenario = distance_microbenchmark(distance, seed * 1000 + trial)
+            result = localizer.locate(
+                scenario.measurements, search_grid=scenario.search_grid
+            )
+            sar[distance].append(result.error_to(scenario.tag_position))
+            estimate = localizer.locate_rssi(
+                scenario.measurements,
+                scenario.rssi_calibration_gain,
+                search_grid=scenario.search_grid,
+            )
+            rssi[distance].append(
+                float(np.linalg.norm(estimate - scenario.tag_position))
+            )
+    return Fig14Result(
+        distances_m=np.asarray(distances_m, dtype=float),
+        sar_errors={d: np.asarray(v) for d, v in sar.items()},
+        rssi_errors={d: np.asarray(v) for d, v in rssi.items()},
+    )
+
+
+def format_result(result: Fig14Result) -> ExperimentOutput:
+    """Render the distance sweep table."""
+    headers = [
+        "projected distance (m)",
+        "SAR median (m)", "SAR p10", "SAR p90",
+        "RSSI median (m)",
+    ]
+    rows: List[List[str]] = []
+    for d in result.distances_m:
+        sar = result.sar_errors[float(d)]
+        rssi = result.rssi_errors[float(d)]
+        rows.append(
+            [
+                fmt(float(d)),
+                fmt(float(np.median(sar))),
+                fmt(percentile(sar, 10.0)),
+                fmt(percentile(sar, 90.0)),
+                fmt(float(np.median(rssi))),
+            ]
+        )
+
+    def nearest(d: float) -> float:
+        """The swept distance closest to a requested one."""
+        return float(result.distances_m[np.argmin(np.abs(result.distances_m - d))])
+
+    at40 = result.sar_errors[nearest(40.0)]
+    at55 = result.sar_errors[nearest(55.0)]
+    return ExperimentOutput(
+        name="Fig. 14 — accuracy vs projected distance",
+        headers=headers,
+        rows=rows,
+        paper_claims={
+            "SAR median @ 40 m": "< 0.18 m",
+            "SAR p90 beyond 50 m": "grows to ~0.82 m",
+            "errors grow with distance": "yes (SNR falls)",
+        },
+        measured={
+            "SAR median @ 40 m": f"{np.median(at40):.3f} m",
+            "SAR p90 beyond 50 m": f"{percentile(at55, 90.0):.3f} m",
+            "errors grow with distance": str(
+                bool(np.median(at55) > np.median(result.sar_errors[nearest(5.0)]))
+            ),
+        },
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - manual regeneration
+    print(format_result(run()).report())

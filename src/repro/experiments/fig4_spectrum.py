@@ -1,0 +1,142 @@
+"""Fig. 4: the guard band between query and tag-response spectra.
+
+The design of the relay's inter-link isolation rests on one spectral
+fact: the reader's PIE query occupies ~125 kHz around the carrier while
+the tag's backscatter response concentrates near the +/-500 kHz BLF,
+leaving a guard band between them. This experiment synthesizes real
+waveforms with the Gen2 codecs, computes their power spectral
+densities, and verifies the separation quantitatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import GEN2_QUERY_BANDWIDTH
+from repro.experiments.runner import ExperimentOutput, fmt
+from repro.gen2.backscatter import MillerEncoder, TagParams
+from repro.gen2.commands import Query
+from repro.gen2.pie import PIEEncoder, ReaderParams
+
+SAMPLE_RATE = 4.0e6
+
+
+@dataclass
+class Fig4Result:
+    """PSDs of the query and the response, plus band-power metrics."""
+
+    frequencies_hz: np.ndarray
+    query_psd_db: np.ndarray
+    response_psd_db: np.ndarray
+    query_occupied_bandwidth_hz: float
+    response_peak_offset_hz: float
+    guard_band_hz: float
+
+
+def _psd_db(samples: np.ndarray, n_fft: int = 1 << 14) -> np.ndarray:
+    """Averaged-periodogram PSD in dB (arbitrary reference)."""
+    samples = samples - np.mean(samples)
+    segments = max(1, len(samples) // n_fft)
+    acc = np.zeros(n_fft)
+    for i in range(segments):
+        chunk = samples[i * n_fft : (i + 1) * n_fft]
+        if len(chunk) < n_fft:
+            chunk = np.pad(chunk, (0, n_fft - len(chunk)))
+        windowed = chunk * np.hanning(n_fft)
+        acc += np.abs(np.fft.fftshift(np.fft.fft(windowed))) ** 2
+    acc /= segments
+    return 10.0 * np.log10(np.maximum(acc, 1e-30))
+
+
+def _occupied_bandwidth(freqs, psd_db, threshold_db=15.0) -> float:
+    """Mask-style bandwidth: span where the PSD stays within X dB of peak.
+
+    This is how a spectrum-analyzer plot like the paper's Fig. 4 reads:
+    the query's visible hump, ~20 dB down from its peak.
+    """
+    peak = float(np.max(psd_db))
+    above = freqs[psd_db >= peak - threshold_db]
+    return float(np.ptp(above))
+
+
+def _band_edge_near_peak(freqs, psd_db, threshold_db=10.0) -> float:
+    """Lower edge of the positive-frequency band within X dB of its peak."""
+    positive = freqs > 100e3
+    band_psd = psd_db[positive]
+    band_freqs = freqs[positive]
+    peak = float(np.max(band_psd))
+    in_band = band_freqs[band_psd >= peak - threshold_db]
+    return float(np.min(in_band))
+
+
+def run(seed: int = 0, n_fft: int = 1 << 14) -> Fig4Result:
+    """Synthesize both waveforms and measure the guard band."""
+    rng = np.random.default_rng(seed)
+    # Regulatory edge shaping, as real readers apply (and as Fig. 4's
+    # measured query spectrum reflects).
+    reader_params = ReaderParams(edge_smoothing_seconds=6.0e-6)
+    pie = PIEEncoder(reader_params, SAMPLE_RATE)
+    # A long command stream: many queries back to back.
+    query_bits = Query().to_bits()
+    query_wave = np.concatenate(
+        [pie.encode(query_bits, preamble=True).samples for _ in range(20)]
+    )
+
+    tag_params = TagParams(blf=500e3, miller_m=4)
+    miller = MillerEncoder(tag_params, SAMPLE_RATE)
+    payload = tuple(rng.integers(0, 2, 128))
+    response_wave = np.concatenate(
+        [miller.encode(payload).samples * 2.0 - 1.0 for _ in range(4)]
+    )
+
+    freqs = np.fft.fftshift(np.fft.fftfreq(n_fft, d=1.0 / SAMPLE_RATE))
+    query_psd = _psd_db(query_wave, n_fft)
+    response_psd = _psd_db(response_wave, n_fft)
+
+    query_bw = _occupied_bandwidth(freqs, query_psd)
+    positive = freqs > 100e3
+    response_peak = float(
+        freqs[positive][np.argmax(response_psd[positive])]
+    )
+    response_lower_edge = _band_edge_near_peak(freqs, response_psd)
+    guard = max(response_lower_edge - query_bw / 2.0, 0.0)
+    return Fig4Result(
+        frequencies_hz=freqs,
+        query_psd_db=query_psd,
+        response_psd_db=response_psd,
+        query_occupied_bandwidth_hz=query_bw,
+        response_peak_offset_hz=response_peak,
+        guard_band_hz=guard,
+    )
+
+
+def format_result(result: Fig4Result) -> ExperimentOutput:
+    """Render the guard-band table."""
+    rows = [
+        ["query occupied bandwidth", fmt(result.query_occupied_bandwidth_hz / 1e3),
+         "kHz"],
+        ["response spectral peak", fmt(result.response_peak_offset_hz / 1e3),
+         "kHz from carrier"],
+        ["guard band", fmt(result.guard_band_hz / 1e3), "kHz"],
+    ]
+    return ExperimentOutput(
+        name="Fig. 4 — query/response guard band",
+        headers=["quantity", "value", "unit"],
+        rows=rows,
+        paper_claims={
+            "query spectrum": "constrained within ~125 kHz",
+            "response BLF": "up to 640 kHz; 500 kHz used",
+            "guard band": "a separable gap exists",
+        },
+        measured={
+            "query spectrum": f"{result.query_occupied_bandwidth_hz / 1e3:.0f} kHz",
+            "response BLF": f"peak at {result.response_peak_offset_hz / 1e3:.0f} kHz",
+            "guard band": f"{result.guard_band_hz / 1e3:.0f} kHz",
+        },
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - manual regeneration
+    print(format_result(run()).report())

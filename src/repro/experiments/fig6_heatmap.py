@@ -1,0 +1,139 @@
+"""Fig. 6: the P(x, y) likelihood heatmaps.
+
+(a) line-of-sight: a single sharp peak within centimeters of the tag
+(the paper reports <7 cm for its example); (b) heavy multipath from
+steel shelving: several strong "ghost" regions, all farther from the
+trajectory than the true tag, resolved by the §5.2 nearest-peak rule.
+
+The heatmaps render to ASCII for terminal inspection; the raw arrays
+are in the result for plotting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.constants import UHF_CENTER_FREQUENCY
+from repro.experiments.runner import ExperimentOutput, fmt
+from repro.localization import (
+    Localizer,
+    disentangle_series,
+    find_peaks,
+    sar_heatmap,
+    select_nearest_to_trajectory,
+)
+from repro.localization.grid import Heatmap
+from repro.sim.scenarios import los_heatmap_scenario, multipath_heatmap_scenario
+
+_SHADES = " .:-=+*#%@"
+
+
+@dataclass
+class Fig6Result:
+    """Both heatmaps plus estimates under both peak rules."""
+
+    los_heatmap: Heatmap
+    los_error_m: float
+    multipath_heatmap: Heatmap
+    multipath_error_nearest_m: float
+    multipath_error_argmax_m: float
+    ghost_peaks_farther: bool
+
+
+def ascii_heatmap(heatmap: Heatmap, width: int = 64) -> str:
+    """Render P(x, y) as ASCII shading (red -> '@', navy -> ' ')."""
+    values = heatmap.values
+    rows, cols = values.shape
+    col_step = max(1, cols // width)
+    row_step = max(1, rows // (width // 2))
+    shrunk = values[::row_step, ::col_step]
+    lo, hi = float(shrunk.min()), float(shrunk.max())
+    span = hi - lo if hi > lo else 1.0
+    lines = []
+    for row in shrunk[::-1]:  # y increases upward
+        indices = ((row - lo) / span * (len(_SHADES) - 1)).astype(int)
+        lines.append("".join(_SHADES[i] for i in indices))
+    return "\n".join(lines)
+
+
+def run(seed: int = 0) -> Fig6Result:
+    """Generate both Fig. 6 panels."""
+    f = UHF_CENTER_FREQUENCY
+    los = los_heatmap_scenario(seed)
+    positions, channels = disentangle_series(los.measurements)
+    los_map = sar_heatmap(positions, channels, los.search_grid, f)
+    localizer = Localizer(frequency_hz=f)
+    los_result = localizer.locate(los.measurements, search_grid=los.search_grid)
+    los_error = los_result.error_to(los.tag_position)
+
+    multi = multipath_heatmap_scenario(seed)
+    positions_m, channels_m = disentangle_series(multi.measurements)
+    multi_map = sar_heatmap(positions_m, channels_m, multi.search_grid, f)
+    nearest = localizer.locate(multi.measurements, search_grid=multi.search_grid)
+    argmax_localizer = Localizer(frequency_hz=f, use_nearest_peak_rule=False)
+    argmax = argmax_localizer.locate(
+        multi.measurements, search_grid=multi.search_grid
+    )
+    # Verify the §5.2 insight on this heatmap: every other significant
+    # peak lies farther from the trajectory than the selected one.
+    peaks = find_peaks(multi_map, relative_threshold=0.7)
+    chosen = select_nearest_to_trajectory(peaks, positions_m)
+    others = [
+        p for p in peaks if not np.allclose(p.position, chosen.position)
+    ]
+    from repro.localization.peaks import distance_to_polyline
+
+    ghost_farther = all(
+        distance_to_polyline(p.position, positions_m)
+        >= chosen.distance_to_trajectory - 1e-9
+        for p in others
+    )
+    return Fig6Result(
+        los_heatmap=los_map,
+        los_error_m=float(los_error),
+        multipath_heatmap=multi_map,
+        multipath_error_nearest_m=float(nearest.error_to(multi.tag_position)),
+        multipath_error_argmax_m=float(argmax.error_to(multi.tag_position)),
+        ghost_peaks_farther=bool(ghost_farther),
+    )
+
+
+def format_result(result: Fig6Result) -> ExperimentOutput:
+    """Render the two-panel comparison."""
+    rows = [
+        ["(a) line-of-sight", fmt(result.los_error_m), "single sharp peak"],
+        [
+            "(b) multipath, nearest-peak rule",
+            fmt(result.multipath_error_nearest_m),
+            "ghosts rejected",
+        ],
+        [
+            "(b) multipath, argmax (no rule)",
+            fmt(result.multipath_error_argmax_m),
+            "may lock a ghost",
+        ],
+    ]
+    return ExperimentOutput(
+        name="Fig. 6 — localization heatmaps",
+        headers=["panel", "error (m)", "behaviour"],
+        rows=rows,
+        paper_claims={
+            "LoS error": "< 0.07 m",
+            "ghosts farther than tag": "always (the §5.2 insight)",
+        },
+        measured={
+            "LoS error": f"{result.los_error_m:.3f} m",
+            "ghosts farther than tag": str(result.ghost_peaks_farther),
+        },
+        notes=(
+            "ASCII rendering of panel (b):\n"
+            + ascii_heatmap(result.multipath_heatmap)
+        ),
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - manual regeneration
+    print(format_result(run()).report())

@@ -1,0 +1,63 @@
+"""EPC Class-1 Generation-2 (Gen2) protocol substrate.
+
+The paper's reader is a USRP software-radio implementation of the Gen2
+air interface, and the relay is *transparent* to this protocol — queries
+and tag replies are forwarded in the analog domain without decoding. To
+reproduce the end-to-end system we therefore implement the protocol
+itself: reader PIE encoding, tag FM0/Miller backscatter encodings, the
+CRC-5/CRC-16 checks, the command set the paper's reader handles (Query,
+QueryRep, QueryAdjust, ACK, Select, NAK), the tag inventory state
+machine, and the slotted-ALOHA anti-collision MAC with the Q algorithm.
+"""
+
+from repro.gen2.crc import crc5, crc16, check_crc16, append_crc16
+from repro.gen2.bitops import bits_from_int, bits_to_int
+from repro.gen2.pie import PIEDecoder, PIEEncoder, ReaderParams
+from repro.gen2.backscatter import (
+    FM0Decoder,
+    FM0Encoder,
+    MillerDecoder,
+    MillerEncoder,
+    TagParams,
+)
+from repro.gen2.commands import (
+    Ack,
+    Nak,
+    Query,
+    QueryAdjust,
+    QueryRep,
+    Select,
+    parse_command,
+)
+from repro.gen2.tag_state import Gen2Tag, TagState
+from repro.gen2.inventory import InventoryRound, QAlgorithm, SlotOutcome, run_inventory
+
+__all__ = [
+    "crc5",
+    "crc16",
+    "check_crc16",
+    "append_crc16",
+    "bits_from_int",
+    "bits_to_int",
+    "ReaderParams",
+    "PIEEncoder",
+    "PIEDecoder",
+    "TagParams",
+    "FM0Encoder",
+    "FM0Decoder",
+    "MillerEncoder",
+    "MillerDecoder",
+    "Query",
+    "QueryRep",
+    "QueryAdjust",
+    "Ack",
+    "Nak",
+    "Select",
+    "parse_command",
+    "Gen2Tag",
+    "TagState",
+    "QAlgorithm",
+    "SlotOutcome",
+    "InventoryRound",
+    "run_inventory",
+]

@@ -1,0 +1,80 @@
+"""Gen2 CRC-5 and CRC-16 implementations.
+
+Per the EPCglobal Gen2 specification (Annex F):
+
+* **CRC-5** protects the Query command. Polynomial x^5 + x^3 + 1
+  (0b101001), preset 0b01001. The register is transmitted as-is.
+* **CRC-16** protects longer reader commands and tag {PC, EPC} replies.
+  It is the CCITT CRC: polynomial 0x1021, preset 0xFFFF, and the ones-
+  complement of the register is appended. A correct frame leaves the
+  receiver's register at the residue 0x1D0F.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import CRCError
+from repro.gen2.bitops import Bits, bits_from_int, validate_bits
+
+CRC5_POLY = 0b01001  # x^5 + x^3 + 1, with the x^5 term implicit
+CRC5_PRESET = 0b01001
+CRC16_POLY = 0x1021  # CCITT
+CRC16_PRESET = 0xFFFF
+CRC16_RESIDUE = 0x1D0F
+
+
+def crc5(bits: Sequence[int]) -> Bits:
+    """CRC-5 of a bit sequence, as 5 bits MSB-first."""
+    register = CRC5_PRESET
+    for bit in validate_bits(bits):
+        msb = (register >> 4) & 1
+        register = ((register << 1) & 0x1F) | 0
+        if msb ^ bit:
+            register ^= CRC5_POLY
+    return bits_from_int(register, 5)
+
+
+def crc16(bits: Sequence[int]) -> Bits:
+    """CRC-16 of a bit sequence, ones-complemented, as 16 bits MSB-first."""
+    register = CRC16_PRESET
+    for bit in validate_bits(bits):
+        msb = (register >> 15) & 1
+        register = (register << 1) & 0xFFFF
+        if msb ^ bit:
+            register ^= CRC16_POLY
+    return bits_from_int(register ^ 0xFFFF, 16)
+
+
+def append_crc16(bits: Sequence[int]) -> Bits:
+    """Return ``bits`` with its CRC-16 appended (how tags build replies)."""
+    payload = validate_bits(bits)
+    return payload + crc16(payload)
+
+
+def check_crc16(bits_with_crc: Sequence[int]) -> Bits:
+    """Validate a CRC-16-protected frame and return the payload bits.
+
+    Raises
+    ------
+    CRCError
+        If the frame is shorter than a CRC or the check fails.
+    """
+    frame = validate_bits(bits_with_crc)
+    if len(frame) < 16:
+        raise CRCError(f"frame of {len(frame)} bits is shorter than a CRC-16")
+    payload, received = frame[:-16], frame[-16:]
+    if crc16(payload) != received:
+        raise CRCError("CRC-16 check failed")
+    return payload
+
+
+def check_crc5(bits_with_crc: Sequence[int]) -> Bits:
+    """Validate a CRC-5-protected frame and return the payload bits."""
+    frame = validate_bits(bits_with_crc)
+    if len(frame) < 5:
+        raise CRCError(f"frame of {len(frame)} bits is shorter than a CRC-5")
+    payload, received = frame[:-5], frame[-5:]
+    if crc5(payload) != received:
+        raise CRCError("CRC-5 check failed")
+    return payload

@@ -1,0 +1,80 @@
+"""Frequency synthesizer model.
+
+A :class:`Synthesizer` is a tunable oscillator with a fixed crystal: its
+fractional frequency error (ppm) is a property of the part, so retuning
+to a new frequency rescales the absolute CFO. The relay's mirrored
+architecture (paper §4.3/§6.1) works precisely because the *same
+synthesizer object* feeds the downlink downconverter and the uplink
+upconverter — their errors cancel — which this model makes explicit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsp.oscillator import Oscillator
+from repro.errors import ConfigurationError
+
+
+class Synthesizer:
+    """A tunable LO with a persistent crystal error and phase offset."""
+
+    def __init__(
+        self,
+        frequency_hz: float,
+        ppm_error: float = 0.0,
+        phase_offset_rad: float = 0.0,
+        phase_jitter_std_rad: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if frequency_hz <= 0:
+            raise ConfigurationError("synthesizer frequency must be positive")
+        if abs(ppm_error) > 100.0:
+            raise ConfigurationError(
+                f"crystal error {ppm_error} ppm is implausibly large"
+            )
+        self.ppm_error = float(ppm_error)
+        self.phase_offset_rad = float(phase_offset_rad)
+        self.phase_jitter_std_rad = float(phase_jitter_std_rad)
+        self.rng = rng
+        self._oscillator: Oscillator | None = None
+        self.tune(frequency_hz)
+
+    @property
+    def frequency_hz(self) -> float:
+        """Current programmed frequency."""
+        return self._oscillator.nominal_frequency
+
+    @property
+    def oscillator(self) -> Oscillator:
+        """The LO at the current tuning; stable across calls until retuned."""
+        return self._oscillator
+
+    def tune(self, frequency_hz: float) -> Oscillator:
+        """Retune; CFO scales with frequency (same crystal, same ppm)."""
+        if frequency_hz <= 0:
+            raise ConfigurationError("synthesizer frequency must be positive")
+        self._oscillator = Oscillator(
+            nominal_frequency=float(frequency_hz),
+            cfo_hz=float(frequency_hz) * self.ppm_error * 1e-6,
+            phase_offset_rad=self.phase_offset_rad,
+            phase_jitter_std_rad=self.phase_jitter_std_rad,
+            rng=self.rng,
+        )
+        return self._oscillator
+
+    @staticmethod
+    def random(
+        frequency_hz: float,
+        rng: np.random.Generator,
+        max_ppm: float = 2.0,
+        phase_jitter_std_rad: float = 0.0,
+    ) -> "Synthesizer":
+        """A synthesizer with random crystal error and start phase."""
+        return Synthesizer(
+            frequency_hz,
+            ppm_error=float(rng.uniform(-max_ppm, max_ppm)),
+            phase_offset_rad=float(rng.uniform(0.0, 2.0 * np.pi)),
+            phase_jitter_std_rad=phase_jitter_std_rad,
+            rng=rng,
+        )

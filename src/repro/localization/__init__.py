@@ -1,0 +1,60 @@
+"""Through-relay localization (paper §5) — the second core contribution.
+
+The pipeline:
+
+1. :mod:`~repro.localization.measurement` — the through-relay phase
+   measurement model: the reader's channel for a tag is the product of
+   the reader-relay and relay-tag round-trip half-links (Eq. 7-9).
+2. :mod:`~repro.localization.disentangle` — dividing by the channel of
+   the relay-embedded reference RFID isolates the relay-tag half-link
+   (Eq. 10).
+3. :mod:`~repro.localization.sar` — the non-linear-projection matched
+   filter P(x, y) over the drone trajectory (Eq. 11-12).
+4. :mod:`~repro.localization.peaks` — multipath-robust peak selection:
+   the peak *nearest the trajectory*, not the highest (§5.2).
+5. :mod:`~repro.localization.multires` — coarse-to-fine search.
+6. :mod:`~repro.localization.rssi` — the RSSI baseline of §7.3.
+7. :mod:`~repro.localization.pipeline` — the Localizer facade.
+"""
+
+from repro.localization.measurement import (
+    MeasurementModel,
+    ThroughRelayMeasurement,
+)
+from repro.localization.disentangle import disentangle, disentangle_series
+from repro.localization.grid import Grid2D, Heatmap
+from repro.localization.sar import sar_heatmap, sar_profile
+from repro.localization.peaks import Peak, find_peaks, select_nearest_to_trajectory
+from repro.localization.multires import multires_locate
+from repro.localization.rssi import rssi_distances, rssi_locate
+from repro.localization.pipeline import Localizer, LocalizationResult
+from repro.localization.grid3d import Grid3D, Volume, locate_3d, sar_volume
+from repro.localization.self_localization import (
+    self_localize,
+    self_localize_from_measurements,
+)
+
+__all__ = [
+    "MeasurementModel",
+    "ThroughRelayMeasurement",
+    "disentangle",
+    "disentangle_series",
+    "Grid2D",
+    "Heatmap",
+    "sar_heatmap",
+    "sar_profile",
+    "Peak",
+    "find_peaks",
+    "select_nearest_to_trajectory",
+    "multires_locate",
+    "rssi_distances",
+    "rssi_locate",
+    "Localizer",
+    "LocalizationResult",
+    "Grid3D",
+    "Volume",
+    "sar_volume",
+    "locate_3d",
+    "self_localize",
+    "self_localize_from_measurements",
+]

@@ -1,0 +1,153 @@
+"""3-D search grids and volumes for the SAR extension of paper §5.2.
+
+"While the above localization method was described in 2D for
+simplicity, it can be extended to 3D if the robot's trajectory is
+two-dimensional." A planar (e.g. lawnmower) flight gives the matched
+filter enough geometric diversity to resolve all three coordinates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import LocalizationError
+
+
+@dataclass(frozen=True)
+class Grid3D:
+    """A rectangular 3-D search volume."""
+
+    x_min: float
+    x_max: float
+    y_min: float
+    y_max: float
+    z_min: float
+    z_max: float
+    resolution: float
+
+    def __post_init__(self) -> None:
+        if (
+            self.x_min >= self.x_max
+            or self.y_min >= self.y_max
+            or self.z_min >= self.z_max
+        ):
+            raise LocalizationError("grid extents must be positive")
+        if self.resolution <= 0:
+            raise LocalizationError("grid resolution must be positive")
+        if self.n_points > 8_000_000:
+            raise LocalizationError(
+                f"volume of {self.n_points} nodes is too large; coarsen the "
+                "resolution or shrink the volume"
+            )
+
+    def _axis(self, lo: float, hi: float) -> np.ndarray:
+        return np.arange(lo, hi + self.resolution / 2, self.resolution)
+
+    @property
+    def xs(self) -> np.ndarray:
+        """Node coordinates along the x axis."""
+        return self._axis(self.x_min, self.x_max)
+
+    @property
+    def ys(self) -> np.ndarray:
+        """Node coordinates along the y axis."""
+        return self._axis(self.y_min, self.y_max)
+
+    @property
+    def zs(self) -> np.ndarray:
+        """Node coordinates along the z axis."""
+        return self._axis(self.z_min, self.z_max)
+
+    @property
+    def shape(self) -> Tuple[int, int, int]:
+        """Array shape of the node lattice."""
+        return len(self.zs), len(self.ys), len(self.xs)
+
+    @property
+    def n_points(self) -> int:
+        """Total number of grid nodes."""
+        count = lambda lo, hi: int(np.floor((hi - lo) / self.resolution)) + 1
+        return (
+            count(self.x_min, self.x_max)
+            * count(self.y_min, self.y_max)
+            * count(self.z_min, self.z_max)
+        )
+
+    def nodes(self) -> np.ndarray:
+        """All node coordinates, shape (n, 3), z-major like :attr:`shape`."""
+        gz, gy, gx = np.meshgrid(self.zs, self.ys, self.xs, indexing="ij")
+        return np.column_stack([gx.ravel(), gy.ravel(), gz.ravel()])
+
+    def refined_around(self, center, span: float, resolution: float) -> "Grid3D":
+        """A finer volume centered on a point."""
+        cx, cy, cz = (float(center[i]) for i in range(3))
+        half = span / 2.0
+        return Grid3D(
+            cx - half, cx + half, cy - half, cy + half, cz - half, cz + half,
+            resolution,
+        )
+
+
+@dataclass(frozen=True)
+class Volume:
+    """P(x, y, z) over a 3-D grid."""
+
+    grid: Grid3D
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.values.shape != self.grid.shape:
+            raise LocalizationError(
+                f"volume shape {self.values.shape} != grid shape "
+                f"{self.grid.shape}"
+            )
+
+    @property
+    def peak_value(self) -> float:
+        """The maximum of the matched-filter map."""
+        return float(np.max(self.values))
+
+    def argmax_position(self) -> np.ndarray:
+        """Coordinates of the strongest node."""
+        iz, iy, ix = np.unravel_index(
+            int(np.argmax(self.values)), self.values.shape
+        )
+        return np.array(
+            [self.grid.xs[ix], self.grid.ys[iy], self.grid.zs[iz]]
+        )
+
+
+def sar_volume(
+    positions: np.ndarray,
+    channels: np.ndarray,
+    grid: Grid3D,
+    frequency_hz: float,
+    normalize: bool = True,
+) -> Volume:
+    """The matched filter over a 3-D volume (positions must be (K, 3))."""
+    from repro.localization.sar import sar_profile
+
+    nodes = grid.nodes()
+    values = sar_profile(positions, channels, nodes, frequency_hz, normalize)
+    return Volume(grid=grid, values=values.reshape(grid.shape))
+
+
+def locate_3d(
+    positions: np.ndarray,
+    channels: np.ndarray,
+    grid: Grid3D,
+    frequency_hz: float,
+    fine_resolution: float = 0.03,
+    fine_span: float = 0.6,
+) -> np.ndarray:
+    """Coarse-to-fine 3-D localization from a planar trajectory."""
+    if fine_resolution <= 0 or fine_span <= 0:
+        raise LocalizationError("fine stage parameters must be positive")
+    coarse = sar_volume(positions, channels, grid, frequency_hz)
+    candidate = coarse.argmax_position()
+    fine_grid = grid.refined_around(candidate, fine_span, fine_resolution)
+    fine = sar_volume(positions, channels, fine_grid, frequency_hz)
+    return fine.argmax_position()

@@ -1,0 +1,108 @@
+"""Drone self-localization from the reference RFID's channel (§5.1, §9).
+
+The relay-embedded reference RFID's channel consists *entirely* of the
+reader-relay half-link, so the same SAR equations that find tags can
+find the drone: given the trajectory's *shape* (from odometry — shape
+is what IMU/odometry provide well; the absolute offset is what drifts)
+and the known position of the infrastructure reader, a matched filter
+over candidate trajectory translations recovers where the flight
+actually happened. The paper leaves this as future work ("Future
+research could leverage RF for drone self-localization and apply the
+SAR equations on the channel of [the] reader-relay half-link").
+
+The math reduces to the existing tag solver by a change of variables:
+
+    |reader - (t + q_k)| = |t - (reader - q_k)|
+
+so the candidate translation ``t`` plays the tag's role against the
+virtual array ``reader - q_k``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import InsufficientMeasurementsError, LocalizationError
+from repro.localization.grid import Grid2D, Heatmap
+from repro.localization.measurement import ThroughRelayMeasurement
+from repro.localization.sar import sar_heatmap
+
+
+def reference_channels(
+    measurements: Sequence[ThroughRelayMeasurement],
+) -> np.ndarray:
+    """The reference RFID's channel series from a flight's measurements."""
+    if len(measurements) < 2:
+        raise InsufficientMeasurementsError(
+            "self-localization needs at least two reference measurements"
+        )
+    return np.array([m.h_reference for m in measurements])
+
+
+def self_localize(
+    reference_series: np.ndarray,
+    relative_positions: np.ndarray,
+    reader_position,
+    search_grid: Grid2D,
+    frequency_hz: float,
+) -> Tuple[np.ndarray, Heatmap]:
+    """Recover the trajectory's absolute translation.
+
+    Parameters
+    ----------
+    reference_series:
+        Complex reference-RFID channels (the reader-relay round-trip
+        half-link times a constant), one per pose.
+    relative_positions:
+        Trajectory shape from odometry, (K, 2), in the drone's own
+        frame: ``relative_positions[0]`` is typically the origin.
+    reader_position:
+        The known infrastructure reader location.
+    search_grid:
+        Candidate translations of the trajectory origin.
+    frequency_hz:
+        The reader's carrier (the half-link frequency f).
+
+    Returns
+    -------
+    (translation, heatmap)
+        The estimated absolute position of the trajectory origin and
+        the matched-filter map over candidates.
+    """
+    reference_series = np.asarray(reference_series, dtype=complex)
+    relative_positions = np.asarray(relative_positions, dtype=float)
+    if relative_positions.ndim != 2 or relative_positions.shape[1] != 2:
+        raise LocalizationError(
+            f"relative positions must be (K, 2), got {relative_positions.shape}"
+        )
+    if len(reference_series) != len(relative_positions):
+        raise LocalizationError(
+            f"{len(reference_series)} channels for "
+            f"{len(relative_positions)} poses"
+        )
+    reader = np.asarray(reader_position, dtype=float)
+    # Change of variables: the virtual array the translation "sees".
+    virtual_array = reader[None, :] - relative_positions
+    heatmap = sar_heatmap(
+        virtual_array, reference_series, search_grid, frequency_hz
+    )
+    return heatmap.argmax_position(), heatmap
+
+
+def self_localize_from_measurements(
+    measurements: Sequence[ThroughRelayMeasurement],
+    relative_positions: np.ndarray,
+    reader_position,
+    search_grid: Grid2D,
+    frequency_hz: float,
+) -> Tuple[np.ndarray, Heatmap]:
+    """Convenience wrapper taking raw through-relay measurements."""
+    return self_localize(
+        reference_channels(measurements),
+        relative_positions,
+        reader_position,
+        search_grid,
+        frequency_hz,
+    )

@@ -1,0 +1,29 @@
+"""Drone/robot mobility substrate.
+
+Trajectories supply the sampled antenna positions SAR needs; the
+vehicle models add the realism that matters to localization accuracy —
+payload limits, battery draw, and position jitter — and the ground-truth
+observer reproduces the OptiTrack scoring of the paper's evaluation.
+"""
+
+from repro.mobility.trajectory import (
+    LawnmowerTrajectory,
+    LineTrajectory,
+    Trajectory,
+    TrajectorySample,
+    WaypointTrajectory,
+)
+from repro.mobility.drone import Drone
+from repro.mobility.robot import GroundRobot
+from repro.mobility.groundtruth import OptiTrack
+
+__all__ = [
+    "Trajectory",
+    "TrajectorySample",
+    "LineTrajectory",
+    "LawnmowerTrajectory",
+    "WaypointTrajectory",
+    "Drone",
+    "GroundRobot",
+    "OptiTrack",
+]

@@ -1,0 +1,74 @@
+"""OptiTrack-like ground-truth observer (paper §6.3).
+
+An array of ceiling-mounted infrared cameras tracks markers on the
+drone and the tags with sub-centimeter accuracy, inside a bounded field
+of view. The observer serves two roles, as in the paper: it scores
+localization error, and it supplies the drone trajectory to the SAR
+solver (the paper's §9 notes RF-based self-localization as future work).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.constants import OPTITRACK_ACCURACY_M
+from repro.errors import MobilityError
+from repro.mobility.trajectory import TrajectorySample
+
+
+@dataclass
+class OptiTrack:
+    """An optical tracking volume with Gaussian observation noise."""
+
+    coverage_min: Tuple[float, float] = (-1000.0, -1000.0)
+    coverage_max: Tuple[float, float] = (1000.0, 1000.0)
+    accuracy_std_m: float = OPTITRACK_ACCURACY_M
+
+    def __post_init__(self) -> None:
+        lo = np.asarray(self.coverage_min, dtype=float)
+        hi = np.asarray(self.coverage_max, dtype=float)
+        if np.any(lo >= hi):
+            raise MobilityError("coverage box must have positive extent")
+        if self.accuracy_std_m < 0:
+            raise MobilityError("accuracy std must be >= 0")
+
+    def in_view(self, position) -> bool:
+        """Is a marker inside the cameras' field of view?"""
+        p = np.asarray(position, dtype=float)
+        lo = np.asarray(self.coverage_min)
+        hi = np.asarray(self.coverage_max)
+        return bool(np.all(p >= lo) and np.all(p <= hi))
+
+    def observe(
+        self, position, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
+        """One noisy position observation.
+
+        Raises
+        ------
+        MobilityError
+            When the marker is outside the field of view — the paper's
+            §9 limitation: the drone must stay visible to the cameras.
+        """
+        p = np.asarray(position, dtype=float)
+        if not self.in_view(p):
+            raise MobilityError(
+                f"marker at {p.tolist()} is outside the OptiTrack volume"
+            )
+        if self.accuracy_std_m == 0.0 or rng is None:
+            return p.copy()
+        return p + rng.normal(0.0, self.accuracy_std_m, size=p.shape)
+
+    def observe_trajectory(
+        self,
+        samples: Sequence[TrajectorySample],
+        rng: Optional[np.random.Generator] = None,
+    ) -> List[TrajectorySample]:
+        """Observe every pose of a flight (the SAR position input)."""
+        return [
+            TrajectorySample(self.observe(s.position, rng), s.time)
+            for s in samples
+        ]

@@ -1,0 +1,49 @@
+"""The ground robot of the microbenchmarks (iRobot Create 2, §7.3).
+
+The aperture and range microbenchmarks mount the relay on a ground
+robot instead of the drone to control for trajectory and SNR: it drives
+slower and holds its path far more precisely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.constants import ROBOT_SPEED_MPS
+from repro.errors import MobilityError
+from repro.mobility.trajectory import Trajectory, TrajectorySample
+
+
+@dataclass
+class GroundRobot:
+    """A wheeled robot carrying the relay along a floor path."""
+
+    speed_mps: float = ROBOT_SPEED_MPS
+    track_jitter_std_m: float = 0.005
+
+    def __post_init__(self) -> None:
+        if self.speed_mps <= 0:
+            raise MobilityError("robot speed must be positive")
+        if self.track_jitter_std_m < 0:
+            raise MobilityError("track jitter must be >= 0")
+
+    def drive(
+        self,
+        trajectory: Trajectory,
+        sample_spacing_m: float,
+        rng: Optional[np.random.Generator] = None,
+    ) -> List[TrajectorySample]:
+        """Traverse a path, sampling poses with (small) track jitter."""
+        samples = trajectory.sample_every(sample_spacing_m)
+        if self.track_jitter_std_m == 0.0 or rng is None:
+            return samples
+        return [
+            TrajectorySample(
+                s.position + rng.normal(0.0, self.track_jitter_std_m, size=2),
+                s.time,
+            )
+            for s in samples
+        ]

@@ -1,0 +1,96 @@
+"""VGA gain programming (paper §6.1).
+
+The paper lists four rules for programming the relay's variable-gain
+amplifiers:
+
+1. each link's gain is bounded by its own intra-link isolation (no
+   positive feedback through a single path);
+2. the sum of all gains is bounded by the total achievable isolation;
+3. the downlink gain is maximized subject to those constraints, because
+   the downlink must power up the tags;
+4. most uplink gain is placed after the band-pass filter to avoid
+   saturating the uplink input with the strong relayed query.
+
+:func:`plan_gains` encodes those rules and returns a :class:`GainPlan`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import RelayInstabilityError
+from repro.relay.isolation import IsolationReport
+
+
+@dataclass(frozen=True)
+class GainPlan:
+    """A stability-respecting gain assignment."""
+
+    downlink_gain_db: float
+    uplink_gain_db: float
+    uplink_pre_filter_gain_db: float
+    margin_db: float
+
+    @property
+    def total_gain_db(self) -> float:
+        """Sum of downlink and uplink gains."""
+        return self.downlink_gain_db + self.uplink_gain_db
+
+    @property
+    def uplink_post_filter_gain_db(self) -> float:
+        """Uplink gain placed after the BPF."""
+        return self.uplink_gain_db - self.uplink_pre_filter_gain_db
+
+
+def plan_gains(
+    isolation: IsolationReport,
+    margin_db: float = 3.0,
+    max_downlink_gain_db: float = 45.0,
+    max_uplink_gain_db: float = 45.0,
+    min_uplink_gain_db: float = 10.0,
+    pre_filter_fraction: float = 0.2,
+) -> GainPlan:
+    """Program the VGAs against a measured isolation report.
+
+    Raises
+    ------
+    RelayInstabilityError
+        When the isolations cannot support even the minimum gains.
+    """
+    if margin_db < 0:
+        raise RelayInstabilityError("margin must be >= 0 dB")
+    # Rule 1: per-link bounds from intra-link isolation.
+    downlink_cap = isolation.intra_downlink_db - margin_db
+    uplink_cap = isolation.intra_uplink_db - margin_db
+    # Rule 2: the sum is bounded by the total isolation budget — the
+    # binding figure is the worst inter-link isolation, since the two
+    # paths' gains cascade around an inter-link loop.
+    total_cap = (
+        min(isolation.inter_downlink_db, isolation.inter_uplink_db) - margin_db
+    )
+    if min(downlink_cap, uplink_cap, total_cap) <= 0:
+        raise RelayInstabilityError(
+            f"isolation too low for any stable gain: caps "
+            f"dl={downlink_cap:.1f}, ul={uplink_cap:.1f}, sum={total_cap:.1f} dB"
+        )
+    uplink_gain = min(min_uplink_gain_db, uplink_cap, max_uplink_gain_db)
+    if uplink_gain <= 0:
+        raise RelayInstabilityError("no headroom for uplink gain")
+    # Rule 3: maximize the downlink with what remains of the budget.
+    downlink_gain = min(downlink_cap, total_cap - uplink_gain, max_downlink_gain_db)
+    if downlink_gain <= 0:
+        raise RelayInstabilityError(
+            "no headroom for downlink gain after reserving the uplink"
+        )
+    # Grow the uplink into any leftover budget.
+    leftover = total_cap - downlink_gain - uplink_gain
+    if leftover > 0:
+        uplink_gain = min(uplink_gain + leftover, uplink_cap, max_uplink_gain_db)
+    # Rule 4: keep most uplink gain after the BPF.
+    pre_filter = uplink_gain * pre_filter_fraction
+    return GainPlan(
+        downlink_gain_db=float(downlink_gain),
+        uplink_gain_db=float(uplink_gain),
+        uplink_pre_filter_gain_db=float(pre_filter),
+        margin_db=float(margin_db),
+    )

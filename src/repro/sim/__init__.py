@@ -1,0 +1,46 @@
+"""End-to-end simulation: worlds, scan events, scenarios, result stats."""
+
+from repro.sim.results import (
+    empirical_cdf,
+    percentile,
+    summarize,
+    Summary,
+    format_table,
+)
+from repro.sim.readrate import RangeModel, RangeConfig
+from repro.sim.world import World, WorldConfig, TagObservation
+from repro.sim.inventory_db import (
+    Item,
+    ItemDatabase,
+    LocatedItem,
+    ReconciliationReport,
+)
+from repro.sim.scenarios import (
+    aperture_microbenchmark,
+    distance_microbenchmark,
+    fig12_trial,
+    los_heatmap_scenario,
+    multipath_heatmap_scenario,
+)
+
+__all__ = [
+    "empirical_cdf",
+    "percentile",
+    "summarize",
+    "Summary",
+    "format_table",
+    "RangeModel",
+    "RangeConfig",
+    "World",
+    "WorldConfig",
+    "TagObservation",
+    "fig12_trial",
+    "aperture_microbenchmark",
+    "distance_microbenchmark",
+    "los_heatmap_scenario",
+    "multipath_heatmap_scenario",
+    "Item",
+    "ItemDatabase",
+    "LocatedItem",
+    "ReconciliationReport",
+]

@@ -1,0 +1,50 @@
+"""Per-pose inventory events.
+
+At each pose along the flight, the (relayed) reader runs Gen2 inventory
+over whatever tags the relay currently powers. The relay is transparent
+to the protocol (paper §3), so this is the ordinary anti-collision MAC
+of :mod:`repro.gen2.inventory` — including the relay-embedded reference
+RFID, which participates like any other tag and is told apart by its
+stored EPC (paper §5.1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Sequence, Set
+
+import numpy as np
+
+from repro.gen2.inventory import run_inventory
+from repro.hardware.tag import PassiveTag
+
+
+def inventory_at_pose(
+    tags: Sequence[PassiveTag],
+    powered: Callable[[PassiveTag], bool],
+    rng: np.random.Generator,
+    max_slots: int = 512,
+) -> Set[int]:
+    """Run one inventory pass; return the EPCs read at this pose.
+
+    ``powered`` models reachability: whether the relay's downlink lights
+    each tag at the current drone position. Both inventory targets (A
+    then B) are run so that a pose reads every reachable tag regardless
+    of the flag state left by the previous pose.
+    """
+    read: Set[int] = set()
+    for target in ("A", "B"):
+        result = run_inventory(
+            [t.protocol for t in tags],
+            rng,
+            target=target,
+            max_slots=max_slots,
+            hears=_wrap_powered(tags, powered),
+        )
+        read.update(result.epcs)
+    return read
+
+
+def _wrap_powered(tags: Sequence[PassiveTag], powered: Callable[[PassiveTag], bool]):
+    """Adapt a PassiveTag predicate to the Gen2Tag objects the MAC sees."""
+    by_protocol = {id(t.protocol): t for t in tags}
+    return lambda protocol_tag: powered(by_protocol[id(protocol_tag)])

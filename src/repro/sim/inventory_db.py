@@ -1,0 +1,138 @@
+"""The EPC-to-object database and inventory reconciliation (paper §3).
+
+"To identify the localized objects, the system leverages a local
+database that maps each RFID's unique ID to the object it is attached
+to." This module supplies that database plus the reconciliation a
+warehouse run actually needs: which expected items were found, where
+they are, which are missing, and which reads were unexpected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Item:
+    """One cataloged object: identity plus its expected location."""
+
+    epc: int
+    name: str
+    expected_position: Optional[Tuple[float, float]] = None
+    category: str = ""
+
+    def __post_init__(self) -> None:
+        if self.epc < 0:
+            raise ConfigurationError("EPC must be non-negative")
+        if not self.name:
+            raise ConfigurationError("item needs a name")
+
+
+@dataclass(frozen=True)
+class LocatedItem:
+    """A found item with its measured position."""
+
+    item: Item
+    position: np.ndarray
+    n_reads: int
+
+    @property
+    def displacement_m(self) -> Optional[float]:
+        """Distance from the expected shelf spot, if one is cataloged."""
+        if self.item.expected_position is None:
+            return None
+        return float(
+            np.linalg.norm(
+                self.position - np.asarray(self.item.expected_position)
+            )
+        )
+
+
+@dataclass
+class ReconciliationReport:
+    """The outcome of matching a scan against the catalog."""
+
+    found: List[LocatedItem] = field(default_factory=list)
+    missing: List[Item] = field(default_factory=list)
+    unexpected_epcs: List[int] = field(default_factory=list)
+
+    @property
+    def found_fraction(self) -> float:
+        """Share of cataloged items found by the scan."""
+        total = len(self.found) + len(self.missing)
+        return len(self.found) / total if total else 1.0
+
+    def misplaced(self, threshold_m: float = 1.0) -> List[LocatedItem]:
+        """Found items sitting far from their cataloged spot."""
+        if threshold_m <= 0:
+            raise ConfigurationError("threshold must be positive")
+        return [
+            located
+            for located in self.found
+            if located.displacement_m is not None
+            and located.displacement_m > threshold_m
+        ]
+
+
+class ItemDatabase:
+    """The manufacturer-style EPC -> object catalog."""
+
+    def __init__(self, items: Sequence[Item] = ()) -> None:
+        self._items: Dict[int, Item] = {}
+        for item in items:
+            self.add(item)
+
+    def add(self, item: Item) -> None:
+        """Add one item to the catalog (EPCs must be unique)."""
+        if item.epc in self._items:
+            raise ConfigurationError(f"duplicate EPC {item.epc:#x} in catalog")
+        self._items[item.epc] = item
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, epc: int) -> bool:
+        return epc in self._items
+
+    def lookup(self, epc: int) -> Optional[Item]:
+        """The cataloged item for an EPC, or None for foreign tags."""
+        return self._items.get(epc)
+
+    def reconcile(
+        self,
+        located: Dict[int, np.ndarray],
+        read_counts: Optional[Dict[int, int]] = None,
+    ) -> ReconciliationReport:
+        """Match scan results against the catalog.
+
+        Parameters
+        ----------
+        located:
+            EPC -> estimated position for every localized tag.
+        read_counts:
+            Optional EPC -> number of successful reads.
+        """
+        read_counts = read_counts or {}
+        report = ReconciliationReport()
+        for epc, position in located.items():
+            item = self.lookup(epc)
+            if item is None:
+                report.unexpected_epcs.append(epc)
+                continue
+            report.found.append(
+                LocatedItem(
+                    item=item,
+                    position=np.asarray(position, dtype=float),
+                    n_reads=int(read_counts.get(epc, 0)),
+                )
+            )
+        found_epcs = {f.item.epc for f in report.found}
+        report.missing = [
+            item for epc, item in self._items.items() if epc not in found_epcs
+        ]
+        return report

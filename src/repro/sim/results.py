@@ -1,0 +1,94 @@
+"""Result statistics and table formatting for the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import RFlyError
+
+
+class ResultError(RFlyError):
+    """Raised for empty or malformed result sets."""
+
+
+def empirical_cdf(values: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """(sorted values, cumulative probabilities) — the CDFs of Fig. 9-12."""
+    arr = np.sort(np.asarray(values, dtype=float))
+    if arr.size == 0:
+        raise ResultError("cannot build a CDF from no values")
+    probs = np.arange(1, arr.size + 1) / arr.size
+    return arr, probs
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The q-th percentile (q in [0, 100]), linear interpolation."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ResultError("cannot take a percentile of no values")
+    if not 0.0 <= q <= 100.0:
+        raise ResultError(f"percentile must be in [0, 100], got {q}")
+    return float(np.percentile(arr, q))
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Median / 10th / 90th / 99th percentile summary of a metric."""
+
+    n: int
+    median: float
+    p10: float
+    p90: float
+    p99: float
+    mean: float
+
+    def row(self, label: str, unit: str = "") -> List[str]:
+        """Render this summary as one table row."""
+        fmt = lambda v: f"{v:.3g}{unit}"
+        return [
+            label,
+            str(self.n),
+            fmt(self.median),
+            fmt(self.p10),
+            fmt(self.p90),
+            fmt(self.p99),
+        ]
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summary statistics of a result vector."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ResultError("cannot summarize no values")
+    return Summary(
+        n=int(arr.size),
+        median=float(np.median(arr)),
+        p10=percentile(arr, 10.0),
+        p90=percentile(arr, 90.0),
+        p99=percentile(arr, 99.0),
+        mean=float(np.mean(arr)),
+    )
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Fixed-width ASCII table (what the benchmark harness prints)."""
+    if not headers:
+        raise ResultError("a table needs headers")
+    str_rows = [[str(c) for c in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ResultError(
+                f"row width {len(row)} != header width {len(headers)}"
+            )
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    line = lambda cells: " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+    sep = "-+-".join("-" * w for w in widths)
+    out = [line(headers), sep]
+    out.extend(line(r) for r in str_rows)
+    return "\n".join(out)

@@ -1,0 +1,125 @@
+"""Tests for antenna patterns and link budgets."""
+
+import numpy as np
+import pytest
+
+from repro.channel import (
+    DipoleAntenna,
+    Environment,
+    IsotropicAntenna,
+    Link,
+    PatchAntenna,
+)
+from repro.channel.environment import CONCRETE
+from repro.channel.pathloss import free_space_path_loss_db
+from repro.constants import UHF_CENTER_FREQUENCY
+from repro.errors import ConfigurationError, LinkBudgetError
+
+F = UHF_CENTER_FREQUENCY
+
+
+class TestAntennas:
+    def test_isotropic_uniform(self):
+        ant = IsotropicAntenna(gain_dbi=3.0)
+        assert ant.gain_dbi((1, 0)) == ant.gain_dbi((0, 1)) == 3.0
+
+    def test_dipole_peak_broadside(self):
+        ant = DipoleAntenna(axis=(1, 0))
+        assert ant.gain_dbi((0, 1)) == pytest.approx(2.15, abs=0.01)
+
+    def test_dipole_null_along_axis(self):
+        ant = DipoleAntenna(axis=(1, 0))
+        assert ant.gain_dbi((1, 0)) < -20.0
+
+    def test_dipole_zero_axis_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DipoleAntenna(axis=(0, 0))
+
+    def test_patch_peak_on_boresight(self):
+        ant = PatchAntenna(boresight=(1, 0), peak_gain_dbi=6.0)
+        assert ant.gain_dbi((1, 0)) == pytest.approx(6.0)
+
+    def test_patch_half_power_at_beamwidth_edge(self):
+        ant = PatchAntenna(boresight=(1, 0), peak_gain_dbi=6.0, beamwidth_deg=70.0)
+        edge = np.deg2rad(35.0)
+        gain = ant.gain_dbi((np.cos(edge), np.sin(edge)))
+        assert gain == pytest.approx(3.0, abs=0.1)
+
+    def test_patch_backlobe(self):
+        ant = PatchAntenna(boresight=(1, 0), peak_gain_dbi=6.0, front_to_back_db=15.0)
+        assert ant.gain_dbi((-1, 0)) == pytest.approx(-9.0)
+
+    def test_patch_invalid_beamwidth(self):
+        with pytest.raises(ConfigurationError):
+            PatchAntenna(beamwidth_deg=5.0)
+
+    def test_zero_direction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PatchAntenna().gain_dbi((0, 0))
+
+
+class TestLink:
+    def test_free_space_path_gain(self):
+        link = Link((0, 0), (10, 0), F)
+        assert link.path_gain_db() == pytest.approx(
+            -free_space_path_loss_db(10.0, F), abs=1e-6
+        )
+
+    def test_antenna_gains_add(self):
+        bare = Link((0, 0), (10, 0), F)
+        endowed = Link(
+            (0, 0),
+            (10, 0),
+            F,
+            tx_antenna=IsotropicAntenna(6.0),
+            rx_antenna=IsotropicAntenna(2.0),
+        )
+        assert endowed.path_gain_db() - bare.path_gain_db() == pytest.approx(8.0)
+
+    def test_polarization_loss_subtracts(self):
+        bare = Link((0, 0), (10, 0), F)
+        lossy = Link((0, 0), (10, 0), F, polarization_loss_db=3.0)
+        assert bare.path_gain_db() - lossy.path_gain_db() == pytest.approx(3.0)
+
+    def test_budget_rx_power(self):
+        link = Link((0, 0), (10, 0), F)
+        budget = link.budget(30.0)
+        assert budget.rx_power_dbm == pytest.approx(
+            30.0 - free_space_path_loss_db(10.0, F), abs=1e-6
+        )
+
+    def test_budget_snr(self):
+        link = Link((0, 0), (10, 0), F)
+        budget = link.budget(30.0, bandwidth_hz=1e6, noise_figure_db=6.0)
+        noise_dbm = -173.8 + 60.0 + 6.0
+        assert budget.snr_db == pytest.approx(
+            budget.rx_power_dbm - noise_dbm, abs=1e-6
+        )
+
+    def test_wall_reduces_budget(self):
+        env = Environment.through_wall(wall_x=5.0, material=CONCRETE)
+        blocked = Link((0, 0), (10, 0), F, environment=env)
+        clear = Link((0, 0), (10, 0), F)
+        delta = clear.budget(30.0).rx_power_dbm - blocked.budget(30.0).rx_power_dbm
+        # The bounce path may add back a little energy, so the difference
+        # is close to but not exactly the wall loss.
+        assert delta > CONCRETE.transmission_loss_db - 4.0
+
+    def test_faded_channel_statistics(self):
+        link = Link((0, 0), (10, 0), F)
+        h0 = link.complex_channel()
+        rng = np.random.default_rng(4)
+        draws = np.array([link.faded_channel(rng, rician_k_db=10.0) for _ in range(4000)])
+        # Mean converges to the specular component.
+        assert np.mean(draws) == pytest.approx(h0, abs=abs(h0) * 0.05)
+        # Diffuse power ~ |h|^2 / K.
+        diffuse_power = np.var(draws)
+        assert diffuse_power == pytest.approx(abs(h0) ** 2 / 10.0, rel=0.2)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(LinkBudgetError):
+            Link((0, 0), (1, 0), -F)
+        with pytest.raises(LinkBudgetError):
+            Link((0, 0), (1, 0), F, polarization_loss_db=-1.0)
+        with pytest.raises(LinkBudgetError):
+            Link((0, 0), (1, 0), F).budget(30.0, bandwidth_hz=0.0)

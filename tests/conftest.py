@@ -1,0 +1,13 @@
+"""Shared pytest configuration for the unit/integration test suite."""
+
+from hypothesis import HealthCheck, settings
+
+# One deterministic, CI-friendly profile: generous deadline headroom for
+# the waveform-synthesizing property tests, no flaky time-based failures.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    derandomize=True,
+)
+settings.load_profile("repro")

@@ -1,0 +1,106 @@
+"""Tests for amplifiers and noise generation."""
+
+import numpy as np
+import pytest
+
+from repro.dsp import (
+    AmplifierChain,
+    PowerAmplifier,
+    Signal,
+    VariableGainAmplifier,
+    awgn,
+    mean_power_dbm,
+    thermal_noise,
+    thermal_noise_power_dbm,
+    tone,
+)
+from repro.dsp.units import amplitude_for_power_dbm
+from repro.errors import ConfigurationError
+
+FS = 4e6
+
+
+class TestVGA:
+    def test_gain_applied_in_power(self):
+        sig = tone(0.0, 1e-4, FS, amplitude=amplitude_for_power_dbm(-30.0))
+        out = VariableGainAmplifier(20.0).apply(sig)
+        assert mean_power_dbm(out) == pytest.approx(-10.0, abs=1e-6)
+
+    def test_gain_limits_enforced(self):
+        vga = VariableGainAmplifier(0.0, min_gain_db=-5.0, max_gain_db=30.0)
+        with pytest.raises(ConfigurationError):
+            vga.gain_db = 31.0
+        with pytest.raises(ConfigurationError):
+            vga.gain_db = -6.0
+        vga.gain_db = 30.0
+        assert vga.gain_db == 30.0
+
+    def test_invalid_limits_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VariableGainAmplifier(0.0, min_gain_db=10.0, max_gain_db=0.0)
+
+
+class TestPA:
+    def test_small_signal_is_linear(self):
+        pa = PowerAmplifier(20.0, p1db_dbm=29.0)
+        sig = tone(0.0, 1e-4, FS, amplitude=amplitude_for_power_dbm(-30.0))
+        assert mean_power_dbm(pa.apply(sig)) == pytest.approx(-10.0, abs=0.01)
+
+    def test_one_db_compression_point(self):
+        """At P1dB the output sits 1 dB below the linear extrapolation."""
+        pa = PowerAmplifier(20.0, p1db_dbm=29.0)
+        sig = tone(0.0, 1e-4, FS, amplitude=amplitude_for_power_dbm(10.0))
+        assert mean_power_dbm(pa.apply(sig)) == pytest.approx(29.0, abs=0.05)
+
+    def test_output_never_exceeds_saturation(self):
+        pa = PowerAmplifier(20.0, p1db_dbm=29.0)
+        sig = tone(0.0, 1e-4, FS, amplitude=amplitude_for_power_dbm(40.0))
+        assert mean_power_dbm(pa.apply(sig)) <= pa.saturation_power_dbm + 1e-9
+
+    def test_smoothness_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            PowerAmplifier(20.0, 29.0, smoothness=0.0)
+
+
+class TestChain:
+    def test_total_gain_sums(self):
+        chain = AmplifierChain(
+            [VariableGainAmplifier(10.0), VariableGainAmplifier(15.0)]
+        )
+        assert chain.total_gain_db == pytest.approx(25.0)
+
+    def test_chain_applies_in_order(self):
+        chain = AmplifierChain(
+            [VariableGainAmplifier(30.0), PowerAmplifier(10.0, p1db_dbm=29.0)]
+        )
+        sig = tone(0.0, 1e-4, FS, amplitude=amplitude_for_power_dbm(-20.0))
+        # -20 + 30 = 10 dBm into PA, +10 dB gain => compressed near 19+ dBm
+        out_dbm = mean_power_dbm(chain.apply(sig))
+        assert 18.0 < out_dbm < 20.0
+
+
+class TestNoise:
+    def test_thermal_noise_power_formula(self):
+        # kTB over 1 MHz with 6 dB NF: -173.8 + 60 + 6 = -107.8 dBm.
+        assert thermal_noise_power_dbm(1e6, 6.0) == pytest.approx(-107.8)
+
+    def test_thermal_noise_power_measured(self):
+        rng = np.random.default_rng(5)
+        silent = Signal.silence(20e-3, FS)
+        noisy = thermal_noise(silent, 6.0, rng)
+        expected = thermal_noise_power_dbm(FS, 6.0)
+        assert mean_power_dbm(noisy) == pytest.approx(expected, abs=0.2)
+
+    def test_awgn_hits_target_snr(self):
+        rng = np.random.default_rng(9)
+        sig = tone(10e3, 20e-3, FS)
+        noisy = awgn(sig, snr_db=10.0, rng=rng)
+        noise = noisy.samples - sig.samples
+        snr = 10 * np.log10(
+            sig.mean_power_watts / np.mean(np.abs(noise) ** 2)
+        )
+        assert snr == pytest.approx(10.0, abs=0.2)
+
+    def test_invalid_bandwidth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            thermal_noise_power_dbm(0.0)

@@ -1,0 +1,54 @@
+"""Tests for dB/power conversions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dsp.units import (
+    amplitude_for_power_dbm,
+    db_to_linear,
+    dbm_to_watts,
+    linear_to_db,
+    watts_to_dbm,
+)
+
+
+def test_known_values():
+    assert db_to_linear(0.0) == pytest.approx(1.0)
+    assert db_to_linear(10.0) == pytest.approx(10.0)
+    assert db_to_linear(-30.0) == pytest.approx(1e-3)
+    assert linear_to_db(100.0) == pytest.approx(20.0)
+    assert dbm_to_watts(30.0) == pytest.approx(1.0)
+    assert dbm_to_watts(0.0) == pytest.approx(1e-3)
+    assert watts_to_dbm(1e-3) == pytest.approx(0.0)
+
+
+def test_zero_power_maps_to_minus_inf():
+    assert watts_to_dbm(0.0) == -np.inf
+    assert linear_to_db(0.0) == -np.inf
+
+
+def test_array_inputs():
+    out = db_to_linear(np.array([0.0, 10.0, 20.0]))
+    np.testing.assert_allclose(out, [1.0, 10.0, 100.0])
+
+
+def test_amplitude_for_power():
+    # 0 dBm = 1 mW, so amplitude is sqrt(0.001).
+    assert amplitude_for_power_dbm(0.0) == pytest.approx(np.sqrt(1e-3))
+
+
+@given(st.floats(min_value=-150.0, max_value=150.0))
+def test_db_roundtrip(value_db):
+    assert linear_to_db(db_to_linear(value_db)) == pytest.approx(value_db, abs=1e-9)
+
+
+@given(st.floats(min_value=-150.0, max_value=60.0))
+def test_dbm_roundtrip(power_dbm):
+    assert watts_to_dbm(dbm_to_watts(power_dbm)) == pytest.approx(power_dbm, abs=1e-9)
+
+
+@given(st.floats(min_value=-120.0, max_value=60.0))
+def test_amplitude_squares_to_power(power_dbm):
+    amp = amplitude_for_power_dbm(power_dbm)
+    assert watts_to_dbm(amp**2) == pytest.approx(power_dbm, abs=1e-9)

@@ -1,0 +1,123 @@
+"""Smoke tests of every experiment runner at reduced trial counts.
+
+The full-scale reproduction claims live in benchmarks/; here we check
+each runner executes, produces well-formed tables, and satisfies the
+coarsest sanity properties even at small n.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ablations,
+    fig6_heatmap,
+    fig9_isolation,
+    fig10_phase,
+    fig11_range,
+    fig12_localization,
+    fig13_aperture,
+    fig14_distance,
+)
+from repro.relay.self_interference import LeakagePath
+
+
+class TestFig9:
+    def test_small_run(self):
+        result = fig9_isolation.run(n_trials=5, seed=0)
+        for path in LeakagePath:
+            assert len(result.rfly[path]) == 5
+            assert np.all(result.rfly[path] > result.analog[path])
+        out = fig9_isolation.format_result(result)
+        assert "inter_downlink" in out.table()
+        assert "paper" in out.report()
+
+    def test_cdf_access(self):
+        result = fig9_isolation.run(n_trials=4, seed=1)
+        values, probs = result.cdf(LeakagePath.INTER_UPLINK)
+        assert len(values) == 4
+
+
+class TestFig10:
+    def test_small_run(self):
+        result = fig10_phase.run(n_trials=4, seed=0)
+        assert len(result.mirrored_errors_deg) == 4
+        assert np.median(result.mirrored_errors_deg) < np.median(
+            result.no_mirror_errors_deg
+        )
+        out = fig10_phase.format_result(result)
+        assert "mirrored" in out.table()
+
+
+class TestFig11:
+    def test_small_run(self):
+        result = fig11_range.run(
+            distances_m=(2.0, 10.0, 50.0), trials_per_point=40, seed=0
+        )
+        assert result.rates["no_relay"][0] > result.rates["no_relay"][1]
+        assert result.rates["relay_los"][2] > 0.8
+        out = fig11_range.format_result(result)
+        assert "relay LoS" in out.table()
+
+
+class TestFig12:
+    def test_small_run(self):
+        result = fig12_localization.run(n_trials=4, seed=0)
+        assert len(result.errors_m) == 4
+        assert np.all(result.errors_m >= 0)
+        out = fig12_localization.format_result(result)
+        assert "median" in out.report()
+
+
+class TestFig13:
+    def test_small_run(self):
+        result = fig13_aperture.run(
+            apertures_m=(0.5, 2.5), trials_per_point=3, seed=0
+        )
+        assert set(result.sar_errors) == {0.5, 2.5}
+        out = fig13_aperture.format_result(result)
+        assert "aperture" in out.table()
+
+
+class TestFig14:
+    def test_small_run(self):
+        result = fig14_distance.run(
+            distances_m=(5.0, 40.0, 55.0), trials_per_point=3, seed=0
+        )
+        assert set(result.sar_errors) == {5.0, 40.0, 55.0}
+        out = fig14_distance.format_result(result)
+        assert "projected" in out.table()
+
+
+class TestFig6:
+    def test_run_and_render(self):
+        result = fig6_heatmap.run(seed=0)
+        assert result.los_error_m < 0.2
+        art = fig6_heatmap.ascii_heatmap(result.los_heatmap, width=32)
+        assert len(art.splitlines()) > 4
+        out = fig6_heatmap.format_result(result)
+        assert "line-of-sight" in out.table()
+
+
+class TestAblations:
+    def test_eq4(self):
+        out = ablations.eq4_range_table()
+        assert len(out.rows) == 6
+
+    def test_frequency_shift(self):
+        out = ablations.frequency_shift_ablation()
+        assert any("REJECTED" in row[1] for row in out.rows)
+
+    def test_peak_rule(self):
+        out = ablations.peak_rule_ablation(n_trials=2, seed=0)
+        assert len(out.rows) == 2
+
+    def test_disentangle(self):
+        out = ablations.disentangle_ablation(n_trials=2, seed=0)
+        with_eq10 = float(out.rows[0][1])
+        without = float(out.rows[1][1])
+        assert without > with_eq10
+
+    def test_report_structure(self):
+        out = ablations.eq4_range_table()
+        report = out.report()
+        assert "paper" in report and "measured" in report

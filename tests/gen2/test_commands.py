@@ -1,0 +1,132 @@
+"""Tests for Gen2 command framing and parsing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ProtocolError
+from repro.gen2 import Ack, Nak, Query, QueryAdjust, QueryRep, Select, parse_command
+from repro.gen2.bitops import bits_from_int
+
+
+class TestQuery:
+    def test_length_is_22_bits(self):
+        assert len(Query().to_bits()) == 22
+
+    def test_roundtrip(self):
+        q = Query(q=7, dr=8.0, miller_m=4, trext=True, sel=3, session="S2", target="B")
+        assert Query.from_bits(q.to_bits()) == q
+
+    def test_invalid_q(self):
+        with pytest.raises(ProtocolError):
+            Query(q=16)
+
+    def test_invalid_session(self):
+        with pytest.raises(ProtocolError):
+            Query(session="S4")
+
+    def test_invalid_dr(self):
+        with pytest.raises(ProtocolError):
+            Query(dr=10.0)
+
+    def test_corrupted_crc_rejected(self):
+        bits = list(Query().to_bits())
+        bits[5] ^= 1
+        with pytest.raises(ProtocolError):
+            Query.from_bits(tuple(bits))
+
+    @given(
+        st.integers(0, 15),
+        st.sampled_from([8.0, 64.0 / 3.0]),
+        st.sampled_from([1, 2, 4, 8]),
+        st.booleans(),
+        st.integers(0, 3),
+        st.sampled_from(["S0", "S1", "S2", "S3"]),
+        st.sampled_from(["A", "B"]),
+    )
+    def test_roundtrip_property(self, q, dr, m, trext, sel, session, target):
+        cmd = Query(
+            q=q, dr=dr, miller_m=m, trext=trext, sel=sel, session=session, target=target
+        )
+        assert Query.from_bits(cmd.to_bits()) == cmd
+
+
+class TestSimpleCommands:
+    def test_query_rep_roundtrip(self):
+        for s in ("S0", "S1", "S2", "S3"):
+            cmd = QueryRep(session=s)
+            assert QueryRep.from_bits(cmd.to_bits()) == cmd
+            assert len(cmd.to_bits()) == 4
+
+    def test_query_adjust_roundtrip(self):
+        for updn in (-1, 0, 1):
+            cmd = QueryAdjust(session="S1", updn=updn)
+            assert QueryAdjust.from_bits(cmd.to_bits()) == cmd
+            assert len(cmd.to_bits()) == 9
+
+    def test_query_adjust_invalid_updn(self):
+        with pytest.raises(ProtocolError):
+            QueryAdjust(updn=2)
+
+    def test_query_adjust_invalid_code(self):
+        bits = list(QueryAdjust(updn=0).to_bits())
+        bits[6:9] = [1, 0, 1]  # not a valid UpDn code
+        with pytest.raises(ProtocolError):
+            QueryAdjust.from_bits(tuple(bits))
+
+    def test_ack_roundtrip(self):
+        cmd = Ack(rn16=0xBEEF)
+        assert Ack.from_bits(cmd.to_bits()) == cmd
+        assert len(cmd.to_bits()) == 18
+
+    def test_ack_range(self):
+        with pytest.raises(ProtocolError):
+            Ack(rn16=1 << 16)
+
+    def test_nak_roundtrip(self):
+        assert Nak.from_bits(Nak().to_bits()) == Nak()
+
+
+class TestSelect:
+    def test_roundtrip(self):
+        mask = bits_from_int(0xDEAD, 16)
+        cmd = Select(target="S2", action=4, membank="TID", pointer=0, mask=mask)
+        assert Select.from_bits(cmd.to_bits()) == cmd
+
+    def test_empty_mask_allowed(self):
+        cmd = Select(mask=())
+        assert Select.from_bits(cmd.to_bits()) == cmd
+
+    def test_crc16_protects_frame(self):
+        bits = list(Select(mask=(1, 0, 1)).to_bits())
+        bits[8] ^= 1
+        with pytest.raises(ProtocolError):
+            Select.from_bits(tuple(bits))
+
+    def test_invalid_action(self):
+        with pytest.raises(ProtocolError):
+            Select(action=8)
+
+    @given(st.lists(st.integers(0, 1), min_size=0, max_size=96).map(tuple))
+    def test_mask_roundtrip_property(self, mask):
+        cmd = Select(mask=mask)
+        assert Select.from_bits(cmd.to_bits()).mask == mask
+
+
+class TestParseCommand:
+    @pytest.mark.parametrize(
+        "cmd",
+        [
+            Query(q=3),
+            QueryRep(session="S1"),
+            QueryAdjust(updn=1),
+            Ack(rn16=123),
+            Nak(),
+            Select(mask=(1, 0)),
+        ],
+    )
+    def test_dispatch(self, cmd):
+        assert parse_command(cmd.to_bits()) == cmd
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_command((1, 1, 1, 1, 1, 1))

@@ -1,0 +1,97 @@
+"""Exhaustive tests of the Select action matrix (Gen2 Table 6.29)."""
+
+import numpy as np
+import pytest
+
+from repro.gen2 import Gen2Tag, Select
+from repro.gen2.bitops import bits_from_int
+
+MATCHING_EPC = 0xAB << 88  # EPC beginning with 0xAB
+MATCHING_MASK = bits_from_int(0xAB, 8)
+OTHER_MASK = bits_from_int(0xCD, 8)
+
+
+def make_tag(selected=False):
+    tag = Gen2Tag(bits_from_int(MATCHING_EPC, 96), np.random.default_rng(0))
+    tag.selected = selected
+    return tag
+
+
+def apply(tag, action, mask):
+    tag.handle(
+        Select(target="SL", action=action, membank="EPC", pointer=0x20, mask=mask)
+    )
+    return tag.selected
+
+
+class TestSlActionMatrix:
+    """Each action's (matching, non-matching) behaviour per the spec:
+
+    action 0: assert / deassert        action 4: deassert / assert
+    action 1: assert / nothing         action 5: deassert / nothing
+    action 2: nothing / deassert       action 6: nothing / assert
+    action 3: toggle / nothing         action 7: nothing / toggle
+    """
+
+    @pytest.mark.parametrize(
+        "action,start,match_expected",
+        [
+            (0, False, True), (0, True, True),
+            (1, False, True), (1, True, True),
+            (2, False, False), (2, True, True),
+            (3, False, True), (3, True, False),
+            (4, False, False), (4, True, False),
+            (5, False, False), (5, True, False),
+            (6, False, False), (6, True, True),
+            (7, False, False), (7, True, True),
+        ],
+    )
+    def test_matching_tag(self, action, start, match_expected):
+        tag = make_tag(selected=start)
+        assert apply(tag, action, MATCHING_MASK) == match_expected
+
+    @pytest.mark.parametrize(
+        "action,start,nonmatch_expected",
+        [
+            (0, True, False), (0, False, False),
+            (1, True, True), (1, False, False),
+            (2, True, False), (2, False, False),
+            (3, True, True), (3, False, False),
+            (4, True, True), (4, False, True),
+            (5, True, True), (5, False, False),
+            (6, True, True), (6, False, True),
+            (7, True, False), (7, False, True),
+        ],
+    )
+    def test_nonmatching_tag(self, action, start, nonmatch_expected):
+        tag = make_tag(selected=start)
+        assert apply(tag, action, OTHER_MASK) == nonmatch_expected
+
+
+class TestSessionTargets:
+    @pytest.mark.parametrize("session", ["S0", "S1", "S2", "S3"])
+    def test_select_sets_session_flag(self, session):
+        tag = make_tag()
+        tag.handle(
+            Select(
+                target=session, action=4, membank="EPC",
+                pointer=0x20, mask=MATCHING_MASK,
+            )
+        )
+        # Action 4 deasserts (-> B) on match.
+        assert tag.inventoried[session] == "B"
+        # Other sessions untouched.
+        for other in ("S0", "S1", "S2", "S3"):
+            if other != session:
+                assert tag.inventoried[other] == "A"
+
+    def test_toggle_action_on_session(self):
+        tag = make_tag()
+        select = Select(
+            target="S1", action=3, membank="EPC", pointer=0x20,
+            mask=MATCHING_MASK,
+        )
+        tag.handle(select)
+        assert tag.inventoried["S1"] == "B"
+        tag.handle(select)
+        assert tag.inventoried["S1"] == "A"

@@ -1,0 +1,85 @@
+"""Tests for Gen2 link timing and inventory throughput."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gen2.backscatter import TagParams
+from repro.gen2.commands import Query
+from repro.gen2.pie import PIEEncoder, ReaderParams
+from repro.gen2.timing import LinkTiming
+
+
+@pytest.fixture
+def timing():
+    return LinkTiming(ReaderParams(), TagParams(blf=500e3))
+
+
+class TestCommandDurations:
+    def test_matches_encoded_waveform(self, timing):
+        """The analytic airtime must match the actual waveform length."""
+        fs = 8e6
+        encoder = PIEEncoder(timing.reader, fs)
+        bits = Query().to_bits()
+        waveform = encoder.encode(bits, preamble=True)
+        # Encoder appends a Tari of CW tail after the command.
+        expected = timing.command_seconds(bits, preamble=True) + timing.reader.tari
+        assert waveform.duration == pytest.approx(expected, rel=0.01)
+
+    def test_query_longer_than_queryrep(self, timing):
+        assert timing.query_seconds > timing.query_rep_seconds
+
+    def test_ones_cost_more_than_zeros(self, timing):
+        ones = timing.command_seconds((1,) * 16, preamble=False)
+        zeros = timing.command_seconds((0,) * 16, preamble=False)
+        assert ones > zeros
+
+
+class TestReplyDurations:
+    def test_fm0_matches_encoder(self, timing):
+        from repro.gen2.backscatter import FM0Encoder
+
+        encoder = FM0Encoder(timing.tag, 8e6)
+        assert timing.reply_seconds(16) == pytest.approx(
+            encoder.duration_of(16)
+        )
+
+    def test_miller_matches_encoder(self):
+        from repro.gen2.backscatter import MillerEncoder
+
+        params = TagParams(blf=500e3, miller_m=4)
+        timing = LinkTiming(ReaderParams(), params)
+        encoder = MillerEncoder(params, 8e6)
+        assert timing.reply_seconds(32) == pytest.approx(
+            encoder.duration_of(32)
+        )
+
+    def test_epc_reply_longer_than_rn16(self, timing):
+        assert timing.epc_reply_seconds > timing.rn16_seconds
+
+
+class TestThroughput:
+    def test_realistic_read_rate(self, timing):
+        """Commercial fixed readers singulate a few hundred tags/s."""
+        rate = timing.reads_per_second()
+        assert 100.0 < rate < 1500.0
+
+    def test_throughput_scales_with_blf(self):
+        slow = LinkTiming(ReaderParams(blf=250e3), TagParams(blf=250e3))
+        fast = LinkTiming(ReaderParams(blf=500e3), TagParams(blf=500e3))
+        assert fast.reads_per_second() > slow.reads_per_second()
+
+    def test_scan_time_for_warehouse(self, timing):
+        """The paper's motivation: a full warehouse in hours, not weeks."""
+        seconds = timing.scan_seconds(n_tags=100_000)
+        assert seconds < 24 * 3600  # under a day of airtime
+
+    def test_validation(self, timing):
+        with pytest.raises(ConfigurationError):
+            timing.reads_per_second(slot_efficiency=0.0)
+        with pytest.raises(ConfigurationError):
+            timing.scan_seconds(-1)
+        with pytest.raises(ConfigurationError):
+            timing.scan_seconds(10, passes=0.5)
+
+    def test_t1_at_least_rtcal(self, timing):
+        assert timing.t1_seconds >= timing.reader.rtcal

@@ -1,0 +1,151 @@
+"""Tests for the paper's extension features: 3-D localization (§5.2)
+and drone RF self-localization (§5.1/§9)."""
+
+import numpy as np
+import pytest
+
+from repro.constants import SPEED_OF_LIGHT, UHF_CENTER_FREQUENCY
+from repro.errors import InsufficientMeasurementsError, LocalizationError
+from repro.localization import (
+    Grid2D,
+    Grid3D,
+    MeasurementModel,
+    Volume,
+    locate_3d,
+    sar_profile,
+    sar_volume,
+    self_localize,
+    self_localize_from_measurements,
+)
+
+F = UHF_CENTER_FREQUENCY
+
+
+def planar_array(extent=1.6, n=21, z=2.0):
+    """A dense lawnmower-style planar aperture at height z."""
+    xs, ys = np.meshgrid(np.linspace(0, extent, n), np.linspace(0, extent, n))
+    return np.column_stack([xs.ravel(), ys.ravel(), np.full(xs.size, z)])
+
+
+def channels_for(positions, tag, f=F):
+    d = np.linalg.norm(positions - np.asarray(tag), axis=1)
+    return np.exp(-2j * np.pi * f * 2 * d / SPEED_OF_LIGHT)
+
+
+class TestGrid3D:
+    def test_shape_and_nodes(self):
+        grid = Grid3D(0, 1, 0, 1, 0, 1, 0.5)
+        assert grid.shape == (3, 3, 3)
+        assert grid.nodes().shape == (27, 3)
+
+    def test_invalid_extents(self):
+        with pytest.raises(LocalizationError):
+            Grid3D(1, 0, 0, 1, 0, 1, 0.5)
+        with pytest.raises(LocalizationError):
+            Grid3D(0, 1, 0, 1, 0, 1, -0.5)
+
+    def test_oversized_volume_rejected(self):
+        with pytest.raises(LocalizationError):
+            Grid3D(0, 100, 0, 100, 0, 100, 0.01)
+
+    def test_refined_around(self):
+        grid = Grid3D(0, 10, 0, 10, 0, 10, 1.0)
+        fine = grid.refined_around((5, 5, 5), span=1.0, resolution=0.1)
+        assert fine.x_min == pytest.approx(4.5)
+        assert fine.resolution == 0.1
+
+    def test_volume_shape_validated(self):
+        grid = Grid3D(0, 1, 0, 1, 0, 1, 0.5)
+        with pytest.raises(LocalizationError):
+            Volume(grid=grid, values=np.zeros((2, 2, 2)))
+
+    def test_volume_argmax(self):
+        grid = Grid3D(0, 1, 0, 1, 0, 1, 0.5)
+        values = np.zeros(grid.shape)
+        values[2, 1, 0] = 1.0  # z=1.0, y=0.5, x=0.0
+        np.testing.assert_allclose(
+            Volume(grid=grid, values=values).argmax_position(), [0.0, 0.5, 1.0]
+        )
+
+
+class Test3DLocalization:
+    def test_3d_fix_from_planar_trajectory(self):
+        """Paper §5.2: a 2-D trajectory resolves all three coordinates."""
+        positions = planar_array()
+        tag = np.array([1.0, 0.8, 0.3])
+        channels = channels_for(positions, tag)
+        grid = Grid3D(-0.5, 2.5, -0.5, 2.5, 0.0, 1.8, 0.15)
+        estimate = locate_3d(positions, channels, grid, F)
+        assert np.linalg.norm(estimate - tag) < 0.05
+
+    def test_sar_volume_peak_location(self):
+        positions = planar_array(extent=1.2, n=16)
+        tag = np.array([0.6, 0.6, 0.5])
+        channels = channels_for(positions, tag)
+        grid = Grid3D(0.0, 1.2, 0.0, 1.2, 0.0, 1.5, 0.1)
+        volume = sar_volume(positions, channels, grid, F)
+        assert np.linalg.norm(volume.argmax_position() - tag) < 0.15
+
+    def test_dimension_mismatch_rejected(self):
+        positions = planar_array(n=4)
+        channels = channels_for(positions, [0.5, 0.5, 0.5])
+        with pytest.raises(LocalizationError):
+            sar_profile(positions, channels, np.zeros((3, 2)), F)
+
+    def test_invalid_fine_parameters(self):
+        positions = planar_array(n=4)
+        channels = channels_for(positions, [0.5, 0.5, 0.5])
+        grid = Grid3D(0, 1, 0, 1, 0, 1, 0.25)
+        with pytest.raises(LocalizationError):
+            locate_3d(positions, channels, grid, F, fine_resolution=-1.0)
+
+
+class TestSelfLocalization:
+    def make_flight(self, origin, reader, snr_db=25.0, seed=0):
+        model = MeasurementModel(reader_position=reader, reader_frequency_hz=F)
+        relative = np.column_stack([np.linspace(0, 3, 40), np.zeros(40)])
+        rng = np.random.default_rng(seed)
+        measurements = [
+            model.measure(np.asarray(origin) + q, (2.0, 3.0), rng, snr_db)
+            for q in relative
+        ]
+        return measurements, relative
+
+    def test_recovers_trajectory_origin(self):
+        """The §9 future-work idea: SAR on the reader-relay half-link."""
+        reader = (6.0, 5.0)
+        origin = np.array([1.0, 1.5])
+        measurements, relative = self.make_flight(origin, reader)
+        grid = Grid2D(-1.0, 3.0, 0.0, 4.0, 0.03)
+        estimate, heatmap = self_localize_from_measurements(
+            measurements, relative, reader, grid, F
+        )
+        assert np.linalg.norm(estimate - origin) < 0.15
+        assert heatmap.peak_value > 0.5
+
+    def test_different_origins_distinguished(self):
+        reader = (6.0, 5.0)
+        grid = Grid2D(-1.0, 3.0, 0.0, 4.0, 0.05)
+        for origin in ([0.0, 0.5], [2.0, 2.5]):
+            measurements, relative = self.make_flight(np.asarray(origin), reader)
+            estimate, _ = self_localize_from_measurements(
+                measurements, relative, reader, grid, F
+            )
+            assert np.linalg.norm(estimate - np.asarray(origin)) < 0.2, origin
+
+    def test_input_validation(self):
+        refs = np.ones(5, dtype=complex)
+        good_rel = np.zeros((5, 2))
+        grid = Grid2D(0, 1, 0, 1, 0.5)
+        with pytest.raises(LocalizationError):
+            self_localize(refs, np.zeros((4, 2)), (0, 0), grid, F)
+        with pytest.raises(LocalizationError):
+            self_localize(refs, np.zeros((5, 3)), (0, 0), grid, F)
+
+    def test_too_few_measurements(self):
+        model = MeasurementModel(reader_position=(5.0, 5.0))
+        one = [model.measure((0.0, 0.0), (1.0, 1.0))]
+        with pytest.raises(InsufficientMeasurementsError):
+            self_localize_from_measurements(
+                one, np.zeros((1, 2)), (5.0, 5.0), Grid2D(0, 1, 0, 1, 0.5), F
+            )

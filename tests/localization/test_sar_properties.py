@@ -1,0 +1,115 @@
+"""Property-based tests of SAR localization invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.constants import SPEED_OF_LIGHT, UHF_CENTER_FREQUENCY
+from repro.localization import Grid2D, multires_locate, sar_profile
+
+F = UHF_CENTER_FREQUENCY
+
+
+def channels_for(positions, tag):
+    d = np.linalg.norm(positions - tag, axis=1)
+    return np.exp(-2j * np.pi * F * 2 * d / SPEED_OF_LIGHT)
+
+
+def line_positions(n=30, length=3.0):
+    xs = np.linspace(0.0, length, n)
+    return np.column_stack([xs, np.zeros(n)])
+
+
+tags = st.tuples(st.floats(0.3, 2.7), st.floats(0.6, 2.5)).map(np.array)
+shifts = st.tuples(st.floats(-30.0, 30.0), st.floats(-30.0, 30.0)).map(np.array)
+angles = st.floats(0.0, 2.0 * np.pi)
+
+
+@settings(max_examples=15, deadline=None)
+@given(tags, shifts)
+def test_translation_invariance(tag, shift):
+    """Shifting the whole scene shifts the estimate identically."""
+    positions = line_positions()
+    channels = channels_for(positions, tag)
+    grid = Grid2D(-0.5, 3.5, 0.3, 3.0, 0.1)
+    base = multires_locate(positions, channels, grid, F).position
+
+    moved_positions = positions + shift
+    moved_channels = channels_for(moved_positions, tag + shift)
+    moved_grid = Grid2D(
+        grid.x_min + shift[0], grid.x_max + shift[0],
+        grid.y_min + shift[1], grid.y_max + shift[1],
+        grid.resolution,
+    )
+    moved = multires_locate(moved_positions, moved_channels, moved_grid, F).position
+    np.testing.assert_allclose(moved - shift, base, atol=0.03)
+
+
+@settings(max_examples=10, deadline=None)
+@given(tags, angles)
+def test_rotation_invariance(tag, angle):
+    """Rotating the scene rotates the estimate (physics has no preferred
+    axis; only the grid quantization differs)."""
+    positions = line_positions()
+    channels = channels_for(positions, tag)
+    grid = Grid2D(-0.5, 3.5, 0.3, 3.0, 0.05)
+    base = multires_locate(positions, channels, grid, F).position
+
+    rot = np.array(
+        [[np.cos(angle), -np.sin(angle)], [np.sin(angle), np.cos(angle)]]
+    )
+    rotated_positions = positions @ rot.T
+    rotated_tag = rot @ tag
+    rotated_channels = channels_for(rotated_positions, rotated_tag)
+    # The rotated half-plane grid: probe a dense point cloud around the
+    # rotated true answer instead of building an axis-aligned grid.
+    probe = rotated_tag + np.random.default_rng(0).uniform(-0.4, 0.4, (400, 2))
+    probe = np.vstack([probe, rotated_tag[None, :]])
+    profile = sar_profile(rotated_positions, rotated_channels, probe, F)
+    best = probe[np.argmax(profile)]
+    np.testing.assert_allclose(best, rotated_tag, atol=0.05)
+    # And the unrotated estimate matched the tag to grid precision.
+    np.testing.assert_allclose(base, tag, atol=0.05)
+
+
+@settings(max_examples=15, deadline=None)
+@given(tags, st.floats(0.05, 3.0))
+def test_global_phase_invariance(tag, phase):
+    """A constant complex factor on every channel (the G/C residue of
+    Eq. 10) must not move the peak at all."""
+    positions = line_positions()
+    channels = channels_for(positions, tag)
+    rotated = channels * np.exp(1j * phase) * 0.37
+    probe = tag[None, :]
+    assert sar_profile(positions, rotated, probe, F)[0] == pytest.approx(
+        sar_profile(positions, channels, probe, F)[0], abs=1e-9
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(tags)
+def test_peak_value_bounded_by_one(tag):
+    """With normalization, P <= 1 everywhere, = 1 only at coherence."""
+    positions = line_positions()
+    channels = channels_for(positions, tag)
+    rng = np.random.default_rng(1)
+    probe = np.vstack(
+        [tag[None, :], rng.uniform(-1.0, 4.0, (200, 2))]
+    )
+    profile = sar_profile(positions, channels, probe, F)
+    assert np.all(profile <= 1.0 + 1e-9)
+    assert profile[0] == pytest.approx(1.0, abs=1e-9)
+
+
+@settings(max_examples=10, deadline=None)
+@given(tags, st.integers(0, 2**31 - 1))
+def test_measurement_order_irrelevant(tag, seed):
+    """P(x, y) is a sum: permuting the measurements changes nothing."""
+    positions = line_positions()
+    channels = channels_for(positions, tag)
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(positions))
+    probe = tag[None, :]
+    assert sar_profile(positions[order], channels[order], probe, F)[
+        0
+    ] == pytest.approx(sar_profile(positions, channels, probe, F)[0], abs=1e-12)

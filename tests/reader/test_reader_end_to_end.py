@@ -1,0 +1,136 @@
+"""End-to-end sample-level reads: reader <-> (relay) <-> tag."""
+
+import numpy as np
+import pytest
+
+import repro.channel.pathloss as pl
+from repro.dsp.units import db_to_linear
+from repro.errors import ProtocolError, TagNotPoweredError
+from repro.gen2.backscatter import TagParams
+from repro.hardware import PassiveTag, ReaderFrontend, Synthesizer
+from repro.reader import Reader
+from repro.relay import MirroredRelay, NoMirrorRelay
+from repro.relay.mirrored import RelayConfig
+
+
+def attenuator(db):
+    amp = np.sqrt(db_to_linear(-db))
+    return lambda sig: sig.scaled(amp)
+
+
+@pytest.fixture
+def direct_setup():
+    rng = np.random.default_rng(0)
+    frontend = ReaderFrontend(Synthesizer.random(915e6, rng), tx_power_dbm=20.0, rng=rng)
+    reader = Reader(frontend)
+    tag = PassiveTag(epc=0xCAFE0001, position=(2.0, 0.0), rng=np.random.default_rng(1))
+    return reader, tag
+
+
+class TestDirectRead:
+    def test_full_exchange(self, direct_setup):
+        reader, tag = direct_setup
+        cable = attenuator(20.0)
+        read = reader.read_single_tag(tag, downlink=cable, uplink=cable)
+        assert read.epc == 0xCAFE0001
+        assert abs(read.channel) > 0.0
+
+    def test_channel_phase_tracks_cable_phase(self, direct_setup):
+        reader, tag = direct_setup
+        results = []
+        for extra_phase in (0.0, 0.8):
+            tag.protocol.power_reset()
+            rot = np.exp(1j * extra_phase) * np.sqrt(db_to_linear(-20.0))
+            read = reader.read_single_tag(
+                tag, downlink=lambda s: s.scaled(rot), uplink=lambda s: s.scaled(rot)
+            )
+            results.append(read.epc_channel.phase_rad)
+        # Round trip picks up 2x the one-way phase.
+        delta = (results[1] - results[0]) % (2 * np.pi)
+        assert delta == pytest.approx(1.6, abs=0.05)
+
+    def test_unpowered_tag_raises(self, direct_setup):
+        reader, tag = direct_setup
+        deep_fade = attenuator(80.0)
+        with pytest.raises(TagNotPoweredError):
+            reader.read_single_tag(tag, downlink=deep_fade, uplink=deep_fade)
+
+    def test_nonparticipating_tag_raises(self, direct_setup):
+        reader, tag = direct_setup
+        tag.protocol.inventoried["S0"] = "B"
+        with pytest.raises(ProtocolError):
+            reader.read_single_tag(tag, downlink=attenuator(20.0), uplink=attenuator(20.0))
+
+
+class TestRelayedRead:
+    def make_media(self, relay, wire_db=40.0, tag_distance=0.5):
+        wire = np.sqrt(db_to_linear(-wire_db))
+        half = np.sqrt(
+            db_to_linear(-pl.free_space_path_loss_db(tag_distance, 916e6))
+        )
+        downlink = lambda s: relay.forward_downlink(s.scaled(wire)).scaled(half)
+        uplink = lambda s: relay.forward_uplink(s.scaled(half)).scaled(wire)
+        return downlink, uplink
+
+    def make_reader(self, seed=0):
+        rng = np.random.default_rng(seed)
+        frontend = ReaderFrontend(
+            Synthesizer.random(915e6, rng), tx_power_dbm=20.0, rng=rng
+        )
+        # Through the relay the reader requests Miller-4: the subcarrier
+        # keeps the reply inside the relay's band-pass filter.
+        return Reader(frontend, tag_params=TagParams(blf=500e3, miller_m=4))
+
+    def test_read_through_mirrored_relay(self):
+        reader = self.make_reader()
+        tag = PassiveTag(epc=0xB0BA, position=(0.5, 0.0), rng=np.random.default_rng(2))
+        relay = MirroredRelay(915e6, RelayConfig(), np.random.default_rng(3))
+        downlink, uplink = self.make_media(relay)
+        read = reader.read_single_tag(tag, downlink=downlink, uplink=uplink)
+        assert read.epc == 0xB0BA
+
+    def test_mirrored_relay_preserves_phase_across_builds(self):
+        """Fig. 10 at system level: different synthesizer realizations
+        yield the same measured phase."""
+        reader = self.make_reader()
+        tag = PassiveTag(epc=0xB0BA, position=(0.5, 0.0), rng=np.random.default_rng(2))
+        phases = []
+        for seed in range(3):
+            tag.protocol.power_reset()
+            relay = MirroredRelay(915e6, RelayConfig(), np.random.default_rng(seed))
+            downlink, uplink = self.make_media(relay)
+            read = reader.read_single_tag(tag, downlink=downlink, uplink=uplink)
+            phases.append(read.epc_channel.phase_rad)
+        # Cross-build spread is bounded by filter phase slope at the
+        # build-specific CFO; within one build the phase is far tighter
+        # (see the Fig. 10 benchmark).
+        spread = np.ptp(np.unwrap(phases))
+        assert spread < np.deg2rad(8.0)
+
+    def test_no_mirror_relay_randomizes_phase(self):
+        """With independent synthesizers the measured phase is random;
+        the known-reply procedure of Fig. 10 exposes it."""
+        reader = self.make_reader()
+        tag = PassiveTag(epc=0xB0BA, position=(0.5, 0.0), rng=np.random.default_rng(2))
+        bits = (1, 0, 1, 1, 0, 0, 1, 0) * 2
+        phases = []
+        for seed in range(5):
+            relay = NoMirrorRelay(915e6, RelayConfig(), np.random.default_rng(seed + 50))
+            downlink, uplink = self.make_media(relay)
+            est = reader.measure_reply_phase(
+                tag, bits, downlink=downlink, uplink=uplink
+            )
+            phases.append(est.phase_rad)
+        assert np.std(np.angle(np.exp(1j * (np.array(phases) - phases[0])))) > 0.3
+
+    def test_measure_reply_phase_matches_full_read(self):
+        reader = self.make_reader()
+        tag = PassiveTag(epc=0xB0BA, position=(0.5, 0.0), rng=np.random.default_rng(2))
+        relay = MirroredRelay(915e6, RelayConfig(), np.random.default_rng(7))
+        downlink, uplink = self.make_media(relay)
+        read = reader.read_single_tag(tag, downlink=downlink, uplink=uplink)
+        tag.protocol.power_reset()
+        est = reader.measure_reply_phase(
+            tag, read.epc_channel.bits, downlink=downlink, uplink=uplink
+        )
+        assert est.phase_rad == pytest.approx(read.epc_channel.phase_rad, abs=0.02)

@@ -1,0 +1,115 @@
+"""Sample-level feedback dynamics: Eq. 3's mechanism, demonstrated.
+
+The contrast the paper's §4.3 design rests on, reproduced on real
+waveforms:
+
+* a **same-frequency (analog) loop** rings as soon as its gain exceeds
+  the antenna coupling — recirculation grows every pass;
+* a **frequency-shifting path** never self-oscillates, at any gain:
+  each pass converts the signal out of its own input band, where the
+  baseband filter destroys it. That is out-of-band full duplex.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dsp import LowPassFilter, Oscillator, Signal, tone
+from repro.dsp.amplifier import AmplifierChain, VariableGainAmplifier
+from repro.dsp.units import amplitude_for_power_dbm, db_to_linear
+from repro.errors import ConfigurationError
+from repro.relay.feedback import FeedbackResult, simulate_feedback
+from repro.relay.paths import ForwardingPath, PathConfig
+
+FS = 4e6
+F1 = 915e6
+COUPLING_DB = 24.0
+
+
+class _SameFrequencyAmplifier:
+    """An analog amplify-and-forward stage (no conversion, no filter)."""
+
+    def __init__(self, gain_db: float) -> None:
+        self._amp = float(np.sqrt(db_to_linear(gain_db)))
+
+    def forward(self, sig: Signal) -> Signal:
+        return sig.scaled(self._amp)
+
+
+def shifted_path(gain_db, feedthrough_db=18.0):
+    return ForwardingPath(
+        lo_in=Oscillator.ideal(F1),
+        baseband_filter=LowPassFilter(100e3, FS, 6),
+        amplifiers=AmplifierChain(
+            [VariableGainAmplifier(gain_db, min_gain_db=-10, max_gain_db=60)]
+        ),
+        lo_out=Oscillator.ideal(F1 + 1e6),
+        config=PathConfig(feedthrough_db=feedthrough_db),
+    )
+
+
+def seed():
+    return tone(20e3, 2e-3, FS, amplitude_for_power_dbm(-40.0), F1)
+
+
+class TestAnalogLoopDynamics:
+    def test_rings_above_coupling(self):
+        """Gain above coupling: each pass grows by gain - coupling."""
+        loop = _SameFrequencyAmplifier(COUPLING_DB + 6.0)
+        result = simulate_feedback(loop, seed(), COUPLING_DB)
+        assert result.rings
+        assert result.growth_per_pass_db == pytest.approx(6.0, abs=0.5)
+
+    def test_decays_below_coupling(self):
+        loop = _SameFrequencyAmplifier(COUPLING_DB - 6.0)
+        result = simulate_feedback(loop, seed(), COUPLING_DB)
+        assert not result.rings
+        assert result.growth_per_pass_db == pytest.approx(-6.0, abs=0.5)
+
+    def test_threshold_is_exactly_the_coupling(self):
+        """The simulated ring threshold IS Eq. 3's criterion."""
+        below = simulate_feedback(
+            _SameFrequencyAmplifier(COUPLING_DB - 1.0), seed(), COUPLING_DB
+        )
+        above = simulate_feedback(
+            _SameFrequencyAmplifier(COUPLING_DB + 1.0), seed(), COUPLING_DB
+        )
+        assert not below.rings and above.rings
+
+
+class TestShiftedPathDynamics:
+    @pytest.mark.parametrize("gain_db", [20.0, 40.0, 55.0])
+    def test_never_rings_at_any_gain(self, gain_db):
+        """Out-of-band full duplex: conversion + filtering kill the
+        recirculation regardless of gain — the paper's §4.3 insight."""
+        result = simulate_feedback(shifted_path(gain_db), seed(), COUPLING_DB)
+        assert not result.rings
+
+    def test_recirculation_decays_fast(self):
+        result = simulate_feedback(shifted_path(45.0), seed(), COUPLING_DB)
+        # After the first pass the converted content is out of band and
+        # the filter destroys it: tens of dB down per pass.
+        assert result.growth_per_pass_db < -15.0
+
+    def test_feedthrough_leak_weaker_when_isolated(self):
+        """More feed-through isolation lowers the leaked power level
+        even though neither configuration rings."""
+        leaky = simulate_feedback(
+            shifted_path(35.0, feedthrough_db=10.0), seed(), COUPLING_DB
+        )
+        tight = simulate_feedback(
+            shifted_path(35.0, feedthrough_db=40.0), seed(), COUPLING_DB
+        )
+        assert tight.pass_powers_watts[2] < leaky.pass_powers_watts[2]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            simulate_feedback(shifted_path(10.0), seed(), -1.0)
+        with pytest.raises(ConfigurationError):
+            simulate_feedback(shifted_path(10.0), seed(), 20.0, n_passes=1)
+
+
+class TestFeedbackResult:
+    def test_growth_handles_zero_power(self):
+        result = FeedbackResult(pass_powers_watts=[0.0, 0.0])
+        assert result.growth_per_pass_db == float("-inf")
+        assert not result.rings

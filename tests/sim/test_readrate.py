@@ -1,0 +1,98 @@
+"""Tests for the Fig. 11 read-rate model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.readrate import RangeConfig, RangeModel
+
+
+@pytest.fixture
+def model():
+    return RangeModel()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestConfig:
+    def test_noise_floor(self):
+        config = RangeConfig(noise_bandwidth_hz=1e6, noise_figure_db=6.0)
+        assert config.noise_floor_dbm == pytest.approx(-107.8)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RangeConfig(frequency_hz=0.0)
+        with pytest.raises(ConfigurationError):
+            RangeConfig(fading_std_db=-1.0)
+        with pytest.raises(ConfigurationError):
+            RangeConfig(relay_isolation_db=0.0)
+
+
+class TestNoRelay:
+    def test_close_range_always_reads(self, model):
+        assert model.no_relay_read(1.0, rng=None)
+
+    def test_far_range_never_reads(self, model):
+        assert not model.no_relay_read(20.0, rng=None)
+
+    def test_deterministic_cutoff_consistent_with_budget(self, model):
+        """Without fading there is a sharp power-up threshold."""
+        reads = [model.no_relay_read(d, rng=None) for d in np.arange(1.0, 20.0, 0.5)]
+        # Monotone: once dead, stays dead.
+        first_fail = reads.index(False)
+        assert all(not r for r in reads[first_fail:])
+
+    def test_read_rate_declines(self, model, rng):
+        near = model.read_rate(3.0, "no_relay", rng, 200)
+        far = model.read_rate(9.0, "no_relay", rng, 200)
+        assert near > far
+
+
+class TestRelay:
+    def test_los_extends_range_10x(self, model, rng):
+        assert model.read_rate(50.0, "relay_los", rng, 100) > 0.9
+
+    def test_oscillation_cliff(self, model):
+        """Beyond the Eq. 3/4 limit the relay cannot operate at all.
+
+        With 82 dB of isolation, Eq. 4 allows ~330 m; at 400 m the
+        free-space loss exceeds the isolation and the loop rings.
+        """
+        assert model.relay_read(100.0, rng=None, line_of_sight=True)
+        assert not model.relay_read(400.0, rng=None, line_of_sight=True)
+
+    def test_nlos_worse_than_los(self, model, rng):
+        los = model.read_rate(55.0, "relay_los", rng, 200)
+        nlos = model.read_rate(55.0, "relay_nlos", rng, 200)
+        assert nlos < los
+
+    def test_relay_tag_distance_limited(self, model):
+        """The relay-tag half-link stays power-limited to a few meters
+        (paper footnote 2) — the relay does not extend THAT link."""
+        assert model.relay_read(20.0, rng=None, relay_tag_distance_m=2.0)
+        assert not model.relay_read(20.0, rng=None, relay_tag_distance_m=12.0)
+
+    def test_higher_isolation_longer_range(self, rng):
+        low = RangeModel(RangeConfig(relay_isolation_db=60.0))
+        high = RangeModel(RangeConfig(relay_isolation_db=90.0))
+        d = 40.0
+        assert not low.relay_read(d, rng=None)
+        assert high.relay_read(d, rng=None)
+
+
+class TestReadRate:
+    def test_rate_bounds(self, model, rng):
+        for mode in ("no_relay", "relay_los", "relay_nlos"):
+            rate = model.read_rate(5.0, mode, rng, 50)
+            assert 0.0 <= rate <= 1.0
+
+    def test_unknown_mode_rejected(self, model, rng):
+        with pytest.raises(ConfigurationError):
+            model.read_rate(5.0, "warp_drive", rng)
+
+    def test_zero_trials_rejected(self, model, rng):
+        with pytest.raises(ConfigurationError):
+            model.read_rate(5.0, "no_relay", rng, trials=0)

@@ -1,0 +1,90 @@
+"""Tests for result statistics and table formatting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.results import (
+    ResultError,
+    empirical_cdf,
+    format_table,
+    percentile,
+    summarize,
+)
+
+value_lists = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False), min_size=1, max_size=200
+)
+
+
+class TestCdf:
+    def test_sorted_and_normalized(self):
+        values, probs = empirical_cdf([3.0, 1.0, 2.0])
+        np.testing.assert_allclose(values, [1.0, 2.0, 3.0])
+        np.testing.assert_allclose(probs, [1 / 3, 2 / 3, 1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ResultError):
+            empirical_cdf([])
+
+    @given(value_lists)
+    def test_cdf_properties(self, values):
+        v, p = empirical_cdf(values)
+        assert np.all(np.diff(v) >= 0)
+        assert np.all(np.diff(p) > 0)
+        assert p[-1] == pytest.approx(1.0)
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([1.0, 2.0, 3.0], 50.0) == 2.0
+
+    def test_bounds_enforced(self):
+        with pytest.raises(ResultError):
+            percentile([1.0], 101.0)
+        with pytest.raises(ResultError):
+            percentile([], 50.0)
+
+    @given(value_lists)
+    def test_monotone_in_q(self, values):
+        assert percentile(values, 10.0) <= percentile(values, 90.0)
+
+
+class TestSummarize:
+    def test_fields(self):
+        s = summarize(np.arange(101, dtype=float))
+        assert s.n == 101
+        assert s.median == 50.0
+        assert s.p10 == pytest.approx(10.0)
+        assert s.p90 == pytest.approx(90.0)
+        assert s.mean == pytest.approx(50.0)
+
+    def test_row_rendering(self):
+        s = summarize([1.0, 2.0])
+        row = s.row("metric", " m")
+        assert row[0] == "metric"
+        assert len(row) == 6
+
+    def test_empty_rejected(self):
+        with pytest.raises(ResultError):
+            summarize([])
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert all(len(l) == len(lines[0]) for l in lines)
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ResultError):
+            format_table(["a"], [["1", "2"]])
+
+    def test_no_headers_rejected(self):
+        with pytest.raises(ResultError):
+            format_table([], [])
+
+    def test_empty_rows_ok(self):
+        table = format_table(["a", "b"], [])
+        assert "a" in table

@@ -1,0 +1,27 @@
+"""Tests for the ``python -m repro`` experiment CLI."""
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, main
+
+
+def test_list_prints_all_experiments(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out.split()
+    for name in EXPERIMENTS:
+        assert name in out
+    assert "ablations" in out
+
+
+def test_single_experiment_runs(capsys):
+    assert main(["fig6"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig. 6" in out
+    assert "paper vs measured" in out
+    assert "regenerated in" in out
+
+
+def test_unknown_experiment_rejected(capsys):
+    with pytest.raises(SystemExit):
+        main(["fig99"])
+    assert "unknown experiment" in capsys.readouterr().err

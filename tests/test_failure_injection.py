@@ -1,0 +1,158 @@
+"""Failure-injection tests: the system must degrade loudly, not wrongly.
+
+Each test breaks one assumption of the pipeline — a lost reference tag,
+a dead relay, corrupted bits, out-of-view drones — and checks that the
+failure surfaces as a typed exception or an explicit empty result, not
+as a silently wrong answer.
+"""
+
+import numpy as np
+import pytest
+
+from repro.channel import Environment
+from repro.errors import (
+    CRCError,
+    EncodingError,
+    LocalizationError,
+    MobilityError,
+    ProtocolError,
+    RelayInstabilityError,
+    TagNotPoweredError,
+)
+from repro.gen2.bitops import bits_from_int
+from repro.gen2.crc import append_crc16, check_crc16
+from repro.hardware import PassiveTag, ReaderFrontend, Synthesizer
+from repro.localization import (
+    Grid2D,
+    Localizer,
+    MeasurementModel,
+    ThroughRelayMeasurement,
+)
+from repro.mobility import LineTrajectory, OptiTrack
+from repro.reader import Reader
+from repro.relay import AnalogRelay, plan_gains
+from repro.relay.analog_baseline import AnalogCoupling
+from repro.relay.isolation import IsolationReport
+
+
+class TestLostReferenceTag:
+    """The drone leaves the reader's radio range: the reference RFID
+    stops decoding and disentanglement must fail explicitly (§5.1 — the
+    reference doubles as an in-range indicator)."""
+
+    def make_measurements(self, dead_from=20):
+        model = MeasurementModel(reader_position=(-8.0, 0.0))
+        samples = LineTrajectory((0, 0), (3, 0)).sample_every(0.1)
+        measurements = model.measure_along(samples, (1.5, 1.5))
+        out = []
+        for i, m in enumerate(measurements):
+            h_ref = 0.0 + 0.0j if i >= dead_from else m.h_reference
+            out.append(
+                ThroughRelayMeasurement(
+                    position=m.position,
+                    h_target=m.h_target,
+                    h_reference=h_ref,
+                    snr_db=m.snr_db,
+                )
+            )
+        return out
+
+    def test_dead_reference_raises(self):
+        measurements = self.make_measurements()
+        localizer = Localizer(frequency_hz=915e6)
+        with pytest.raises(LocalizationError):
+            localizer.locate(
+                measurements, search_grid=Grid2D(-1, 4, 0.2, 4, 0.1)
+            )
+
+    def test_filtered_measurements_still_work(self):
+        """Dropping the dead poses (what a real pipeline does) recovers."""
+        measurements = [
+            m for m in self.make_measurements() if abs(m.h_reference) > 0
+        ]
+        localizer = Localizer(frequency_hz=915e6)
+        result = localizer.locate(
+            measurements, search_grid=Grid2D(-1, 4, 0.2, 4, 0.1)
+        )
+        assert result.error_to((1.5, 1.5)) < 0.3
+
+
+class TestRelayFailures:
+    def test_unstable_analog_gain_refused_at_construction(self):
+        with pytest.raises(RelayInstabilityError):
+            AnalogRelay(gain_db=20.0, coupling=AnalogCoupling(intra_db=10.0))
+
+    def test_gain_planning_fails_loudly_on_bad_isolation(self):
+        bad = IsolationReport(5.0, 5.0, 5.0, 5.0)
+        with pytest.raises(RelayInstabilityError):
+            plan_gains(bad)
+
+
+class TestProtocolFailures:
+    def test_corrupted_epc_frame_rejected(self):
+        frame = list(append_crc16(bits_from_int(0xDEAD, 16)))
+        frame[7] ^= 1
+        with pytest.raises(CRCError):
+            check_crc16(tuple(frame))
+
+    def test_unpowered_tag_read_raises(self):
+        rng = np.random.default_rng(0)
+        frontend = ReaderFrontend(
+            Synthesizer.random(915e6, rng), tx_power_dbm=10.0, rng=rng
+        )
+        reader = Reader(frontend)
+        tag = PassiveTag(epc=1, position=(50.0, 0.0), rng=rng)
+        attenuate = lambda s: s.scaled(1e-5)
+        with pytest.raises(TagNotPoweredError):
+            reader.read_single_tag(tag, downlink=attenuate, uplink=attenuate)
+
+    def test_swapped_rn16_breaks_handshake(self):
+        """An ACK with the wrong handle never yields an EPC."""
+        from repro.gen2 import Ack, Gen2Tag, Query
+
+        tag = Gen2Tag(bits_from_int(0xF00D, 96), np.random.default_rng(1))
+        rn16 = tag.handle(Query(q=0))
+        assert tag.handle(Ack(rn16=rn16.rn16 ^ 0xFFFF)) is None
+
+
+class TestLocalizationEdgeCases:
+    def test_collapsed_aperture_rejected(self):
+        """Identical poses form a ring ambiguity, not an array."""
+        model = MeasurementModel(reader_position=(-8.0, 0.0))
+        measurements = [
+            model.measure((1.0, 0.0), (2.0, 1.0)) for _ in range(5)
+        ]
+        localizer = Localizer(frequency_hz=915e6)
+        with pytest.raises(LocalizationError):
+            localizer.locate(
+                measurements, search_grid=Grid2D(-1, 4, 0.2, 4, 0.1)
+            )
+
+    def test_nan_channel_never_silently_wins(self):
+        model = MeasurementModel(reader_position=(-8.0, 0.0))
+        samples = LineTrajectory((0, 0), (3, 0)).sample_every(0.1)
+        measurements = model.measure_along(samples, (1.5, 1.5))
+        poisoned = [
+            ThroughRelayMeasurement(
+                position=m.position,
+                h_target=complex(np.nan, np.nan) if i == 3 else m.h_target,
+                h_reference=m.h_reference,
+                snr_db=m.snr_db,
+            )
+            for i, m in enumerate(measurements)
+        ]
+        localizer = Localizer(frequency_hz=915e6)
+        # One NaN pose poisons the whole coherent sum; the solver must
+        # raise rather than return an arbitrary location.
+        with pytest.raises(LocalizationError):
+            localizer.locate(
+                poisoned, search_grid=Grid2D(-1, 4, 0.2, 4, 0.1)
+            )
+
+
+class TestMobilityFailures:
+    def test_out_of_view_drone_rejected_by_optitrack(self):
+        tracker = OptiTrack(coverage_min=(0, 0), coverage_max=(5, 5))
+        flight = LineTrajectory((4, 4), (8, 4)).sample_every(0.5)
+        with pytest.raises(MobilityError):
+            tracker.observe_trajectory(flight)

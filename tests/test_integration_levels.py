@@ -1,0 +1,96 @@
+"""Cross-fidelity integration: sample level must agree with phasor level.
+
+DESIGN.md §6 claims the two simulation fidelities close the loop: the
+phasor measurement model's assumptions (round-trip phase proportional
+to distance, constant relay hardware phase) must match what the
+sample-level pipeline actually produces. These tests verify that
+quantitatively: waveform-level reads through real channel delays and
+the mirrored relay yield exactly the phase progression the phasor model
+(and hence the SAR solver) assumes.
+"""
+
+import numpy as np
+import pytest
+
+import repro.channel.pathloss as pathloss
+from repro.constants import SPEED_OF_LIGHT
+from repro.dsp.units import db_to_linear
+from repro.gen2.backscatter import TagParams
+from repro.hardware import PassiveTag, ReaderFrontend, Synthesizer
+from repro.relay import MirroredRelay
+from repro.relay.mirrored import RelayConfig
+from repro.reader import Reader
+
+F1 = 915.0e6
+WIRE_AMP = float(np.sqrt(db_to_linear(-40.0)))
+BITS = (1, 0, 1, 1, 0, 0, 1, 0) * 2
+
+
+def relayed_phase(relay, reader, tag, distance_m):
+    """Waveform-level measured phase with the tag at a given distance."""
+    f2 = relay.shifted_frequency_hz
+    tau = distance_m / SPEED_OF_LIGHT
+    amp = float(
+        np.sqrt(db_to_linear(-pathloss.free_space_path_loss_db(distance_m, f2)))
+    )
+    downlink = lambda s: relay.forward_downlink(s.scaled(WIRE_AMP)).delayed(
+        tau
+    ).scaled(amp)
+    uplink = lambda s: relay.forward_uplink(
+        s.delayed(tau).scaled(amp)
+    ).scaled(WIRE_AMP)
+    estimate = reader.measure_reply_phase(
+        tag, BITS, downlink=downlink, uplink=uplink
+    )
+    return estimate.phase_rad
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = np.random.default_rng(0)
+    relay = MirroredRelay(F1, RelayConfig(), np.random.default_rng(1))
+    frontend = ReaderFrontend(
+        Synthesizer(F1, ppm_error=0.4, phase_offset_rad=1.0),
+        tx_power_dbm=20.0,
+        rng=rng,
+    )
+    reader = Reader(frontend, tag_params=TagParams(blf=500e3, miller_m=4))
+    tag = PassiveTag(epc=0x1DEA, position=(0.0, 0.0), rng=rng)
+    return relay, reader, tag
+
+
+class TestPhaseDistanceLaw:
+    def test_round_trip_phase_slope_matches_phasor_model(self, setup):
+        """Moving the tag by delta changes the phase by -4 pi f2 delta/c,
+        exactly the law the phasor MeasurementModel encodes (Eq. 2/7)."""
+        relay, reader, tag = setup
+        f2 = relay.shifted_frequency_hz
+        d0 = 0.5
+        for delta in (0.01, 0.02, 0.04):
+            phase_near = relayed_phase(relay, reader, tag, d0)
+            phase_far = relayed_phase(relay, reader, tag, d0 + delta)
+            measured = np.angle(np.exp(1j * (phase_far - phase_near)))
+            expected = np.angle(
+                np.exp(-1j * 2 * np.pi * f2 * 2 * delta / SPEED_OF_LIGHT)
+            )
+            assert measured == pytest.approx(expected, abs=0.05), delta
+
+    def test_hardware_phase_is_constant(self, setup):
+        """Repeated reads at one distance give one phase: the relay only
+        adds the constant hardware offset that Eq. 10 divides away."""
+        relay, reader, tag = setup
+        phases = [relayed_phase(relay, reader, tag, 0.5) for _ in range(4)]
+        spread = np.max(np.abs(np.diff(np.unwrap(phases))))
+        assert spread < np.deg2rad(1.0)
+
+    def test_wavelength_periodicity(self, setup):
+        """A half-wavelength (at f2) displacement returns the same phase:
+        the round trip spans a full cycle."""
+        relay, reader, tag = setup
+        f2 = relay.shifted_frequency_hz
+        half_wavelength = SPEED_OF_LIGHT / f2 / 2.0
+        phase_a = relayed_phase(relay, reader, tag, 0.5)
+        phase_b = relayed_phase(relay, reader, tag, 0.5 + half_wavelength)
+        assert np.angle(np.exp(1j * (phase_b - phase_a))) == pytest.approx(
+            0.0, abs=0.05
+        )
