@@ -57,7 +57,7 @@ def main() -> None:
     print(f"true tag position:      ({tag_position[0]:.3f}, {tag_position[1]:.3f}) m")
     print(f"estimated position:     ({result.position[0]:.3f}, {result.position[1]:.3f}) m")
     print(f"localization error:     {error_cm:.1f} cm")
-    print(f"peak-to-path distance:  {result.peak_distance_to_trajectory:.2f} m")
+    print(f"peak-to-path distance:  {result.peak_distance_to_trajectory_m:.2f} m")
     assert error_cm < 50.0, "quickstart should localize within half a meter"
 
 

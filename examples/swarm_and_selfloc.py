@@ -36,8 +36,8 @@ F = 915.0e6
 def daisy_chain_demo(rng: np.random.Generator) -> None:
     plan = ChainPlan(reader_frequency_hz=F, shift_hz=1.0e6, n_relays=2)
     print("frequency plan: reader {:.0f} MHz -> hop1 {:.0f} MHz -> tags "
-          "{:.0f} MHz".format(F / 1e6, plan.hop_frequency(1) / 1e6,
-                              plan.tag_frequency / 1e6))
+          "{:.0f} MHz".format(F / 1e6, plan.hop_frequency_hz(1) / 1e6,
+                              plan.tag_frequency_hz / 1e6))
     print(f"max 2-relay reach at 82 dB isolation: "
           f"{max_chain_range_m(2, 82.0):.0f} m")
     check_chain_stability([40.0, 42.0], isolation_db=82.0)

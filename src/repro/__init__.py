@@ -30,6 +30,8 @@ Top-level layout
     Runners that regenerate every figure of the paper's evaluation.
 """
 
+from __future__ import annotations
+
 __version__ = "1.0.0"
 
 __all__ = ["__version__"]

@@ -1,0 +1,39 @@
+"""Baseline files: adopt the linter on a tree with accepted legacy findings.
+
+A baseline is a JSON document of finding keys (code + path + message,
+deliberately line-free). Findings whose key appears in the baseline are
+suppressed; everything new still fails the run. ``--write-baseline``
+snapshots the current findings so a future PR can ratchet them down.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Sequence, Set
+
+from repro.analysis.findings import Finding
+
+_FORMAT_VERSION = 1
+
+
+def write_baseline(path: str, findings: Sequence[Finding]) -> None:
+    """Snapshot ``findings`` as an accepted-violations baseline file."""
+    payload = {
+        "version": _FORMAT_VERSION,
+        "keys": sorted({f.baseline_key() for f in findings}),
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def load_baseline(path: str) -> Set[str]:
+    """The set of suppressed finding keys stored in ``path``."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(payload, dict) or "keys" not in payload:
+        raise ValueError(f"{path} is not a reprolint baseline file")
+    return set(payload["keys"])
+
+
+def apply_baseline(findings: Sequence[Finding], keys: Set[str]) -> List[Finding]:
+    """Drop findings whose baseline key is in ``keys``."""
+    return [f for f in findings if f.baseline_key() not in keys]

@@ -1,0 +1,32 @@
+"""Text and JSON reporters for analysis findings."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Sequence
+
+from repro.analysis.findings import Finding
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """Human-oriented report: one line per finding plus a per-rule tally."""
+    if not findings:
+        return "reprolint: no findings"
+    lines = [f.render() for f in findings]
+    tally = Counter(f.code for f in findings)
+    summary = ", ".join(f"{code}: {n}" for code, n in sorted(tally.items()))
+    lines.append(f"reprolint: {len(findings)} finding(s) ({summary})")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """Machine-oriented report consumed by CI annotations and baselines."""
+    payload = {
+        "finding_count": len(findings),
+        "findings": [f.to_dict() for f in findings],
+    }
+    return json.dumps(payload, indent=2)
+
+
+REPORTERS = {"text": render_text, "json": render_json}

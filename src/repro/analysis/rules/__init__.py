@@ -1,0 +1,8 @@
+"""Rule registry: importing this package registers every rule module."""
+
+from __future__ import annotations
+
+from repro.analysis.rules import api, determinism, units  # noqa: F401  (registration)
+from repro.analysis.rules.base import ModuleContext, Rule, all_rules, register
+
+__all__ = ["ModuleContext", "Rule", "all_rules", "register"]

@@ -1,0 +1,132 @@
+"""API-contract rules (``A4xx``): annotations, module hygiene, foot-guns."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Union
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import ModuleContext, Rule, register
+
+_FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _public_functions(tree: ast.Module) -> Iterator[_FunctionNode]:
+    """Module-level and class-body functions with public names.
+
+    Functions nested inside other functions are implementation detail
+    and carry no API contract.
+    """
+    stack = [(tree, False)]
+    while stack:
+        node, _in_class = stack.pop()
+        for child in getattr(node, "body", []):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if not child.name.startswith("_"):
+                    yield child
+            elif isinstance(child, ast.ClassDef):
+                stack.append((child, True))
+
+
+@register
+class MissingReturnAnnotation(Rule):
+    """A401: public functions must annotate their return type."""
+
+    code = "A401"
+    name = "missing-return-annotation"
+    severity = "error"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for func in _public_functions(ctx.tree):
+            if func.returns is None:
+                yield self.finding(
+                    ctx,
+                    func,
+                    f"public function '{func.name}' has no return annotation",
+                )
+
+
+@register
+class MissingFutureAnnotations(Rule):
+    """A402: every module starts with ``from __future__ import annotations``."""
+
+    code = "A402"
+    name = "missing-future-annotations"
+    severity = "error"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ctx.tree.body:
+            if (
+                isinstance(node, ast.ImportFrom)
+                and node.module == "__future__"
+                and any(alias.name == "annotations" for alias in node.names)
+            ):
+                return
+        yield self.finding(
+            ctx, ctx.tree, "module lacks 'from __future__ import annotations'"
+        )
+
+
+@register
+class MissingModuleDocstring(Rule):
+    """A403: every module carries a docstring."""
+
+    code = "A403"
+    name = "missing-module-docstring"
+    severity = "error"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if ast.get_docstring(ctx.tree) is None:
+            yield self.finding(ctx, ctx.tree, "module lacks a docstring")
+
+
+@register
+class BareExcept(Rule):
+    """A404: bare ``except:`` swallows KeyboardInterrupt and SystemExit."""
+
+    code = "A404"
+    name = "bare-except"
+    severity = "error"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.finding(
+                    ctx, node, "bare 'except:'; catch a specific exception type"
+                )
+
+
+@register
+class MutableDefaultArgument(Rule):
+    """A405: list/dict/set defaults are shared across calls."""
+
+    code = "A405"
+    name = "mutable-default-argument"
+    severity = "error"
+
+    _MUTABLE_CONSTRUCTORS = frozenset({"list", "dict", "set", "bytearray"})
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"function '{node.name}' has a mutable default "
+                        "argument; use None and construct inside",
+                    )
+
+    def _is_mutable(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in self._MUTABLE_CONSTRUCTORS
+        )

@@ -7,10 +7,12 @@ paths in the paper's Eq. 8-9, including the "ghost peak" behaviour of
 Fig. 6(b).
 """
 
+from __future__ import annotations
+
 from repro.channel.geometry import (
     Point,
     Wall,
-    distance,
+    distance_m,
     mirror_point,
     segment_intersection,
     segments_cross,
@@ -34,7 +36,7 @@ from repro.channel.link import Link, LinkBudget
 __all__ = [
     "Point",
     "Wall",
-    "distance",
+    "distance_m",
     "mirror_point",
     "segment_intersection",
     "segments_cross",

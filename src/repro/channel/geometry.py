@@ -27,7 +27,7 @@ def as_point(p) -> Point:
     return arr
 
 
-def distance(a, b) -> float:
+def distance_m(a, b) -> float:
     """Euclidean distance between two points."""
     return float(np.linalg.norm(as_point(a) - as_point(b)))
 
@@ -82,7 +82,7 @@ class Wall:
     @property
     def length(self) -> float:
         """Segment length in meters."""
-        return distance(self.p1, self.p2)
+        return distance_m(self.p1, self.p2)
 
     @property
     def direction(self) -> Point:

@@ -112,7 +112,7 @@ class Link:
         if bandwidth_hz is not None:
             if bandwidth_hz <= 0:
                 raise LinkBudgetError("bandwidth must be positive")
-            noise = BOLTZMANN_DBM_PER_HZ + 10.0 * np.log10(bandwidth_hz) + noise_figure_db
+            noise = BOLTZMANN_DBM_PER_HZ + linear_to_db(bandwidth_hz) + noise_figure_db
             snr = rx_power - noise
         return LinkBudget(
             tx_power_dbm=tx_power_dbm,

@@ -25,7 +25,7 @@ import numpy as np
 from repro.channel.geometry import (
     Wall,
     as_point,
-    distance,
+    distance_m,
     mirror_point,
     reflection_point,
     segments_cross,
@@ -110,7 +110,7 @@ def trace_rays(
         raise GeometryError("ray tracing requires distinct endpoints")
     rays: List[Ray] = [
         Ray(
-            length=distance(a, b),
+            length=distance_m(a, b),
             gain=_transmission_gain(a, b, walls),
             bounces=0,
             description="direct",
@@ -123,7 +123,7 @@ def trace_rays(
             point = reflection_point(a, b, wall)
             if point is None:
                 continue
-            length = distance(a, point) + distance(point, b)
+            length = distance_m(a, point) + distance_m(point, b)
             gain = (
                 wall.reflectivity
                 * _transmission_gain(a, point, walls, skip=(wall,))
@@ -149,7 +149,7 @@ def trace_rays(
                 p2 = reflection_point(p1, b, second)
                 if p2 is None:
                     continue
-                length = distance(a, p1) + distance(p1, p2) + distance(p2, b)
+                length = distance_m(a, p1) + distance_m(p1, p2) + distance_m(p2, b)
                 gain = (
                     first.reflectivity
                     * second.reflectivity

@@ -186,3 +186,17 @@ SAR_DEFAULT_APERTURE_M = 3.0
 
 OPTITRACK_ACCURACY_M = 0.005
 """Sub-centimeter ground-truth accuracy of the OptiTrack system (§6.3)."""
+
+# --------------------------------------------------------------------------
+# Determinism
+# --------------------------------------------------------------------------
+
+DEFAULT_HARDWARE_SEED = 20170821
+"""Fixed seed for hardware realizations when no RNG is injected.
+
+Library code never creates an unseeded ``np.random.Generator``
+(reprolint rule R301): components that accept an optional ``rng`` fall
+back to ``np.random.default_rng(DEFAULT_HARDWARE_SEED)`` so synthesizer
+CFO/phase draws — and therefore every figure reproduction — regenerate
+bit-identically. Pass an explicit generator to get fresh realizations.
+"""

@@ -8,12 +8,14 @@ and power/phase measurements.
 Representation convention
 -------------------------
 A :class:`~repro.dsp.signal.Signal` stores the complex envelope of an RF
-signal relative to a declared ``center_frequency``. Samples are in units
+signal relative to a declared ``center_frequency_hz``. Samples are in units
 of sqrt(watt), so ``|x|**2`` is instantaneous power in watts. Mixing with
 a local oscillator shifts the declared center by the LO's *nominal*
 frequency and rotates the envelope by the LO's frequency error and phase,
 which is exactly how carrier-frequency offset appears in hardware.
 """
+
+from __future__ import annotations
 
 from repro.dsp.signal import Signal
 from repro.dsp.units import (

@@ -9,11 +9,21 @@ constraints (total loop gain below isolation); those rules live in
 
 from __future__ import annotations
 
+from typing import Iterable, Protocol
+
 import numpy as np
 
 from repro.dsp.signal import Signal
-from repro.dsp.units import db_to_linear, dbm_to_watts
+from repro.dsp.units import db_to_linear, dbm_to_watts, watts_to_dbm
 from repro.errors import ConfigurationError
+
+
+class AmplifierStage(Protocol):
+    """Structural type of one chain element: a gain figure plus apply()."""
+
+    gain_db: float
+
+    def apply(self, sig: Signal) -> Signal: ...
 
 
 class VariableGainAmplifier:
@@ -88,7 +98,7 @@ class PowerAmplifier:
     def saturation_power_dbm(self) -> float:
         """Hard output ceiling implied by the Rapp model, in dBm."""
         watts = self.saturation_amplitude**2
-        return float(10.0 * np.log10(watts / 1e-3))
+        return float(watts_to_dbm(watts))
 
     def apply(self, sig: Signal) -> Signal:
         """Apply this stage to a signal and return the result."""
@@ -108,7 +118,7 @@ class PowerAmplifier:
 class AmplifierChain:
     """A serial combination of amplifier stages applied in order."""
 
-    def __init__(self, stages) -> None:
+    def __init__(self, stages: Iterable[AmplifierStage]) -> None:
         self.stages = list(stages)
 
     @property

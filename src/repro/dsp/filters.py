@@ -50,26 +50,26 @@ class Filter:
 
     # -- analysis ----------------------------------------------------------------
 
-    def response_at(self, baseband_frequency: float) -> complex:
+    def response_at(self, baseband_frequency_hz: float) -> complex:
         """Complex frequency response at a baseband frequency (Hz).
 
         Negative frequencies are meaningful for complex envelopes.
         """
-        w = 2.0 * np.pi * baseband_frequency / self.sample_rate
+        w = 2.0 * np.pi * baseband_frequency_hz / self.sample_rate
         _, h = sps.sosfreqz(self._sos, worN=[w])
         return complex(h[0])
 
-    def attenuation_db(self, baseband_frequency: float) -> float:
+    def attenuation_db(self, baseband_frequency_hz: float) -> float:
         """Power attenuation (positive dB) at a baseband frequency."""
-        magnitude = abs(self.response_at(baseband_frequency))
+        magnitude = abs(self.response_at(baseband_frequency_hz))
         if magnitude == 0.0:
             return float("inf")
         return float(-20.0 * np.log10(magnitude))
 
-    def group_delay_seconds(self, baseband_frequency: float = 0.0) -> float:
+    def group_delay_seconds(self, baseband_frequency_hz: float = 0.0) -> float:
         """Group delay near a frequency, in seconds."""
         b, a = sps.sos2tf(self._sos)
-        w = 2.0 * np.pi * abs(baseband_frequency) / self.sample_rate
+        w = 2.0 * np.pi * abs(baseband_frequency_hz) / self.sample_rate
         worn = np.array([max(w, 1e-6)])
         _, gd = sps.group_delay((b, a), w=worn)
         return float(gd[0] / self.sample_rate)

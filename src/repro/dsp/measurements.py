@@ -10,7 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.dsp.signal import Signal
-from repro.dsp.units import watts_to_dbm
+from repro.dsp.units import linear_to_db, watts_to_dbm
 from repro.errors import SignalError
 
 
@@ -19,7 +19,7 @@ def tone(
     duration: float,
     sample_rate: float,
     amplitude: float = 1.0,
-    center_frequency: float = 0.0,
+    center_frequency_hz: float = 0.0,
     phase_rad: float = 0.0,
     start_time: float = 0.0,
 ) -> Signal:
@@ -35,7 +35,7 @@ def tone(
     samples = amplitude * np.exp(
         1j * (2.0 * np.pi * frequency_offset_hz * t + phase_rad)
     )
-    return Signal(samples, sample_rate, center_frequency, start_time)
+    return Signal(samples, sample_rate, center_frequency_hz, start_time)
 
 
 def mean_power_dbm(sig: Signal) -> float:
@@ -120,4 +120,4 @@ def estimate_snr_db(sig: Signal, signal_band_hz: tuple) -> float:
     density_out = np.mean(np.abs(spectrum[~in_band]) ** 2)
     noise_in_band = density_out * np.count_nonzero(in_band)
     signal_power = max(power_in - noise_in_band, 1e-30)
-    return float(10.0 * np.log10(signal_power / max(noise_in_band, 1e-30)))
+    return float(linear_to_db(signal_power / max(noise_in_band, 1e-30)))

@@ -1,7 +1,7 @@
 """Frequency up/down-conversion (RF mixers).
 
 In the complex-envelope representation, an ideal mixer moves the declared
-``center_frequency`` by the LO's *nominal* frequency; the LO's CFO and
+``center_frequency_hz`` by the LO's *nominal* frequency; the LO's CFO and
 phase offset appear as a time-varying rotation of the envelope — Eq. 6 of
 the paper: ``phi'(t) = 2 pi (f' - f) t + phi``.
 """
@@ -18,7 +18,7 @@ from repro.errors import SignalError
 def downconvert(signal: Signal, lo: Oscillator) -> Signal:
     """Mix ``signal`` down by the LO frequency.
 
-    The output center is ``signal.center_frequency - lo.nominal_frequency``
+    The output center is ``signal.center_frequency_hz - lo.nominal_frequency_hz``
     and the envelope is rotated by the conjugate of the LO error terms.
     """
     rotation = np.conj(lo.envelope_rotation(signal.times))
@@ -27,7 +27,7 @@ def downconvert(signal: Signal, lo: Oscillator) -> Signal:
     return Signal(
         signal.samples * rotation,
         signal.sample_rate,
-        signal.center_frequency - lo.nominal_frequency,
+        signal.center_frequency_hz - lo.nominal_frequency_hz,
         signal.start_time,
     )
 
@@ -43,12 +43,12 @@ def upconvert(signal: Signal, lo: Oscillator) -> Signal:
     return Signal(
         signal.samples * rotation,
         signal.sample_rate,
-        signal.center_frequency + lo.nominal_frequency,
+        signal.center_frequency_hz + lo.nominal_frequency_hz,
         signal.start_time,
     )
 
 
-def retune(signal: Signal, new_center_frequency: float) -> Signal:
+def retune(signal: Signal, new_center_frequency_hz: float) -> Signal:
     """Re-express a signal's envelope relative to a different center.
 
     The physical signal is unchanged: the envelope is rotated by the
@@ -56,7 +56,7 @@ def retune(signal: Signal, new_center_frequency: float) -> Signal:
     position. Fails if the shift would alias outside Nyquist for any
     content present; callers are responsible for choosing adequate rates.
     """
-    delta = signal.center_frequency - new_center_frequency
+    delta = signal.center_frequency_hz - new_center_frequency_hz
     if abs(delta) >= signal.sample_rate:
         raise SignalError(
             f"retune by {delta} Hz exceeds the representable band at "
@@ -66,6 +66,6 @@ def retune(signal: Signal, new_center_frequency: float) -> Signal:
     return Signal(
         signal.samples * rotation,
         signal.sample_rate,
-        new_center_frequency,
+        new_center_frequency_hz,
         signal.start_time,
     )

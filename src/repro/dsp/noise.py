@@ -11,7 +11,7 @@ import numpy as np
 
 from repro.constants import BOLTZMANN_DBM_PER_HZ
 from repro.dsp.signal import Signal
-from repro.dsp.units import db_to_linear, dbm_to_watts
+from repro.dsp.units import db_to_linear, dbm_to_watts, linear_to_db
 from repro.errors import ConfigurationError
 
 
@@ -19,7 +19,7 @@ def thermal_noise_power_dbm(bandwidth_hz: float, noise_figure_db: float = 0.0) -
     """Noise power in dBm over a bandwidth, including a noise figure."""
     if bandwidth_hz <= 0:
         raise ConfigurationError(f"bandwidth must be positive, got {bandwidth_hz}")
-    return BOLTZMANN_DBM_PER_HZ + 10.0 * np.log10(bandwidth_hz) + noise_figure_db
+    return float(BOLTZMANN_DBM_PER_HZ + linear_to_db(bandwidth_hz) + noise_figure_db)
 
 
 def complex_noise(

@@ -27,7 +27,7 @@ class Oscillator:
 
     Parameters
     ----------
-    nominal_frequency:
+    nominal_frequency_hz:
         The programmed output frequency in Hz.
     cfo_hz:
         Actual-minus-nominal frequency error. A 1 ppm crystal at 915 MHz
@@ -41,16 +41,16 @@ class Oscillator:
         Source of randomness for the jitter. Required if jitter > 0.
     """
 
-    nominal_frequency: float
+    nominal_frequency_hz: float
     cfo_hz: float = 0.0
     phase_offset_rad: float = 0.0
     phase_jitter_std_rad: float = 0.0
     rng: np.random.Generator | None = None
 
     def __post_init__(self) -> None:
-        if self.nominal_frequency < 0:
+        if self.nominal_frequency_hz < 0:
             raise ConfigurationError(
-                f"oscillator frequency must be >= 0, got {self.nominal_frequency}"
+                f"oscillator frequency must be >= 0, got {self.nominal_frequency_hz}"
             )
         if self.phase_jitter_std_rad < 0:
             raise ConfigurationError("phase jitter std must be >= 0")
@@ -58,9 +58,9 @@ class Oscillator:
             raise ConfigurationError("an rng is required when phase jitter is enabled")
 
     @property
-    def actual_frequency(self) -> float:
+    def actual_frequency_hz(self) -> float:
         """The frequency the oscillator actually produces."""
-        return self.nominal_frequency + self.cfo_hz
+        return self.nominal_frequency_hz + self.cfo_hz
 
     def phase_at(self, times: np.ndarray) -> np.ndarray:
         """Instantaneous phase (radians) at the given absolute times.
@@ -82,21 +82,21 @@ class Oscillator:
         return np.exp(1j * self.phase_at(times))
 
     @staticmethod
-    def ideal(nominal_frequency: float) -> "Oscillator":
+    def ideal(nominal_frequency_hz: float) -> "Oscillator":
         """An oscillator with no CFO, no phase offset, and no jitter."""
-        return Oscillator(nominal_frequency=nominal_frequency)
+        return Oscillator(nominal_frequency_hz=nominal_frequency_hz)
 
     @staticmethod
     def random(
-        nominal_frequency: float,
+        nominal_frequency_hz: float,
         rng: np.random.Generator,
         max_cfo_ppm: float = 2.0,
         phase_jitter_std_rad: float = 0.0,
     ) -> "Oscillator":
         """An oscillator with a random CFO (uniform in ±ppm) and phase."""
-        cfo = nominal_frequency * max_cfo_ppm * 1e-6 * rng.uniform(-1.0, 1.0)
+        cfo = nominal_frequency_hz * max_cfo_ppm * 1e-6 * rng.uniform(-1.0, 1.0)
         return Oscillator(
-            nominal_frequency=nominal_frequency,
+            nominal_frequency_hz=nominal_frequency_hz,
             cfo_hz=cfo,
             phase_offset_rad=rng.uniform(0.0, 2.0 * np.pi),
             phase_jitter_std_rad=phase_jitter_std_rad,

@@ -29,7 +29,7 @@ class Signal:
         instantaneous power in watts.
     sample_rate:
         Sample rate in Hz.
-    center_frequency:
+    center_frequency_hz:
         The absolute RF frequency (Hz) that baseband 0 Hz represents.
     start_time:
         Absolute time (s) of the first sample. Oscillators are generated
@@ -39,7 +39,7 @@ class Signal:
 
     samples: np.ndarray
     sample_rate: float
-    center_frequency: float = 0.0
+    center_frequency_hz: float = 0.0
     start_time: float = 0.0
 
     def __post_init__(self) -> None:
@@ -78,7 +78,7 @@ class Signal:
 
     def with_samples(self, samples: np.ndarray) -> "Signal":
         """Return a copy of this signal carrying different samples."""
-        return Signal(samples, self.sample_rate, self.center_frequency, self.start_time)
+        return Signal(samples, self.sample_rate, self.center_frequency_hz, self.start_time)
 
     def scaled(self, linear_amplitude_gain: float | complex) -> "Signal":
         """Return this signal with every sample multiplied by a constant."""
@@ -91,11 +91,11 @@ class Signal:
         the carrier phase a propagation delay imparts — this is what makes
         distance measurable from phase (paper Eq. 2).
         """
-        phase = np.exp(-2j * np.pi * self.center_frequency * delay_seconds)
+        phase = np.exp(-2j * np.pi * self.center_frequency_hz * delay_seconds)
         return Signal(
             self.samples * phase,
             self.sample_rate,
-            self.center_frequency,
+            self.center_frequency_hz,
             self.start_time + delay_seconds,
         )
 
@@ -109,7 +109,7 @@ class Signal:
         return Signal(
             self.samples[start:stop_index],
             self.sample_rate,
-            self.center_frequency,
+            self.center_frequency_hz,
             self.start_time + start / self.sample_rate,
         )
 
@@ -121,11 +121,11 @@ class Signal:
                 f"sample rates differ: {self.sample_rate} vs {other.sample_rate}"
             )
         if not np.isclose(
-            self.center_frequency, other.center_frequency, rtol=0, atol=1.0
+            self.center_frequency_hz, other.center_frequency_hz, rtol=0, atol=1.0
         ):
             raise SignalError(
                 "cannot combine signals at different centers: "
-                f"{self.center_frequency} vs {other.center_frequency}"
+                f"{self.center_frequency_hz} vs {other.center_frequency_hz}"
             )
 
     def __add__(self, other: "Signal") -> "Signal":
@@ -160,11 +160,11 @@ class Signal:
     def silence(
         duration: float,
         sample_rate: float,
-        center_frequency: float = 0.0,
+        center_frequency_hz: float = 0.0,
         start_time: float = 0.0,
     ) -> "Signal":
         """An all-zero signal of the given duration."""
         n = int(round(duration * sample_rate))
         return Signal(
-            np.zeros(n, dtype=np.complex128), sample_rate, center_frequency, start_time
+            np.zeros(n, dtype=np.complex128), sample_rate, center_frequency_hz, start_time
         )

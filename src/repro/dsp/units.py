@@ -1,13 +1,26 @@
-"""Decibel and power unit conversions used throughout the package."""
+"""Decibel and power unit conversions used throughout the package.
+
+This is the only module allowed to spell out the raw ``10**(x/10)`` /
+``10*log10(x)`` power-domain conversions (reprolint rule U106): every
+other module routes through these converters so the ``-inf`` and
+zero-power edge cases are handled in exactly one place.
+"""
 
 from __future__ import annotations
 
+from typing import Union
+
 import numpy as np
+from numpy.typing import ArrayLike, NDArray
 
 _MILLIWATT = 1.0e-3
 
+#: Scalar inputs come back as numpy scalars (a ``float`` subclass),
+#: array inputs as float64 arrays of the same shape.
+FloatOrArray = Union[np.floating, NDArray[np.float64]]
 
-def db_to_linear(value_db):
+
+def db_to_linear(value_db: ArrayLike) -> FloatOrArray:
     """Convert a power ratio in dB to a linear ratio.
 
     Accepts scalars or arrays; returns the same shape.
@@ -15,7 +28,7 @@ def db_to_linear(value_db):
     return np.power(10.0, np.asarray(value_db, dtype=float) / 10.0)
 
 
-def linear_to_db(ratio):
+def linear_to_db(ratio: ArrayLike) -> FloatOrArray:
     """Convert a linear power ratio to dB.
 
     Non-positive ratios map to ``-inf`` rather than raising, which is the
@@ -26,17 +39,17 @@ def linear_to_db(ratio):
         return 10.0 * np.log10(ratio)
 
 
-def dbm_to_watts(power_dbm):
+def dbm_to_watts(power_dbm: ArrayLike) -> FloatOrArray:
     """Convert power in dBm to watts."""
     return _MILLIWATT * db_to_linear(power_dbm)
 
 
-def watts_to_dbm(power_watts):
+def watts_to_dbm(power_watts: ArrayLike) -> FloatOrArray:
     """Convert power in watts to dBm (``-inf`` for zero power)."""
     return linear_to_db(np.asarray(power_watts, dtype=float) / _MILLIWATT)
 
 
-def amplitude_for_power_dbm(power_dbm) -> float:
+def amplitude_for_power_dbm(power_dbm: ArrayLike) -> float:
     """Amplitude (sqrt watts) of a complex tone with the given mean power.
 
     A complex exponential ``A * exp(j w t)`` has mean power ``A**2``, so

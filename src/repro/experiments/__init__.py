@@ -6,6 +6,8 @@ Each module exposes ``run(...)`` returning a structured result and a
 be run directly: ``python -m repro.experiments.fig12_localization``.
 """
 
+from __future__ import annotations
+
 from repro.experiments.runner import ExperimentOutput
 
 __all__ = ["ExperimentOutput"]

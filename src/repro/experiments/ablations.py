@@ -27,7 +27,7 @@ from repro.errors import ConfigurationError
 from repro.experiments.runner import ExperimentOutput, fmt
 from repro.localization import Localizer, disentangle_series, multires_locate
 from repro.localization.measurement import ThroughRelayMeasurement
-from repro.relay.isolation import measure_isolation
+from repro.relay.isolation import measure_isolation_db
 from repro.relay.mirrored import MirroredRelay, RelayConfig
 from repro.relay.self_interference import LeakagePath, max_stable_range_m
 from repro.sim.scenarios import fig12_trial, multipath_heatmap_scenario
@@ -76,7 +76,7 @@ def guard_band_ablation(seed: int = 0) -> ExperimentOutput:
         relay = MirroredRelay(
             915e6, RelayConfig(lpf_cutoff_hz=cutoff_khz * 1e3), rng
         )
-        isolation = measure_isolation(relay, LeakagePath.INTER_DOWNLINK)
+        isolation = measure_isolation_db(relay, LeakagePath.INTER_DOWNLINK)
         rows.append([fmt(cutoff_khz), fmt(isolation, 4)])
     first = float(rows[0][1])
     last = float(rows[-1][1])

@@ -60,9 +60,9 @@ def format_result(result: Fig11Result) -> ExperimentOutput:
             ]
         )
 
-    def rate_at(mode: str, distance: float) -> float:
+    def rate_at(mode: str, distance_m: float) -> float:
         """Read rate of one mode at the nearest swept distance."""
-        idx = int(np.argmin(np.abs(result.distances_m - distance)))
+        idx = int(np.argmin(np.abs(result.distances_m - distance_m)))
         return float(100.0 * result.rates[mode][idx])
 
     return ExperimentOutput(

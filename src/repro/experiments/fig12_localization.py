@@ -8,7 +8,7 @@ reports a 19 cm median and a 53 cm 90th-percentile error.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Tuple
 
 import numpy as np
 
@@ -25,7 +25,7 @@ class Fig12Result:
 
     errors_m: np.ndarray
 
-    def cdf(self):
+    def cdf(self) -> Tuple[np.ndarray, np.ndarray]:
         """Empirical CDF of the stored samples."""
         return empirical_cdf(self.errors_m)
 

@@ -19,6 +19,7 @@ from repro.experiments.runner import ExperimentOutput, fmt
 from repro.gen2.backscatter import MillerEncoder, TagParams
 from repro.gen2.commands import Query
 from repro.gen2.pie import PIEEncoder, ReaderParams
+from repro.dsp.units import linear_to_db
 
 SAMPLE_RATE = 4.0e6
 
@@ -47,7 +48,7 @@ def _psd_db(samples: np.ndarray, n_fft: int = 1 << 14) -> np.ndarray:
         windowed = chunk * np.hanning(n_fft)
         acc += np.abs(np.fft.fftshift(np.fft.fft(windowed))) ** 2
     acc /= segments
-    return 10.0 * np.log10(np.maximum(acc, 1e-30))
+    return linear_to_db(np.maximum(acc, 1e-30))
 
 
 def _occupied_bandwidth(freqs, psd_db, threshold_db=15.0) -> float:

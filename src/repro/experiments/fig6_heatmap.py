@@ -88,7 +88,7 @@ def run(seed: int = 0) -> Fig6Result:
 
     ghost_farther = all(
         distance_to_polyline(p.position, positions_m)
-        >= chosen.distance_to_trajectory - 1e-9
+        >= chosen.distance_to_trajectory_m - 1e-9
         for p in others
     )
     return Fig6Result(

@@ -10,7 +10,7 @@ over the analog relay on every path.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 import numpy as np
 
@@ -36,7 +36,9 @@ class Fig9Result:
     rfly: Dict[LeakagePath, np.ndarray]
     analog: Dict[LeakagePath, np.ndarray]
 
-    def cdf(self, path: LeakagePath, system: str = "rfly"):
+    def cdf(
+        self, path: LeakagePath, system: str = "rfly"
+    ) -> Tuple[np.ndarray, np.ndarray]:
         """Empirical CDF of the stored samples."""
         values = self.rfly[path] if system == "rfly" else self.analog[path]
         return empirical_cdf(values)

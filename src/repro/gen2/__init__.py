@@ -10,6 +10,8 @@ QueryRep, QueryAdjust, ACK, Select, NAK), the tag inventory state
 machine, and the slotted-ALOHA anti-collision MAC with the Q algorithm.
 """
 
+from __future__ import annotations
+
 from repro.gen2.crc import crc5, crc16, check_crc16, append_crc16
 from repro.gen2.bitops import bits_from_int, bits_to_int
 from repro.gen2.pie import PIEDecoder, PIEEncoder, ReaderParams

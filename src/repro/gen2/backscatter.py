@@ -65,7 +65,7 @@ def _halves_to_signal(
     halves: Sequence[int],
     blf: float,
     sample_rate: float,
-    center_frequency: float,
+    center_frequency_hz: float,
     start_time: float,
 ) -> Signal:
     """Render half-symbol logic levels (0/1) into a sampled waveform."""
@@ -74,7 +74,7 @@ def _halves_to_signal(
     samples = np.zeros(boundaries[-1], dtype=np.complex128)
     for level, lo, hi in zip(halves, boundaries[:-1], boundaries[1:]):
         samples[lo:hi] = float(level)
-    return Signal(samples, sample_rate, center_frequency, start_time)
+    return Signal(samples, sample_rate, center_frequency_hz, start_time)
 
 
 class FM0Encoder:
@@ -130,13 +130,13 @@ class FM0Encoder:
     def encode(
         self,
         bits: Sequence[int],
-        center_frequency: float = 0.0,
+        center_frequency_hz: float = 0.0,
         start_time: float = 0.0,
     ) -> Signal:
         """Encode ``bits`` into a sampled reflection waveform."""
         halves = self.encode_halves(bits)
         return _halves_to_signal(
-            halves, self.params.blf, self.sample_rate, center_frequency, start_time
+            halves, self.params.blf, self.sample_rate, center_frequency_hz, start_time
         )
 
     def duration_of(self, n_bits: int) -> float:
@@ -278,7 +278,7 @@ class MillerEncoder:
     def encode(
         self,
         bits: Sequence[int],
-        center_frequency: float = 0.0,
+        center_frequency_hz: float = 0.0,
         start_time: float = 0.0,
     ) -> Signal:
         """Encode payload bits into the subcarrier reflection waveform."""
@@ -293,7 +293,7 @@ class MillerEncoder:
         # Subcarrier half-cycle duration is 1/(2 BLF); reuse the renderer
         # by treating the subcarrier half-cycles as "halves" at BLF.
         return _halves_to_signal(
-            halves, self.params.blf, self.sample_rate, center_frequency, start_time
+            halves, self.params.blf, self.sample_rate, center_frequency_hz, start_time
         )
 
     def duration_of(self, n_bits: int) -> float:

@@ -10,7 +10,7 @@ full Query preamble or a frame-sync.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import ClassVar, Sequence, Tuple
+from typing import ClassVar, Sequence, Tuple, Union
 
 from repro.errors import ProtocolError
 from repro.gen2.bitops import Bits, bits_from_int, bits_to_int, validate_bits
@@ -273,6 +273,9 @@ class Select:
         )
 
 
+#: Any Gen2 reader command this module can encode or parse.
+Command = Union[Query, QueryRep, QueryAdjust, Ack, Nak, Select]
+
 _COMMAND_CODES = (
     (Query.COMMAND_CODE, Query, 22),
     (QueryAdjust.COMMAND_CODE, QueryAdjust, 9),
@@ -283,7 +286,7 @@ _COMMAND_CODES = (
 )
 
 
-def parse_command(bits: Sequence[int]):
+def parse_command(bits: Sequence[int]) -> Command:
     """Parse a received bit vector into the matching command object.
 
     Command codes are prefix-free once length is considered; candidates

@@ -138,7 +138,7 @@ class PIEEncoder:
         self,
         bits: Sequence[int],
         preamble: bool,
-        center_frequency: float = 0.0,
+        center_frequency_hz: float = 0.0,
         start_time: float = 0.0,
     ) -> Signal:
         """Encode ``bits`` with a Query preamble or a frame-sync.
@@ -172,7 +172,7 @@ class PIEEncoder:
             # Symmetric smoothing keeps the threshold crossings centered,
             # so PIE interval decoding is unaffected.
             samples = np.convolve(samples, window, mode="same")
-        return Signal(samples, self.sample_rate, center_frequency, start_time)
+        return Signal(samples, self.sample_rate, center_frequency_hz, start_time)
 
 
 class PIEDecoder:

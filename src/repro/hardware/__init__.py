@@ -1,5 +1,7 @@
 """Radio hardware models: passive tags, synthesizers, reader front end."""
 
+from __future__ import annotations
+
 from repro.hardware.tag import PassiveTag, TagPowerState
 from repro.hardware.synthesizer import Synthesizer
 from repro.hardware.reader_frontend import ReaderFrontend

@@ -56,9 +56,9 @@ class ReaderFrontend:
         self.rng = rng
 
     @property
-    def carrier_frequency(self) -> float:
+    def carrier_frequency_hz(self) -> float:
         """The RF carrier the reader transmits (including crystal error)."""
-        return self.synthesizer.oscillator.actual_frequency
+        return self.synthesizer.oscillator.actual_frequency_hz
 
     def transmit(self, baseband: Signal) -> Signal:
         """Upconvert a unit-scale baseband waveform at the TX power.

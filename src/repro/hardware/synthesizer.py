@@ -43,7 +43,7 @@ class Synthesizer:
     @property
     def frequency_hz(self) -> float:
         """Current programmed frequency."""
-        return self._oscillator.nominal_frequency
+        return self._oscillator.nominal_frequency_hz
 
     @property
     def oscillator(self) -> Oscillator:
@@ -55,7 +55,7 @@ class Synthesizer:
         if frequency_hz <= 0:
             raise ConfigurationError("synthesizer frequency must be positive")
         self._oscillator = Oscillator(
-            nominal_frequency=float(frequency_hz),
+            nominal_frequency_hz=float(frequency_hz),
             cfo_hz=float(frequency_hz) * self.ppm_error * 1e-6,
             phase_offset_rad=self.phase_offset_rad,
             phase_jitter_std_rad=self.phase_jitter_std_rad,

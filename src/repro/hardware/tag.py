@@ -137,7 +137,7 @@ class PassiveTag:
             carrier.samples[:n] * reflection_waveform.samples[:n] * amplitude
         )
         return Signal(
-            product, carrier.sample_rate, carrier.center_frequency, carrier.start_time
+            product, carrier.sample_rate, carrier.center_frequency_hz, carrier.start_time
         )
 
     # -- identity ---------------------------------------------------------------

@@ -17,6 +17,8 @@ The pipeline:
 7. :mod:`~repro.localization.pipeline` — the Localizer facade.
 """
 
+from __future__ import annotations
+
 from repro.localization.measurement import (
     MeasurementModel,
     ThroughRelayMeasurement,

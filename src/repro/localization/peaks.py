@@ -24,7 +24,7 @@ class Peak:
 
     position: np.ndarray
     value: float
-    distance_to_trajectory: float = float("nan")
+    distance_to_trajectory_m: float = float("nan")
 
 
 def _local_maxima_mask(values: np.ndarray) -> np.ndarray:
@@ -102,10 +102,10 @@ def select_nearest_to_trajectory(
         Peak(
             position=p.position,
             value=p.value,
-            distance_to_trajectory=distance_to_polyline(
+            distance_to_trajectory_m=distance_to_polyline(
                 p.position, trajectory_positions
             ),
         )
         for p in peaks
     ]
-    return min(annotated, key=lambda p: p.distance_to_trajectory)
+    return min(annotated, key=lambda p: p.distance_to_trajectory_m)

@@ -28,7 +28,7 @@ class LocalizationResult:
     position: np.ndarray
     coarse_heatmap: Heatmap
     fine_heatmap: Heatmap
-    peak_distance_to_trajectory: float
+    peak_distance_to_trajectory_m: float
 
     def error_to(self, true_position) -> float:
         """Euclidean error against a ground-truth location."""
@@ -99,7 +99,7 @@ class Localizer:
             position=result.position,
             coarse_heatmap=result.coarse_heatmap,
             fine_heatmap=result.fine_heatmap,
-            peak_distance_to_trajectory=result.selected_peak.distance_to_trajectory,
+            peak_distance_to_trajectory_m=result.selected_peak.distance_to_trajectory_m,
         )
 
     def locate_rssi(

@@ -6,6 +6,8 @@ payload limits, battery draw, and position jitter — and the ground-truth
 observer reproduces the OptiTrack scoring of the paper's evaluation.
 """
 
+from __future__ import annotations
+
 from repro.mobility.trajectory import (
     LawnmowerTrajectory,
     LineTrajectory,

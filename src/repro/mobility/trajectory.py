@@ -54,19 +54,19 @@ class Trajectory:
         """Traversal time in seconds."""
         return self.length / self.speed_mps
 
-    def position_at(self, distance: float) -> np.ndarray:
-        """Position after traveling ``distance`` meters along the path."""
-        if not 0.0 <= distance <= self.length + 1e-9:
+    def position_at(self, distance_m: float) -> np.ndarray:
+        """Position after traveling ``distance_m`` meters along the path."""
+        if not 0.0 <= distance_m <= self.length + 1e-9:
             raise MobilityError(
-                f"distance {distance} outside the path length {self.length}"
+                f"distance {distance_m} outside the path length {self.length}"
             )
-        distance = min(distance, self.length)
-        index = int(np.searchsorted(self._cumulative, distance, side="right") - 1)
+        distance_m = min(distance_m, self.length)
+        index = int(np.searchsorted(self._cumulative, distance_m, side="right") - 1)
         index = min(index, len(self.waypoints) - 2)
         segment_start = self._cumulative[index]
         a, b = self.waypoints[index], self.waypoints[index + 1]
         seg_len = self._cumulative[index + 1] - segment_start
-        frac = (distance - segment_start) / seg_len
+        frac = (distance_m - segment_start) / seg_len
         return a + frac * (b - a)
 
     def sample(self, n_samples: int) -> List[TrajectorySample]:
@@ -86,7 +86,7 @@ class Trajectory:
         n = max(2, int(np.floor(self.length / spacing_m)) + 1)
         return self.sample(n)
 
-    def aperture(self, length_m: float, center_fraction: float = 0.5) -> "Trajectory":
+    def aperture_segment(self, length_m: float, center_fraction: float = 0.5) -> "Trajectory":
         """A sub-trajectory of the given aperture length (Fig. 13 knob)."""
         if not 0.0 < length_m <= self.length + 1e-9:
             raise MobilityError(

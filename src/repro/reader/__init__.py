@@ -5,6 +5,8 @@ FM0 decoding, complex channel estimation) and the multi-reader
 interference management of paper §4.3.
 """
 
+from __future__ import annotations
+
 from repro.reader.channel_estimation import (
     ChannelEstimate,
     estimate_channel,

@@ -30,9 +30,12 @@ from repro.gen2.backscatter import (
     TagParams,
 )
 from repro.gen2.bitops import Bits
+from repro.dsp.units import linear_to_db
 
 
-def codec_for(params: TagParams, sample_rate: float):
+def codec_for(
+    params: TagParams, sample_rate: float
+) -> "Tuple[FM0Encoder | MillerEncoder, FM0Decoder | MillerDecoder]":
     """The (encoder, decoder) pair matching the tag's reply encoding.
 
     FM0 for M=1, Miller-M otherwise. Through the relay the reader asks
@@ -231,5 +234,5 @@ def estimate_channel(
     residual = y - h * template
     noise_power = float(np.mean(np.abs(residual) ** 2))
     signal_power = abs(h) ** 2 * denom / n
-    snr_db = 10.0 * np.log10(max(signal_power, 1e-30) / max(noise_power, 1e-30))
+    snr_db = float(linear_to_db(max(signal_power, 1e-30) / max(noise_power, 1e-30)))
     return ChannelEstimate(h=h, snr_db=snr_db, bits=bits)

@@ -24,6 +24,7 @@ from repro.gen2.pie import PIEDecoder, PIEEncoder, ReaderParams
 from repro.gen2.tag_state import EpcReply, Rn16Reply
 from repro.hardware.reader_frontend import ReaderFrontend
 from repro.hardware.tag import PassiveTag
+from repro.dsp.units import watts_to_dbm
 from repro.reader.channel_estimation import (
     ChannelEstimate,
     codec_for,
@@ -103,7 +104,7 @@ class Reader:
         at_tag = downlink(rf)
         envelope = np.abs(at_tag.samples)
         peak = float(np.max(envelope)) if len(envelope) else 0.0
-        incident_dbm = float(10.0 * np.log10(max(peak**2, 1e-30) / 1e-3))
+        incident_dbm = float(watts_to_dbm(max(peak**2, 1e-30)))
         depth = (peak - float(np.min(envelope))) / peak if peak > 0 else 0.0
         if not tag.is_powered(incident_dbm, depth):
             raise TagNotPoweredError(
@@ -129,7 +130,7 @@ class Reader:
         settle_samples = int(round(_SETTLE_SECONDS * self.sample_rate))
         reply = self._tag_encoder.encode(
             reply_bits,
-            center_frequency=at_tag.center_frequency,
+            center_frequency_hz=at_tag.center_frequency_hz,
             start_time=at_tag.start_time,
         )
         # The tag stays non-reflective through the T1 settle gap and
@@ -177,7 +178,7 @@ class Reader:
         settle_samples = int(round(_SETTLE_SECONDS * self.sample_rate))
         reply = self._tag_encoder.encode(
             reply_bits,
-            center_frequency=at_tag.center_frequency,
+            center_frequency_hz=at_tag.center_frequency_hz,
             start_time=at_tag.start_time,
         )
         silence = np.zeros(settle_samples, dtype=np.complex128)

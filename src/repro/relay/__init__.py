@@ -19,6 +19,8 @@ This package is the paper's first core contribution (§4, §6.1):
   — the two baselines the paper evaluates against (Fig. 9 and Fig. 10).
 """
 
+from __future__ import annotations
+
 from repro.relay.paths import ForwardingPath, PathConfig
 from repro.relay.mirrored import MirroredRelay, RelayConfig
 from repro.relay.self_interference import (

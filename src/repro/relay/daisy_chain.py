@@ -43,7 +43,7 @@ class ChainPlan:
         if self.shift_hz <= 0:
             raise ConfigurationError("frequency shift must be positive")
 
-    def hop_frequency(self, hop: int) -> float:
+    def hop_frequency_hz(self, hop: int) -> float:
         """Frequency on the link *into* relay ``hop`` (0 = reader link)."""
         if not 0 <= hop <= self.n_relays:
             raise ConfigurationError(
@@ -52,9 +52,9 @@ class ChainPlan:
         return self.reader_frequency_hz + hop * self.shift_hz
 
     @property
-    def tag_frequency(self) -> float:
+    def tag_frequency_hz(self) -> float:
         """The frequency the last relay illuminates the tags at."""
-        return self.hop_frequency(self.n_relays)
+        return self.hop_frequency_hz(self.n_relays)
 
     def band_span_hz(self) -> float:
         """Total spectrum the chain occupies beyond the reader carrier."""
@@ -155,13 +155,13 @@ class DaisyChainMeasurementModel:
         previous = self.reader_position
         for hop, position in enumerate(relay_positions):
             upstream *= self._round_trip(
-                previous, position, self.plan.hop_frequency(hop)
+                previous, position, self.plan.hop_frequency_hz(hop)
             )
             upstream *= self.hop_gain
             previous = position
         tag_link = self._round_trip(
             previous, np.asarray(tag_position, dtype=float),
-            self.plan.tag_frequency,
+            self.plan.tag_frequency_hz,
         )
         h_target = upstream * tag_link
         h_reference = upstream * self.reference_gain / self.hop_gain

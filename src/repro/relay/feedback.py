@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.dsp.mixer import retune
 from repro.dsp.signal import Signal
-from repro.dsp.units import db_to_linear
+from repro.dsp.units import db_to_linear, linear_to_db
 from repro.errors import ConfigurationError
 
 
@@ -39,7 +39,7 @@ class FeedbackResult:
         usable = powers[powers > 0]
         if len(usable) < 2:
             return float("-inf")
-        ratios = 10.0 * np.log10(usable[1:] / usable[:-1])
+        ratios = linear_to_db(usable[1:] / usable[:-1])
         return float(np.mean(ratios))
 
     @property
@@ -85,7 +85,7 @@ def simulate_feedback(
         out = path.forward(signal)
         # The leak: output couples into the input antenna and whatever
         # energy falls in the input band recirculates.
-        leaked = retune(out.scaled(coupling_amp), seed_signal.center_frequency)
+        leaked = retune(out.scaled(coupling_amp), seed_signal.center_frequency_hz)
         # Keep the signal length bounded (filters extend transients).
         leaked = leaked.sliced(0, min(len(leaked), len(seed_signal)))
         powers.append(leaked.mean_power_watts)

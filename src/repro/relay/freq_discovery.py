@@ -60,7 +60,9 @@ class HoppingPattern:
             )
 
     @staticmethod
-    def random(rng: np.random.Generator, dwell_seconds: float = FCC_HOP_DWELL_SECONDS):
+    def random(
+        rng: np.random.Generator, dwell_seconds: float = FCC_HOP_DWELL_SECONDS
+    ) -> "HoppingPattern":
         """A random permutation of the 50 ISM channels."""
         channels = tuple(float(c) for c in rng.permutation(ism_channels()))
         return HoppingPattern(channels=channels, dwell_seconds=dwell_seconds)
@@ -144,7 +146,7 @@ class FrequencyDiscovery:
         magnitudes = np.empty(len(self.candidates))
         for i, candidate in enumerate(self.candidates):
             chunk = sig.sliced(i * chunk_len, (i + 1) * chunk_len)
-            offset = candidate - sig.center_frequency
+            offset = candidate - sig.center_frequency_hz
             reference = np.exp(-2j * np.pi * offset * chunk.times)
             magnitudes[i] = abs(np.mean(chunk.samples * reference))
         return magnitudes

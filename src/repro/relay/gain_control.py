@@ -43,7 +43,7 @@ class GainPlan:
 
 
 def plan_gains(
-    isolation: IsolationReport,
+    report: IsolationReport,
     margin_db: float = 3.0,
     max_downlink_gain_db: float = 45.0,
     max_uplink_gain_db: float = 45.0,
@@ -60,13 +60,13 @@ def plan_gains(
     if margin_db < 0:
         raise RelayInstabilityError("margin must be >= 0 dB")
     # Rule 1: per-link bounds from intra-link isolation.
-    downlink_cap = isolation.intra_downlink_db - margin_db
-    uplink_cap = isolation.intra_uplink_db - margin_db
+    downlink_cap = report.intra_downlink_db - margin_db
+    uplink_cap = report.intra_uplink_db - margin_db
     # Rule 2: the sum is bounded by the total isolation budget — the
     # binding figure is the worst inter-link isolation, since the two
     # paths' gains cascade around an inter-link loop.
     total_cap = (
-        min(isolation.inter_downlink_db, isolation.inter_uplink_db) - margin_db
+        min(report.inter_downlink_db, report.inter_uplink_db) - margin_db
     )
     if min(downlink_cap, uplink_cap, total_cap) <= 0:
         raise RelayInstabilityError(

@@ -82,14 +82,14 @@ def _measure(
         # feed-through at the ORIGINAL frequency f1 + 50 kHz.
         probe = tone(QUERY_OFFSET_HZ, _PROBE_DURATION, fs, amp, f1)
         out = relay.forward_downlink(probe)
-        leak_offset = (f1 + QUERY_OFFSET_HZ) - out.center_frequency
+        leak_offset = (f1 + QUERY_OFFSET_HZ) - out.center_frequency_hz
         gain_db = relay.downlink_gain_db
     elif path == LeakagePath.INTRA_UPLINK:
         # A tag response into the uplink; the leak is the feed-through
         # at the original frequency f2 + 500 kHz.
         probe = tone(RESPONSE_OFFSET_HZ, _PROBE_DURATION, fs, amp, f2)
         out = relay.forward_uplink(probe)
-        leak_offset = (f2 + RESPONSE_OFFSET_HZ) - out.center_frequency
+        leak_offset = (f2 + RESPONSE_OFFSET_HZ) - out.center_frequency_hz
         gain_db = relay.uplink_gain_db
     else:  # pragma: no cover - exhaustive enum
         raise RelayError(f"unknown leakage path {path}")
@@ -101,7 +101,7 @@ def _measure(
     return conducted_isolation + relay.coupling.of(path)
 
 
-def measure_isolation(
+def measure_isolation_db(
     relay: MirroredRelay, path: LeakagePath, input_power_dbm: float = -30.0
 ) -> float:
     """Isolation of a single leakage path, in dB."""

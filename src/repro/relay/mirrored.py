@@ -24,6 +24,7 @@ from typing import Optional
 import numpy as np
 
 from repro.constants import (
+    DEFAULT_HARDWARE_SEED,
     RELAY_BPF_CENTER_HZ,
     RELAY_BPF_HALF_BANDWIDTH_HZ,
     RELAY_FREQUENCY_SHIFT_HZ,
@@ -107,7 +108,9 @@ class MirroredRelay:
         self.reader_frequency_hz = float(reader_frequency_hz)
         self.shifted_frequency_hz = self.reader_frequency_hz + config.frequency_shift_hz
         self.coupling = coupling or AntennaCoupling()
-        rng = rng or np.random.default_rng()
+        # Reproducible by default: synthesizer CFO/phase realizations come
+        # from the documented fixed seed unless the caller injects an rng.
+        rng = rng if rng is not None else np.random.default_rng(DEFAULT_HARDWARE_SEED)
 
         # The two shared synthesizers of the mirrored architecture.
         self.synth_reader = Synthesizer.random(

@@ -15,6 +15,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.constants import DEFAULT_HARDWARE_SEED
 from repro.dsp.amplifier import AmplifierChain, PowerAmplifier, VariableGainAmplifier
 from repro.dsp.filters import BandPassFilter, LowPassFilter
 from repro.dsp.signal import Signal
@@ -41,7 +42,9 @@ class NoMirrorRelay:
         self.reader_frequency_hz = float(reader_frequency_hz)
         self.shifted_frequency_hz = self.reader_frequency_hz + config.frequency_shift_hz
         self.coupling = coupling or AntennaCoupling()
-        rng = rng or np.random.default_rng()
+        # Reproducible by default: synthesizer realizations come from the
+        # documented fixed seed unless the caller injects an rng (R301).
+        rng = rng if rng is not None else np.random.default_rng(DEFAULT_HARDWARE_SEED)
 
         make = lambda freq: Synthesizer.random(
             freq,

@@ -65,7 +65,7 @@ class ForwardingPath:
         lo_out: Oscillator,
         config: PathConfig = PathConfig(),
     ) -> None:
-        if lo_in.nominal_frequency == lo_out.nominal_frequency:
+        if lo_in.nominal_frequency_hz == lo_out.nominal_frequency_hz:
             raise ConfigurationError(
                 "in/out LOs must differ for out-of-band full duplex (§4.3)"
             )
@@ -76,14 +76,14 @@ class ForwardingPath:
         self.config = config
 
     @property
-    def input_frequency(self) -> float:
+    def input_frequency_hz(self) -> float:
         """RF center the path receives at."""
-        return self.lo_in.nominal_frequency
+        return self.lo_in.nominal_frequency_hz
 
     @property
-    def output_frequency(self) -> float:
+    def output_frequency_hz(self) -> float:
         """RF center the path transmits at."""
-        return self.lo_out.nominal_frequency
+        return self.lo_out.nominal_frequency_hz
 
     @property
     def gain_db(self) -> float:
@@ -96,17 +96,17 @@ class ForwardingPath:
         The returned signal is declared at the output center and includes
         the feed-through leakage of the input at its original frequency.
         """
-        if abs(sig.center_frequency - self.input_frequency) > sig.sample_rate / 4:
+        if abs(sig.center_frequency_hz - self.input_frequency_hz) > sig.sample_rate / 4:
             raise RelayError(
-                f"path listens at {self.input_frequency / 1e6:.3f} MHz but the "
-                f"signal is centered at {sig.center_frequency / 1e6:.3f} MHz"
+                f"path listens at {self.input_frequency_hz / 1e6:.3f} MHz but the "
+                f"signal is centered at {sig.center_frequency_hz / 1e6:.3f} MHz"
             )
         baseband = downconvert(sig, self.lo_in)
         filtered = self.baseband_filter.apply(baseband)
         amplified = self.amplifiers.apply(filtered)
         out = upconvert(amplified, self.lo_out)
-        if sig.center_frequency != out.center_frequency:
+        if sig.center_frequency_hz != out.center_frequency_hz:
             leak_amp = np.sqrt(db_to_linear(-self.config.feedthrough_db))
-            leak = retune(sig, out.center_frequency).scaled(leak_amp)
+            leak = retune(sig, out.center_frequency_hz).scaled(leak_amp)
             out = out + leak
         return out

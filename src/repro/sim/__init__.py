@@ -1,5 +1,7 @@
 """End-to-end simulation: worlds, scan events, scenarios, result stats."""
 
+from __future__ import annotations
+
 from repro.sim.results import (
     empirical_cdf,
     percentile,

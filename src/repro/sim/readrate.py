@@ -40,6 +40,7 @@ from repro.constants import (
     UHF_CENTER_FREQUENCY,
 )
 from repro.errors import ConfigurationError
+from repro.dsp.units import linear_to_db
 
 
 @dataclass(frozen=True)
@@ -83,7 +84,7 @@ class RangeConfig:
         """Receiver noise floor over the noise bandwidth."""
         return (
             BOLTZMANN_DBM_PER_HZ
-            + 10.0 * np.log10(self.noise_bandwidth_hz)
+            + linear_to_db(self.noise_bandwidth_hz)
             + self.noise_figure_db
         )
 

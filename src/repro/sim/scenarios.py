@@ -23,6 +23,7 @@ from repro.localization.measurement import (
 )
 from repro.mobility.robot import GroundRobot
 from repro.mobility.trajectory import LineTrajectory
+from repro.dsp.units import db_to_linear
 
 F = UHF_CENTER_FREQUENCY
 
@@ -282,7 +283,7 @@ def aperture_microbenchmark(
         environment=env, reader_position=(-5.0, 0.0), reader_frequency_hz=F
     )
     full = LineTrajectory((0.0, 0.0), (2.5, 0.0))
-    sub = full.aperture(min(aperture_m, full.length))
+    sub = full.aperture_segment(min(aperture_m, full.length))
     # The tag stays near the aperture's broadside — the paper's
     # controlled microbenchmark fixes the average relay-tag distance.
     tag = np.array(
@@ -296,7 +297,7 @@ def aperture_microbenchmark(
     # Indoor propagation deviates from the free-space model the RSSI
     # baseline assumes by a few dB; the mismatch is what limits it to
     # around a meter in the paper's Fig. 13.
-    rssi_calibration = calibration * 10.0 ** (rng.normal(0.0, 3.0) / 10.0)
+    rssi_calibration = calibration * float(db_to_linear(rng.normal(0.0, 3.0)))
     return LocalizationScenario(
         measurements=measurements,
         tag_position=tag,

@@ -1,0 +1,97 @@
+"""API-contract rules: annotations, module hygiene, foot-guns."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import AnalysisConfig, analyze_source
+
+API_ONLY = AnalysisConfig(select=("A",))
+
+#: Minimal module preamble that satisfies A402/A403, so individual
+#: tests can focus on one rule at a time.
+CLEAN_HEADER = '"""Docstring."""\nfrom __future__ import annotations\n'
+
+
+def codes(source: str, header: str = CLEAN_HEADER) -> list:
+    return [
+        f.code
+        for f in analyze_source(header + textwrap.dedent(source), config=API_ONLY)
+    ]
+
+
+class TestMissingReturnAnnotation:
+    def test_unannotated_public_function_is_flagged(self):
+        assert "A401" in codes("def convert(x): ...")
+
+    def test_annotated_public_function_passes(self):
+        assert codes("def convert(x: float) -> float: ...") == []
+
+    def test_private_function_is_skipped(self):
+        assert codes("def _convert(x): ...") == []
+
+    def test_public_method_is_flagged(self):
+        src = """
+        class Relay:
+            def gain(self): ...
+        """
+        assert "A401" in codes(src)
+
+    def test_nested_function_is_skipped(self):
+        src = """
+        def outer() -> None:
+            def inner(): ...
+        """
+        assert codes(src) == []
+
+
+class TestModuleHygiene:
+    def test_missing_future_import_is_flagged(self):
+        assert "A402" in codes("x = 1", header='"""Docstring."""\n')
+
+    def test_missing_docstring_is_flagged(self):
+        assert "A403" in codes(
+            "x = 1", header="from __future__ import annotations\n"
+        )
+
+    def test_clean_module_passes(self):
+        assert codes("x = 1") == []
+
+
+class TestBareExcept:
+    def test_bare_except_is_flagged(self):
+        src = """
+        try:
+            x = 1
+        except:
+            pass
+        """
+        assert "A404" in codes(src)
+
+    def test_typed_except_passes(self):
+        src = """
+        try:
+            x = 1
+        except ValueError:
+            pass
+        """
+        assert codes(src) == []
+
+
+class TestMutableDefaultArgument:
+    def test_list_literal_default_is_flagged(self):
+        assert "A405" in codes("def f(x=[]) -> None: ...")
+
+    def test_dict_constructor_default_is_flagged(self):
+        assert "A405" in codes("def f(x=dict()) -> None: ...")
+
+    def test_keyword_only_mutable_default_is_flagged(self):
+        assert "A405" in codes("def f(*, x={}) -> None: ...")
+
+    def test_none_and_tuple_defaults_pass(self):
+        assert codes("def f(x=None, y=()) -> None: ...") == []
+
+    def test_frozen_dataclass_default_call_passes(self):
+        # Config-object defaults (e.g. RelayConfig()) are the package
+        # idiom for frozen dataclasses and are not mutable containers.
+        assert codes("def f(config=RelayConfig()) -> None: ...") == []

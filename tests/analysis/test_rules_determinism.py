@@ -1,0 +1,66 @@
+"""Determinism rules: unseeded RNGs and hidden global random state."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import AnalysisConfig, analyze_source
+
+DETERMINISM_ONLY = AnalysisConfig(select=("R",))
+
+
+def codes(source: str) -> list:
+    return [
+        f.code
+        for f in analyze_source(textwrap.dedent(source), config=DETERMINISM_ONLY)
+    ]
+
+
+class TestUnseededDefaultRng:
+    def test_argless_default_rng_is_flagged(self):
+        assert "R301" in codes("import numpy as np\nrng = np.random.default_rng()")
+
+    def test_seeded_default_rng_passes(self):
+        assert codes("import numpy as np\nrng = np.random.default_rng(7)") == []
+
+    def test_seed_from_constant_passes(self):
+        src = """
+        import numpy as np
+        from repro.constants import DEFAULT_HARDWARE_SEED
+        rng = np.random.default_rng(DEFAULT_HARDWARE_SEED)
+        """
+        assert codes(src) == []
+
+    def test_bare_imported_default_rng_is_flagged(self):
+        src = """
+        from numpy.random import default_rng
+        rng = default_rng()
+        """
+        assert "R301" in codes(src)
+
+
+class TestLegacyGlobalNpRandom:
+    def test_module_level_np_random_call_is_flagged(self):
+        assert "R302" in codes("import numpy as np\nx = np.random.normal(0.0, 1.0)")
+
+    def test_np_random_seed_is_flagged(self):
+        assert "R302" in codes("import numpy as np\nnp.random.seed(0)")
+
+    def test_injected_generator_passes(self):
+        src = """
+        import numpy as np
+        def draw(rng: np.random.Generator) -> float:
+            return float(rng.normal(0.0, 1.0))
+        """
+        assert codes(src) == []
+
+
+class TestStdlibRandomImport:
+    def test_import_random_is_flagged(self):
+        assert "R303" in codes("import random")
+
+    def test_from_random_import_is_flagged(self):
+        assert "R303" in codes("from random import choice")
+
+    def test_numpy_random_subpackage_import_passes(self):
+        assert codes("from numpy import random") == []

@@ -1,0 +1,122 @@
+"""Unit-suffix and dB/linear hygiene rules over broken/fixed snippets."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import AnalysisConfig, analyze_source
+
+#: Snippets below only exercise U1xx behaviour; module-hygiene rules
+#: (A402/A403) would otherwise drown the assertions.
+UNITS_ONLY = AnalysisConfig(select=("U",))
+
+
+def codes(source: str, config: AnalysisConfig = UNITS_ONLY) -> list:
+    return [f.code for f in analyze_source(textwrap.dedent(source), config=config)]
+
+
+class TestUnitSuffixMissing:
+    def test_param_with_physical_stem_and_no_suffix_is_flagged(self):
+        assert "U101" in codes("def tune(center_frequency: float) -> None: ...")
+
+    def test_param_with_suffix_passes(self):
+        assert codes("def tune(center_frequency_hz: float) -> None: ...") == []
+
+    def test_dataclass_field_flagged_and_fixed(self):
+        broken = """
+        class Signal:
+            center_frequency: float
+        """
+        fixed = """
+        class Signal:
+            center_frequency_hz: float
+        """
+        assert "U101" in codes(broken)
+        assert codes(fixed) == []
+
+    def test_function_head_noun_flagged(self):
+        assert "U101" in codes("def carrier_frequency(): ...")
+
+    def test_function_with_stem_in_middle_not_flagged(self):
+        # Returns an ablation result, not a frequency.
+        assert codes("def frequency_shift_ablation(): ...") == []
+
+    def test_allowlisted_conventional_name_passes(self):
+        assert codes("def mix(sample_rate: float) -> None: ...") == []
+
+    def test_private_function_params_are_skipped(self):
+        assert codes("def _helper(center_frequency: float) -> None: ...") == []
+
+
+class TestConflictingUnitAssignment:
+    def test_db_assigned_from_watts_is_flagged(self):
+        assert "U102" in codes("x_db = y_watts")
+
+    def test_same_family_assignment_passes(self):
+        assert codes("x_db = y_db") == []
+
+    def test_attribute_source_is_flagged(self):
+        assert "U102" in codes("level_db = config.power_watts")
+
+
+class TestConflictingUnitAdditiveMix:
+    def test_dbm_plus_meters_is_flagged(self):
+        assert "U103" in codes("z = power_dbm + distance_m")
+
+    def test_dbm_plus_db_gain_passes(self):
+        # dBm + dB = dBm is the canonical link-budget operation.
+        assert codes("rx_dbm = tx_dbm + gain_db") == []
+
+    def test_same_family_sum_passes(self):
+        assert codes("total_hz = f1_hz + f2_hz") == []
+
+    def test_hz_minus_seconds_is_flagged(self):
+        assert "U103" in codes("z = span_hz - delay_s")
+
+
+class TestDecibelMultiplication:
+    def test_db_times_db_is_flagged(self):
+        assert "U104" in codes("z = gain_db * other_db")
+
+    def test_dbm_times_db_is_flagged(self):
+        assert "U104" in codes("z = power_dbm * gain_db")
+
+    def test_db_times_scalar_passes(self):
+        assert codes("z = gain_db * 2.0") == []
+
+    def test_hz_times_seconds_passes(self):
+        # Different units multiply fine outside the log domain.
+        assert codes("cycles = rate_hz * window_s") == []
+
+
+class TestConflictingUnitComparison:
+    def test_dbm_compared_with_meters_is_flagged(self):
+        assert "U105" in codes("flag = power_dbm > distance_m")
+
+    def test_same_family_comparison_passes(self):
+        assert codes("flag = floor_dbm > noise_dbm") == []
+
+    def test_dbm_vs_db_comparison_passes(self):
+        assert codes("flag = snr_db > margin_db") == []
+
+
+class TestRawDbConversion:
+    def test_pow_form_is_flagged(self):
+        assert "U106" in codes("y = 10.0 ** (x_db / 10.0)")
+
+    def test_log_form_is_flagged(self):
+        assert "U106" in codes("import numpy as np\ny = 10.0 * np.log10(ratio)")
+
+    def test_amplitude_domain_20log10_passes(self):
+        assert codes("import numpy as np\ny = 20.0 * np.log10(amplitude)") == []
+
+    def test_converter_call_passes(self):
+        assert codes("from repro.dsp.units import db_to_linear\ny = db_to_linear(x_db)") == []
+
+    def test_units_module_itself_is_exempt(self):
+        found = analyze_source(
+            "y = 10.0 ** (x_db / 10.0)",
+            path="src/repro/dsp/units.py",
+            config=UNITS_ONLY,
+        )
+        assert found == []

@@ -6,7 +6,7 @@ from hypothesis import given, strategies as st
 
 from repro.channel.geometry import (
     Wall,
-    distance,
+    distance_m,
     mirror_point,
     reflection_point,
     segment_intersection,
@@ -41,16 +41,16 @@ class TestWall:
 
 class TestDistance:
     def test_known(self):
-        assert distance((0, 0), (3, 4)) == pytest.approx(5.0)
+        assert distance_m((0, 0), (3, 4)) == pytest.approx(5.0)
 
     def test_bad_shape_rejected(self):
         with pytest.raises(GeometryError):
-            distance((0, 0, 0), (1, 1, 1))
+            distance_m((0, 0, 0), (1, 1, 1))
 
     @given(coords, coords, coords, coords)
     def test_symmetry(self, x1, y1, x2, y2):
-        assert distance((x1, y1), (x2, y2)) == pytest.approx(
-            distance((x2, y2), (x1, y1))
+        assert distance_m((x1, y1), (x2, y2)) == pytest.approx(
+            distance_m((x2, y2), (x1, y1))
         )
 
 
@@ -123,10 +123,10 @@ class TestReflectionPoint:
         """A bounce path is never shorter than the direct path (§5.2)."""
         wall = Wall((-200, 0), (200, 0))
         a, b = np.array([x1, y1]), np.array([x2, y2])
-        if distance(a, b) < 1e-6:
+        if distance_m(a, b) < 1e-6:
             return
         p = reflection_point(a, b, wall)
         if p is None:
             return
-        bounce_length = distance(a, p) + distance(p, b)
-        assert bounce_length >= distance(a, b) - 1e-9
+        bounce_length = distance_m(a, p) + distance_m(p, b)
+        assert bounce_length >= distance_m(a, b) - 1e-9

@@ -18,7 +18,7 @@ class TestOscillator:
 
     def test_actual_frequency_includes_cfo(self):
         osc = Oscillator(915e6, cfo_hz=500.0)
-        assert osc.actual_frequency == pytest.approx(915e6 + 500.0)
+        assert osc.actual_frequency_hz == pytest.approx(915e6 + 500.0)
 
     def test_phase_advances_at_cfo_rate(self):
         osc = Oscillator(915e6, cfo_hz=1000.0)
@@ -48,17 +48,17 @@ class TestOscillator:
 
 class TestMixer:
     def test_downconvert_moves_center(self):
-        sig = tone(0.0, 1e-4, FS, center_frequency=915e6)
+        sig = tone(0.0, 1e-4, FS, center_frequency_hz=915e6)
         down = downconvert(sig, Oscillator.ideal(915e6))
-        assert down.center_frequency == pytest.approx(0.0)
+        assert down.center_frequency_hz == pytest.approx(0.0)
 
     def test_upconvert_moves_center(self):
-        sig = tone(0.0, 1e-4, FS, center_frequency=0.0)
+        sig = tone(0.0, 1e-4, FS, center_frequency_hz=0.0)
         up = upconvert(sig, Oscillator.ideal(916e6))
-        assert up.center_frequency == pytest.approx(916e6)
+        assert up.center_frequency_hz == pytest.approx(916e6)
 
     def test_cfo_appears_as_envelope_rotation(self):
-        sig = tone(0.0, 1e-3, FS, center_frequency=915e6)
+        sig = tone(0.0, 1e-3, FS, center_frequency_hz=915e6)
         down = downconvert(sig, Oscillator(915e6, cfo_hz=10e3))
         # The envelope should now rotate at -10 kHz.
         inst_freq = np.angle(down.samples[1:] * np.conj(down.samples[:-1]))
@@ -68,7 +68,7 @@ class TestMixer:
     def test_mirrored_updown_cancels_cfo_and_phase(self):
         """The mechanism behind the relay's mirrored architecture (§4.3)."""
         osc = Oscillator(915e6, cfo_hz=1234.5, phase_offset_rad=2.1)
-        sig = tone(5e3, 1e-3, FS, center_frequency=915e6)
+        sig = tone(5e3, 1e-3, FS, center_frequency_hz=915e6)
         restored = upconvert(downconvert(sig, osc), osc)
         np.testing.assert_allclose(restored.samples, sig.samples, atol=1e-12)
 
@@ -77,13 +77,13 @@ class TestMixer:
         rng = np.random.default_rng(11)
         osc_down = Oscillator.random(915e6, rng)
         osc_up = Oscillator.random(915e6, rng)
-        sig = tone(5e3, 1e-3, FS, center_frequency=915e6)
+        sig = tone(5e3, 1e-3, FS, center_frequency_hz=915e6)
         out = upconvert(downconvert(sig, osc_down), osc_up)
         residual = np.max(np.abs(out.samples - sig.samples))
         assert residual > 1e-3
 
     def test_retune_preserves_absolute_content(self):
-        sig = tone(50e3, 1e-3, FS, center_frequency=915e6)
+        sig = tone(50e3, 1e-3, FS, center_frequency_hz=915e6)
         moved = retune(sig, 915e6 - 100e3)
         # Content at absolute 915.05 MHz is now at +150 kHz baseband.
         from repro.dsp import tone_power_dbm
@@ -93,6 +93,6 @@ class TestMixer:
         )
 
     def test_retune_rejects_aliasing_shift(self):
-        sig = tone(0.0, 1e-4, FS, center_frequency=915e6)
+        sig = tone(0.0, 1e-4, FS, center_frequency_hz=915e6)
         with pytest.raises(SignalError):
             retune(sig, 915e6 + 2 * FS)

@@ -102,7 +102,7 @@ class TestCombination:
 
     def test_add_rejects_rate_mismatch(self):
         a = make_signal()
-        b = Signal(a.samples, FS * 2, a.center_frequency)
+        b = Signal(a.samples, FS * 2, a.center_frequency_hz)
         with pytest.raises(SampleRateError):
             a + b
 

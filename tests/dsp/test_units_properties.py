@@ -1,0 +1,77 @@
+"""Hypothesis round-trip properties for the dB/power converters."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dsp.units import (
+    amplitude_for_power_dbm,
+    db_to_linear,
+    dbm_to_watts,
+    linear_to_db,
+    watts_to_dbm,
+)
+
+#: Power levels far outside this range overflow/underflow float64 in
+#: the linear domain; the package never represents signals beyond it.
+reasonable_db = st.floats(min_value=-200.0, max_value=200.0)
+positive_ratio = st.floats(min_value=1e-20, max_value=1e20)
+
+
+@given(reasonable_db)
+def test_db_linear_roundtrip(value_db):
+    assert float(linear_to_db(db_to_linear(value_db))) == pytest.approx(
+        value_db, abs=1e-9
+    )
+
+
+@given(positive_ratio)
+def test_linear_db_roundtrip(ratio):
+    assert float(db_to_linear(linear_to_db(ratio))) == pytest.approx(
+        ratio, rel=1e-9
+    )
+
+
+@given(reasonable_db)
+def test_dbm_watts_roundtrip(power_dbm):
+    assert float(watts_to_dbm(dbm_to_watts(power_dbm))) == pytest.approx(
+        power_dbm, abs=1e-9
+    )
+
+
+@given(reasonable_db)
+def test_dbm_to_watts_is_positive_and_monotonic(power_dbm):
+    watts = float(dbm_to_watts(power_dbm))
+    assert watts > 0
+    assert float(dbm_to_watts(power_dbm + 1.0)) > watts
+
+
+def test_zero_power_maps_to_neg_inf_not_error():
+    assert float(watts_to_dbm(0.0)) == -math.inf
+    assert float(linear_to_db(0.0)) == -math.inf
+
+
+def test_neg_inf_dbm_maps_to_zero_watts():
+    assert float(dbm_to_watts(-math.inf)) == 0.0
+
+
+def test_zero_dbm_is_one_milliwatt():
+    assert float(dbm_to_watts(0.0)) == pytest.approx(1.0e-3)
+    assert float(watts_to_dbm(1.0e-3)) == pytest.approx(0.0)
+
+
+def test_array_shapes_preserved():
+    values_db = np.array([[0.0, 10.0], [20.0, -10.0]])
+    linear = db_to_linear(values_db)
+    assert linear.shape == values_db.shape
+    np.testing.assert_allclose(linear_to_db(linear), values_db)
+
+
+def test_amplitude_for_power_dbm_squares_back():
+    amp = amplitude_for_power_dbm(10.0)
+    assert float(watts_to_dbm(amp**2)) == pytest.approx(10.0)

@@ -111,7 +111,7 @@ class TestReaderFrontend:
         fe = ReaderFrontend(synth, tx_power_dbm=20.0)
         cw = fe.continuous_wave(1e-4, 4e6)
         assert mean_power_dbm(cw) == pytest.approx(20.0, abs=1e-6)
-        assert cw.center_frequency == pytest.approx(915e6)
+        assert cw.center_frequency_hz == pytest.approx(915e6)
 
     def test_eirp_limit(self):
         with pytest.raises(ConfigurationError):

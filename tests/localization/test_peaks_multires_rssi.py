@@ -65,7 +65,7 @@ class TestPeaks:
         peaks = find_peaks(two_peak_heatmap(), relative_threshold=0.5)
         chosen = select_nearest_to_trajectory(peaks, trajectory)
         np.testing.assert_allclose(chosen.position, [1.0, 1.0])
-        assert chosen.distance_to_trajectory == pytest.approx(1.0)
+        assert chosen.distance_to_trajectory_m == pytest.approx(1.0)
 
     def test_empty_selection_rejected(self):
         with pytest.raises(LocalizationError):

@@ -52,7 +52,7 @@ class TestLocalizer:
         )
         assert result.coarse_heatmap.values.size > 0
         assert result.fine_heatmap.grid.resolution < HALF_PLANE.resolution
-        assert result.peak_distance_to_trajectory >= 0.0
+        assert result.peak_distance_to_trajectory_m >= 0.0
 
     def test_default_grid_from_trajectory(self):
         tag = (1.4, 1.9)

@@ -58,28 +58,28 @@ class TestLine:
 class TestAperture:
     def test_aperture_length(self):
         traj = LineTrajectory((0, 0), (5, 0))
-        sub = traj.aperture(2.0)
+        sub = traj.aperture_segment(2.0)
         assert sub.length == pytest.approx(2.0)
 
     def test_aperture_centered(self):
         traj = LineTrajectory((0, 0), (4, 0))
-        sub = traj.aperture(2.0, center_fraction=0.5)
+        sub = traj.aperture_segment(2.0, center_fraction=0.5)
         assert sub.position_at(0.0)[0] == pytest.approx(1.0)
         assert sub.position_at(2.0)[0] == pytest.approx(3.0)
 
     def test_aperture_clipped_to_ends(self):
         traj = LineTrajectory((0, 0), (4, 0))
-        sub = traj.aperture(2.0, center_fraction=0.0)
+        sub = traj.aperture_segment(2.0, center_fraction=0.0)
         assert sub.position_at(0.0)[0] == pytest.approx(0.0)
 
     def test_aperture_too_long(self):
         with pytest.raises(MobilityError):
-            LineTrajectory((0, 0), (1, 0)).aperture(2.0)
+            LineTrajectory((0, 0), (1, 0)).aperture_segment(2.0)
 
     @given(st.floats(0.2, 4.9), st.floats(0.0, 1.0))
     def test_aperture_within_parent(self, length, center):
         traj = LineTrajectory((0, 0), (5, 0))
-        sub = traj.aperture(length, center)
+        sub = traj.aperture_segment(length, center)
         assert sub.length == pytest.approx(length, rel=1e-6)
         for d in (0.0, sub.length):
             p = sub.position_at(d)

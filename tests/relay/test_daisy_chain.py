@@ -19,9 +19,9 @@ F = UHF_CENTER_FREQUENCY
 class TestChainPlan:
     def test_frequency_ladder(self):
         plan = ChainPlan(reader_frequency_hz=F, shift_hz=1e6, n_relays=3)
-        assert plan.hop_frequency(0) == F
-        assert plan.hop_frequency(3) == F + 3e6
-        assert plan.tag_frequency == F + 3e6
+        assert plan.hop_frequency_hz(0) == F
+        assert plan.hop_frequency_hz(3) == F + 3e6
+        assert plan.tag_frequency_hz == F + 3e6
         assert plan.band_span_hz() == 3e6
 
     def test_validation(self):
@@ -30,7 +30,7 @@ class TestChainPlan:
         with pytest.raises(ConfigurationError):
             ChainPlan(F, -1e6, 2)
         with pytest.raises(ConfigurationError):
-            ChainPlan(F, 1e6, 2).hop_frequency(3)
+            ChainPlan(F, 1e6, 2).hop_frequency_hz(3)
 
 
 class TestStabilityAndRange:

@@ -18,7 +18,7 @@ from repro.relay import (
     plan_gains,
 )
 from repro.relay.analog_baseline import AnalogCoupling
-from repro.relay.isolation import measure_isolation
+from repro.relay.isolation import measure_isolation_db
 from repro.relay.mirrored import RelayConfig
 from repro.relay.self_interference import require_stable
 
@@ -60,12 +60,12 @@ class TestIsolationMeasurement:
         )
 
     def test_single_path_measurement_matches_report(self, relay, report):
-        value = measure_isolation(relay, LeakagePath.INTER_DOWNLINK)
+        value = measure_isolation_db(relay, LeakagePath.INTER_DOWNLINK)
         assert value == pytest.approx(report.inter_downlink_db, abs=0.5)
 
     def test_isolation_independent_of_probe_power(self, relay):
-        low = measure_isolation(relay, LeakagePath.INTER_UPLINK, -50.0)
-        high = measure_isolation(relay, LeakagePath.INTER_UPLINK, -20.0)
+        low = measure_isolation_db(relay, LeakagePath.INTER_UPLINK, -50.0)
+        high = measure_isolation_db(relay, LeakagePath.INTER_UPLINK, -20.0)
         assert low == pytest.approx(high, abs=1.0)
 
     def test_fifty_db_improvement_over_analog(self, report):

@@ -48,7 +48,7 @@ class TestForwardingPath:
     def test_center_moves_to_output_frequency(self):
         path = make_path()
         out = path.forward(tone(10e3, 1e-3, FS, 0.01, F1))
-        assert out.center_frequency == pytest.approx(F1 + 1e6)
+        assert out.center_frequency_hz == pytest.approx(F1 + 1e6)
 
     def test_in_band_signal_forwarded_with_gain(self):
         path = make_path(gain_db=20.0)
@@ -68,7 +68,7 @@ class TestForwardingPath:
         probe = tone(10e3, 4e-3, FS, amplitude_for_power_dbm(-30.0), F1)
         out = path.forward(probe).sliced(8000)
         # The leak sits at absolute F1+10 kHz = offset -990 kHz.
-        leak = tone_power_dbm(out, (F1 + 10e3) - out.center_frequency)
+        leak = tone_power_dbm(out, (F1 + 10e3) - out.center_frequency_hz)
         assert leak == pytest.approx(-70.0, abs=0.5)
 
     def test_wrong_center_rejected(self):
@@ -107,11 +107,11 @@ class TestMirroredRelay:
         relay = MirroredRelay(F1, rng=np.random.default_rng(0))
         sig = tone(10e3, 1e-3, FS, 0.001, F1)
         down = relay.forward_downlink(sig)
-        assert down.center_frequency == pytest.approx(relay.shifted_frequency_hz)
+        assert down.center_frequency_hz == pytest.approx(relay.shifted_frequency_hz)
         back = relay.forward_uplink(
             tone(GEN2_BLF_DEFAULT, 1e-3, FS, 0.001, relay.shifted_frequency_hz)
         )
-        assert back.center_frequency == pytest.approx(F1)
+        assert back.center_frequency_hz == pytest.approx(F1)
 
     def test_round_trip_phase_preserved(self):
         """The Fig. 10 property, at tone level: two relays with different

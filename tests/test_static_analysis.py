@@ -1,0 +1,35 @@
+"""Tier-1 gate: the whole package stays reprolint-clean.
+
+This test is the enforcement point of the unit/determinism/API
+contracts documented in DESIGN.md §8: any new finding anywhere under
+``src/repro`` fails the suite with the rule code and location.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import analyze_paths
+from repro.analysis.reporting import render_text
+
+REPO_SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def test_source_tree_exists():
+    assert REPO_SRC.is_dir(), f"expected package sources at {REPO_SRC}"
+
+
+def test_package_has_zero_findings():
+    findings = analyze_paths([str(REPO_SRC)])
+    assert findings == [], "\n" + render_text(findings)
+
+
+def test_gate_is_not_vacuous():
+    """A seeded violation in a sibling tree must fail — proves the gate bites."""
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        bad = Path(tmp) / "bad.py"
+        bad.write_text("import numpy as np\nrng = np.random.default_rng()\n")
+        findings = analyze_paths([tmp])
+        assert any(f.code == "R301" for f in findings)
