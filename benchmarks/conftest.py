@@ -1,24 +1,45 @@
 """Shared helpers for the figure-regeneration benchmarks.
 
-Every benchmark regenerates one of the paper's tables/figures, asserts
-the headline shape of the result, and writes the regenerated table to
-``benchmarks/reports/`` so it can be inspected (and pasted into
-EXPERIMENTS.md) after a run.
+Every benchmark regenerates one of the paper's tables/figures through
+the ``repro.runtime`` sweep engine, asserts the headline shape of the
+result, and writes the regenerated table to ``benchmarks/reports/`` so
+it can be inspected (and pasted into EXPERIMENTS.md) after a run. Each
+sweep also leaves a JSON run manifest (per-task wall time, cache hits)
+under ``benchmarks/reports/manifests/``.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
 
+from repro.runtime import RuntimeConfig
+
 REPORTS_DIR = Path(__file__).parent / "reports"
+MANIFESTS_DIR = REPORTS_DIR / "manifests"
 
 
 @pytest.fixture(scope="session")
 def reports_dir() -> Path:
     REPORTS_DIR.mkdir(exist_ok=True)
     return REPORTS_DIR
+
+
+@pytest.fixture(scope="session")
+def runtime(tmp_path_factory) -> RuntimeConfig:
+    """The benchmarks' engine configuration.
+
+    A session-private cache keeps module fixtures and repeat assertions
+    cheap without leaking warmth across bench runs; every sweep writes
+    its manifest under reports/ for the timing-delta artifacts.
+    """
+    MANIFESTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RuntimeConfig(
+        cache_dir=tmp_path_factory.mktemp("bench-cache"),
+        manifest_dir=MANIFESTS_DIR,
+    )
 
 
 @pytest.fixture
@@ -28,5 +49,20 @@ def save_report(reports_dir):
     def _save(filename: str, output) -> None:
         path = reports_dir / filename
         path.write_text(output.report() + "\n", encoding="utf-8")
+
+    return _save
+
+
+@pytest.fixture(scope="session")
+def save_bench_json(reports_dir):
+    """Write a timing-delta record to reports/BENCH_<name>.json."""
+
+    def _save(name: str, payload: dict) -> Path:
+        path = reports_dir / f"BENCH_{name}.json"
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=False) + "\n",
+            encoding="utf-8",
+        )
+        return path
 
     return _save

@@ -15,9 +15,11 @@ def test_eq4_table(benchmark, save_report):
     assert 200.0 < max_stable_range_m(80.0, UHF_CENTER_FREQUENCY) < 300.0
 
 
-def test_guard_band_ablation(benchmark, save_report):
+def test_guard_band_ablation(benchmark, save_report, runtime):
     out = benchmark.pedantic(
-        lambda: ablations.guard_band_ablation(seed=0), rounds=1, iterations=1
+        lambda: ablations.guard_band_ablation(seed=0, runtime=runtime),
+        rounds=1,
+        iterations=1,
     )
     save_report("ablation_guard_band.txt", out)
     isolations = [float(row[1]) for row in out.rows]
@@ -35,9 +37,9 @@ def test_frequency_shift_ablation(benchmark, save_report):
     assert "stable" in outcomes["1e+03"]
 
 
-def test_peak_rule_ablation(benchmark, save_report):
+def test_peak_rule_ablation(benchmark, save_report, runtime):
     out = benchmark.pedantic(
-        lambda: ablations.peak_rule_ablation(n_trials=6, seed=0),
+        lambda: ablations.peak_rule_ablation(n_trials=6, seed=0, runtime=runtime),
         rounds=1,
         iterations=1,
     )
@@ -47,9 +49,9 @@ def test_peak_rule_ablation(benchmark, save_report):
     assert nearest <= argmax + 1e-9
 
 
-def test_disentangle_ablation(benchmark, save_report):
+def test_disentangle_ablation(benchmark, save_report, runtime):
     out = benchmark.pedantic(
-        lambda: ablations.disentangle_ablation(n_trials=6, seed=0),
+        lambda: ablations.disentangle_ablation(n_trials=6, seed=0, runtime=runtime),
         rounds=1,
         iterations=1,
     )
@@ -59,9 +61,11 @@ def test_disentangle_ablation(benchmark, save_report):
     assert without > 3.0 * with_eq10
 
 
-def test_grid_resolution_ablation(benchmark, save_report):
+def test_grid_resolution_ablation(benchmark, save_report, runtime):
     out = benchmark.pedantic(
-        lambda: ablations.grid_resolution_ablation(n_trials=4, seed=0),
+        lambda: ablations.grid_resolution_ablation(
+            n_trials=4, seed=0, runtime=runtime
+        ),
         rounds=1,
         iterations=1,
     )
@@ -71,9 +75,11 @@ def test_grid_resolution_ablation(benchmark, save_report):
     assert fine <= coarse + 0.02  # finer grids never hurt (noise aside)
 
 
-def test_matched_filter_frequency_ablation(benchmark, save_report):
+def test_matched_filter_frequency_ablation(benchmark, save_report, runtime):
     out = benchmark.pedantic(
-        lambda: ablations.matched_filter_frequency_ablation(n_trials=6, seed=0),
+        lambda: ablations.matched_filter_frequency_ablation(
+            n_trials=6, seed=0, runtime=runtime
+        ),
         rounds=1,
         iterations=1,
     )

@@ -7,13 +7,15 @@ from repro.experiments import fig10_phase
 
 
 @pytest.fixture(scope="module")
-def result():
-    return fig10_phase.run(n_trials=30, seed=0)
+def result(runtime):
+    return fig10_phase.run(n_trials=30, seed=0, runtime=runtime)
 
 
-def test_fig10_regeneration(benchmark, result, save_report):
+def test_fig10_regeneration(benchmark, result, save_report, runtime):
     out = benchmark.pedantic(
-        lambda: fig10_phase.run(n_trials=6, seed=2), rounds=1, iterations=1
+        lambda: fig10_phase.run(n_trials=6, seed=2, runtime=runtime),
+        rounds=1,
+        iterations=1,
     )
     assert len(out.mirrored_errors_deg) == 6
     save_report("fig10_phase.txt", fig10_phase.format_result(result))

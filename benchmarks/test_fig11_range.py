@@ -7,13 +7,13 @@ from repro.experiments import fig11_range
 
 
 @pytest.fixture(scope="module")
-def result():
-    return fig11_range.run(trials_per_point=200, seed=0)
+def result(runtime):
+    return fig11_range.run(trials_per_point=200, seed=0, runtime=runtime)
 
 
-def test_fig11_regeneration(benchmark, result, save_report):
+def test_fig11_regeneration(benchmark, result, save_report, runtime):
     out = benchmark.pedantic(
-        lambda: fig11_range.run(trials_per_point=50, seed=1),
+        lambda: fig11_range.run(trials_per_point=50, seed=1, runtime=runtime),
         rounds=1,
         iterations=1,
     )

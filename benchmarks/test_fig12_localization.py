@@ -8,16 +8,16 @@ from repro.sim.results import percentile
 
 
 @pytest.fixture(scope="module")
-def result():
+def result(runtime):
     # 60 trials keep the bench under a minute; the full 100-trial run
     # (python -m repro.experiments.fig12_localization) matches within
     # a couple of centimeters.
-    return fig12_localization.run(n_trials=60, seed=0)
+    return fig12_localization.run(n_trials=60, seed=0, runtime=runtime)
 
 
-def test_fig12_regeneration(benchmark, result, save_report):
+def test_fig12_regeneration(benchmark, result, save_report, runtime):
     out = benchmark.pedantic(
-        lambda: fig12_localization.run(n_trials=5, seed=3),
+        lambda: fig12_localization.run(n_trials=5, seed=3, runtime=runtime),
         rounds=1,
         iterations=1,
     )

@@ -7,14 +7,14 @@ from repro.experiments import fig13_aperture
 
 
 @pytest.fixture(scope="module")
-def result():
-    return fig13_aperture.run(trials_per_point=15, seed=0)
+def result(runtime):
+    return fig13_aperture.run(trials_per_point=15, seed=0, runtime=runtime)
 
 
-def test_fig13_regeneration(benchmark, result, save_report):
+def test_fig13_regeneration(benchmark, result, save_report, runtime):
     out = benchmark.pedantic(
         lambda: fig13_aperture.run(
-            apertures_m=(0.5, 2.5), trials_per_point=3, seed=4
+            apertures_m=(0.5, 2.5), trials_per_point=3, seed=4, runtime=runtime
         ),
         rounds=1,
         iterations=1,

@@ -8,14 +8,14 @@ from repro.sim.results import percentile
 
 
 @pytest.fixture(scope="module")
-def result():
-    return fig14_distance.run(trials_per_point=10, seed=0)
+def result(runtime):
+    return fig14_distance.run(trials_per_point=10, seed=0, runtime=runtime)
 
 
-def test_fig14_regeneration(benchmark, result, save_report):
+def test_fig14_regeneration(benchmark, result, save_report, runtime):
     out = benchmark.pedantic(
         lambda: fig14_distance.run(
-            distances_m=(5.0, 55.0), trials_per_point=3, seed=5
+            distances_m=(5.0, 55.0), trials_per_point=3, seed=5, runtime=runtime
         ),
         rounds=1,
         iterations=1,

@@ -6,13 +6,15 @@ from repro.experiments import fig4_spectrum
 
 
 @pytest.fixture(scope="module")
-def result():
-    return fig4_spectrum.run(seed=0)
+def result(runtime):
+    return fig4_spectrum.run(seed=0, runtime=runtime)
 
 
-def test_fig4_regeneration(benchmark, result, save_report):
+def test_fig4_regeneration(benchmark, result, save_report, runtime):
     out = benchmark.pedantic(
-        lambda: fig4_spectrum.run(seed=1), rounds=1, iterations=1
+        lambda: fig4_spectrum.run(seed=1, runtime=runtime),
+        rounds=1,
+        iterations=1,
     )
     assert out.frequencies_hz.size > 0
     save_report("fig4_spectrum.txt", fig4_spectrum.format_result(result))

@@ -6,13 +6,15 @@ from repro.experiments import fig6_heatmap
 
 
 @pytest.fixture(scope="module")
-def result():
-    return fig6_heatmap.run(seed=0)
+def result(runtime):
+    return fig6_heatmap.run(seed=0, runtime=runtime)
 
 
-def test_fig6_regeneration(benchmark, result, save_report):
+def test_fig6_regeneration(benchmark, result, save_report, runtime):
     out = benchmark.pedantic(
-        lambda: fig6_heatmap.run(seed=1), rounds=1, iterations=1
+        lambda: fig6_heatmap.run(seed=1, runtime=runtime),
+        rounds=1,
+        iterations=1,
     )
     assert out.los_heatmap.values.size > 0
     save_report("fig6_heatmap.txt", fig6_heatmap.format_result(result))

@@ -8,13 +8,15 @@ from repro.relay.self_interference import LeakagePath
 
 
 @pytest.fixture(scope="module")
-def result():
-    return fig9_isolation.run(n_trials=40, seed=0)
+def result(runtime):
+    return fig9_isolation.run(n_trials=40, seed=0, runtime=runtime)
 
 
-def test_fig9_regeneration(benchmark, result, save_report):
+def test_fig9_regeneration(benchmark, result, save_report, runtime):
     out = benchmark.pedantic(
-        lambda: fig9_isolation.run(n_trials=10, seed=1), rounds=1, iterations=1
+        lambda: fig9_isolation.run(n_trials=10, seed=1, runtime=runtime),
+        rounds=1,
+        iterations=1,
     )
     assert len(out.rfly[LeakagePath.INTER_DOWNLINK]) == 10
     save_report("fig9_isolation.txt", fig9_isolation.format_result(result))

@@ -5,82 +5,21 @@ Usage::
     python -m repro                 # every figure + the ablations
     python -m repro fig12 fig13     # a subset
     python -m repro --list          # available experiment names
+    python -m repro --parallel --cache-dir .repro-cache
 
-Each experiment prints its regenerated table plus the paper-vs-measured
-comparison. Full-scale trial counts are used, so the complete run takes
-a few minutes.
+This is the same CLI as ``python -m repro.experiments`` (see
+:mod:`repro.experiments.cli` for the full flag reference): experiments
+run on the sweep engine, optionally parallel and cached, and every
+sweep can emit a JSON run manifest.
 """
 
 from __future__ import annotations
 
-import argparse
 import sys
-import time
 
-from repro.experiments import (
-    ablations,
-    fig4_spectrum,
-    fig6_heatmap,
-    fig9_isolation,
-    fig10_phase,
-    fig11_range,
-    fig12_localization,
-    fig13_aperture,
-    fig14_distance,
-)
+from repro.experiments.cli import EXPERIMENTS, main
 
-EXPERIMENTS = {
-    "fig4": lambda: fig4_spectrum.format_result(fig4_spectrum.run()),
-    "fig6": lambda: fig6_heatmap.format_result(fig6_heatmap.run()),
-    "fig9": lambda: fig9_isolation.format_result(fig9_isolation.run()),
-    "fig10": lambda: fig10_phase.format_result(fig10_phase.run()),
-    "fig11": lambda: fig11_range.format_result(fig11_range.run()),
-    "fig12": lambda: fig12_localization.format_result(fig12_localization.run()),
-    "fig13": lambda: fig13_aperture.format_result(fig13_aperture.run()),
-    "fig14": lambda: fig14_distance.format_result(fig14_distance.run()),
-}
-
-
-def main(argv=None) -> int:
-    """CLI entry point."""
-    parser = argparse.ArgumentParser(
-        prog="python -m repro",
-        description="Regenerate the RFly paper's evaluation figures.",
-    )
-    parser.add_argument(
-        "experiments",
-        nargs="*",
-        help="experiment names (default: all figures + ablations)",
-    )
-    parser.add_argument(
-        "--list", action="store_true", help="list available experiments"
-    )
-    args = parser.parse_args(argv)
-
-    if args.list:
-        for name in (*EXPERIMENTS, "ablations"):
-            print(name)
-        return 0
-
-    chosen = args.experiments or [*EXPERIMENTS, "ablations"]
-    for name in chosen:
-        if name == "ablations":
-            for output in ablations.run_all():
-                print(output.report())
-                print()
-            continue
-        if name not in EXPERIMENTS:
-            parser.error(
-                f"unknown experiment {name!r}; choices: "
-                f"{', '.join((*EXPERIMENTS, 'ablations'))}"
-            )
-        start = time.perf_counter()
-        output = EXPERIMENTS[name]()
-        print(output.report())
-        print(f"[{name} regenerated in {time.perf_counter() - start:.1f} s]")
-        print()
-    return 0
-
+__all__ = ["EXPERIMENTS", "main"]
 
 if __name__ == "__main__":
     sys.exit(main())

@@ -105,6 +105,64 @@ class LegacyGlobalNpRandom(Rule):
                 )
 
 
+#: Path fragment identifying the one package allowed to spawn workers.
+RUNTIME_PACKAGE_FRAGMENT = "repro/runtime/"
+
+#: Modules whose import means ad-hoc parallelism outside the sweep engine.
+PARALLELISM_MODULES = ("multiprocessing", "concurrent.futures", "concurrent")
+
+
+def _parallelism_root(name: str) -> Optional[str]:
+    """The banned top-level module when ``name`` falls under one."""
+    for banned in PARALLELISM_MODULES:
+        if name == banned or name.startswith(banned + "."):
+            return banned
+    return None
+
+
+@register
+class AdHocParallelism(Rule):
+    """R304: worker pools outside ``repro.runtime``.
+
+    Parallel dispatch is only bit-reproducible when seeds are fixed
+    before fan-out and results are reduced in task order — the
+    contract ``repro.runtime.backends`` implements once. Importing
+    ``multiprocessing`` or ``concurrent.futures`` anywhere else
+    reintroduces scheduling-order nondeterminism the engine exists to
+    prevent, so those modules route through ``repro.runtime.run_sweep``
+    instead.
+    """
+
+    code = "R304"
+    name = "ad-hoc-parallelism"
+    severity = "error"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if RUNTIME_PACKAGE_FRAGMENT in ctx.path.replace("\\", "/"):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = _parallelism_root(alias.name)
+                    if root is not None:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"direct {root} use outside repro.runtime; "
+                            "dispatch through repro.runtime.run_sweep",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and node.module is not None:
+                    root = _parallelism_root(node.module)
+                    if root is not None:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"direct {root} use outside repro.runtime; "
+                            "dispatch through repro.runtime.run_sweep",
+                        )
+
+
 @register
 class StdlibRandomImport(Rule):
     """R303: stdlib ``random`` in library code."""

@@ -17,7 +17,7 @@ without it:
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -30,6 +30,7 @@ from repro.localization.measurement import ThroughRelayMeasurement
 from repro.relay.isolation import measure_isolation_db
 from repro.relay.mirrored import MirroredRelay, RelayConfig
 from repro.relay.self_interference import LeakagePath, max_stable_range_m
+from repro.runtime import RuntimeConfig, SweepTask, run_sweep
 from repro.sim.scenarios import fig12_trial, multipath_heatmap_scenario
 
 F = UHF_CENTER_FREQUENCY
@@ -64,20 +65,38 @@ def eq4_range_table() -> ExperimentOutput:
     )
 
 
-def guard_band_ablation(seed: int = 0) -> ExperimentOutput:
+def _guard_band_point(cutoff_khz: float, seed: int) -> float:
+    """Inter-downlink isolation (dB) of a build with one LPF cutoff."""
+    rng = np.random.default_rng(seed)
+    relay = MirroredRelay(
+        915e6, RelayConfig(lpf_cutoff_hz=cutoff_khz * 1e3), rng
+    )
+    return measure_isolation_db(relay, LeakagePath.INTER_DOWNLINK)
+
+
+def guard_band_ablation(
+    seed: int = 0, runtime: Optional[RuntimeConfig] = None
+) -> ExperimentOutput:
     """Inter-link isolation vs downlink LPF cutoff.
 
     Once the cutoff approaches the 500 kHz BLF the filter passes the
     relayed tag response and the guard-band defense of §4.2 is gone.
     """
-    rows: List[List[str]] = []
-    for cutoff_khz in (100.0, 200.0, 300.0, 450.0):
-        rng = np.random.default_rng(seed)
-        relay = MirroredRelay(
-            915e6, RelayConfig(lpf_cutoff_hz=cutoff_khz * 1e3), rng
+    cutoffs_khz = (100.0, 200.0, 300.0, 450.0)
+    tasks = [
+        SweepTask.make(
+            _guard_band_point,
+            params={"cutoff_khz": cutoff},
+            seed=seed,
+            label=f"ablation/guard_band/{cutoff:.0f}kHz",
         )
-        isolation = measure_isolation_db(relay, LeakagePath.INTER_DOWNLINK)
-        rows.append([fmt(cutoff_khz), fmt(isolation, 4)])
+        for cutoff in cutoffs_khz
+    ]
+    sweep = run_sweep(tasks, runtime, name="ablation_guard_band")
+    rows: List[List[str]] = [
+        [fmt(cutoff), fmt(isolation, 4)]
+        for cutoff, isolation in zip(cutoffs_khz, sweep.results)
+    ]
     first = float(rows[0][1])
     last = float(rows[-1][1])
     return ExperimentOutput(
@@ -117,23 +136,38 @@ def frequency_shift_ablation() -> ExperimentOutput:
     )
 
 
-def peak_rule_ablation(n_trials: int = 10, seed: int = 0) -> ExperimentOutput:
-    """Nearest-peak rule vs plain argmax under heavy multipath."""
-    nearest_errors, argmax_errors = [], []
+def _peak_rule_trial(trial: int, seed: int) -> "Tuple[float, float]":
+    """(nearest-peak error, argmax error) on one multipath scenario."""
+    scenario = multipath_heatmap_scenario(seed)
     with_rule = Localizer(frequency_hz=F, use_nearest_peak_rule=True)
     without = Localizer(frequency_hz=F, use_nearest_peak_rule=False)
-    for trial in range(n_trials):
-        scenario = multipath_heatmap_scenario(seed * 100 + trial)
-        nearest_errors.append(
-            with_rule.locate(
-                scenario.measurements, search_grid=scenario.search_grid
-            ).error_to(scenario.tag_position)
+    nearest = with_rule.locate(
+        scenario.measurements, search_grid=scenario.search_grid
+    ).error_to(scenario.tag_position)
+    argmax = without.locate(
+        scenario.measurements, search_grid=scenario.search_grid
+    ).error_to(scenario.tag_position)
+    return float(nearest), float(argmax)
+
+
+def peak_rule_ablation(
+    n_trials: int = 10,
+    seed: int = 0,
+    runtime: Optional[RuntimeConfig] = None,
+) -> ExperimentOutput:
+    """Nearest-peak rule vs plain argmax under heavy multipath."""
+    tasks = [
+        SweepTask.make(
+            _peak_rule_trial,
+            params={"trial": trial},
+            seed=seed * 100 + trial,
+            label=f"ablation/peak_rule/t{trial}",
         )
-        argmax_errors.append(
-            without.locate(
-                scenario.measurements, search_grid=scenario.search_grid
-            ).error_to(scenario.tag_position)
-        )
+        for trial in range(n_trials)
+    ]
+    sweep = run_sweep(tasks, runtime, name="ablation_peak_rule")
+    nearest_errors = [pair[0] for pair in sweep.results]
+    argmax_errors = [pair[1] for pair in sweep.results]
     rows = [
         ["nearest-to-trajectory (§5.2)", fmt(float(np.median(nearest_errors)))],
         ["highest peak (ablated)", fmt(float(np.median(argmax_errors)))],
@@ -152,7 +186,36 @@ def peak_rule_ablation(n_trials: int = 10, seed: int = 0) -> ExperimentOutput:
     )
 
 
-def disentangle_ablation(n_trials: int = 8, seed: int = 0) -> ExperimentOutput:
+def _disentangle_trial(trial: int, seed: int) -> "Tuple[float, float]":
+    """(disentangled error, entangled error) on one Fig. 12 scenario."""
+    localizer = Localizer(frequency_hz=F)
+    scenario = fig12_trial(seed)
+    disentangled = localizer.locate(
+        scenario.measurements, search_grid=scenario.search_grid
+    ).error_to(scenario.tag_position)
+    # Ablated: pretend h_target is already the half-link (set the
+    # reference to 1), skipping Eq. 10.
+    raw = [
+        ThroughRelayMeasurement(
+            position=m.position,
+            h_target=m.h_target,
+            h_reference=1.0 + 0.0j,
+            snr_db=m.snr_db,
+            time=m.time,
+        )
+        for m in scenario.measurements
+    ]
+    entangled = localizer.locate(
+        raw, search_grid=scenario.search_grid
+    ).error_to(scenario.tag_position)
+    return float(disentangled), float(entangled)
+
+
+def disentangle_ablation(
+    n_trials: int = 8,
+    seed: int = 0,
+    runtime: Optional[RuntimeConfig] = None,
+) -> ExperimentOutput:
     """Localizing with the raw (entangled) channel vs Eq. 10.
 
     Without the reference-RFID division, the reader-relay half-link's
@@ -160,32 +223,18 @@ def disentangle_ablation(n_trials: int = 8, seed: int = 0) -> ExperimentOutput:
     collapses (paper §5.1: knowing the drone location is NOT enough
     because of residual multipath on that half-link).
     """
-    localizer = Localizer(frequency_hz=F)
-    disentangled_errors, entangled_errors = [], []
-    for trial in range(n_trials):
-        scenario = fig12_trial(seed * 500 + trial)
-        disentangled_errors.append(
-            localizer.locate(
-                scenario.measurements, search_grid=scenario.search_grid
-            ).error_to(scenario.tag_position)
+    tasks = [
+        SweepTask.make(
+            _disentangle_trial,
+            params={"trial": trial},
+            seed=seed * 500 + trial,
+            label=f"ablation/disentangle/t{trial}",
         )
-        # Ablated: pretend h_target is already the half-link (set the
-        # reference to 1), skipping Eq. 10.
-        raw = [
-            ThroughRelayMeasurement(
-                position=m.position,
-                h_target=m.h_target,
-                h_reference=1.0 + 0.0j,
-                snr_db=m.snr_db,
-                time=m.time,
-            )
-            for m in scenario.measurements
-        ]
-        entangled_errors.append(
-            localizer.locate(raw, search_grid=scenario.search_grid).error_to(
-                scenario.tag_position
-            )
-        )
+        for trial in range(n_trials)
+    ]
+    sweep = run_sweep(tasks, runtime, name="ablation_disentangle")
+    disentangled_errors = [pair[0] for pair in sweep.results]
+    entangled_errors = [pair[1] for pair in sweep.results]
     rows = [
         ["with Eq. 10 disentanglement", fmt(float(np.median(disentangled_errors)))],
         ["raw entangled channel", fmt(float(np.median(entangled_errors)))],
@@ -202,25 +251,36 @@ def disentangle_ablation(n_trials: int = 8, seed: int = 0) -> ExperimentOutput:
     )
 
 
+def _matched_filter_trial(trial: int, seed: int) -> "Tuple[float, float]":
+    """(error at reader's f, error at exact f2) on one scenario."""
+    scenario = fig12_trial(seed)
+    f_error = Localizer(frequency_hz=F).locate(
+        scenario.measurements, search_grid=scenario.search_grid
+    ).error_to(scenario.tag_position)
+    f2_error = Localizer(frequency_hz=F + 1.0e6).locate(
+        scenario.measurements, search_grid=scenario.search_grid
+    ).error_to(scenario.tag_position)
+    return float(f_error), float(f2_error)
+
+
 def matched_filter_frequency_ablation(
-    n_trials: int = 8, seed: int = 0
+    n_trials: int = 8,
+    seed: int = 0,
+    runtime: Optional[RuntimeConfig] = None,
 ) -> ExperimentOutput:
     """Using the reader's f vs the exact f2 in Eq. 12 (§5.2)."""
-    f_localizer = Localizer(frequency_hz=F)
-    f2_localizer = Localizer(frequency_hz=F + 1.0e6)
-    f_errors, f2_errors = [], []
-    for trial in range(n_trials):
-        scenario = fig12_trial(seed * 700 + trial)
-        f_errors.append(
-            f_localizer.locate(
-                scenario.measurements, search_grid=scenario.search_grid
-            ).error_to(scenario.tag_position)
+    tasks = [
+        SweepTask.make(
+            _matched_filter_trial,
+            params={"trial": trial},
+            seed=seed * 700 + trial,
+            label=f"ablation/matched_filter/t{trial}",
         )
-        f2_errors.append(
-            f2_localizer.locate(
-                scenario.measurements, search_grid=scenario.search_grid
-            ).error_to(scenario.tag_position)
-        )
+        for trial in range(n_trials)
+    ]
+    sweep = run_sweep(tasks, runtime, name="ablation_matched_filter")
+    f_errors = [pair[0] for pair in sweep.results]
+    f2_errors = [pair[1] for pair in sweep.results]
     delta = abs(float(np.median(f_errors)) - float(np.median(f2_errors)))
     rows = [
         ["reader's f (paper's shortcut)", fmt(float(np.median(f_errors)))],
@@ -235,26 +295,45 @@ def matched_filter_frequency_ablation(
     )
 
 
-def grid_resolution_ablation(n_trials: int = 6, seed: int = 0) -> ExperimentOutput:
+def _grid_resolution_trial(resolution_m: float, trial: int, seed: int) -> float:
+    """Localization error (m) at one fine-grid resolution."""
+    from repro.sim.scenarios import aperture_microbenchmark
+
+    localizer = Localizer(frequency_hz=F, fine_resolution=resolution_m)
+    scenario = aperture_microbenchmark(2.0, seed, snr_db=30.0)
+    return float(
+        localizer.locate(
+            scenario.measurements, search_grid=scenario.search_grid
+        ).error_to(scenario.tag_position)
+    )
+
+
+def grid_resolution_ablation(
+    n_trials: int = 6,
+    seed: int = 0,
+    runtime: Optional[RuntimeConfig] = None,
+) -> ExperimentOutput:
     """Fine-grid resolution vs achievable accuracy.
 
     The SAR estimate cannot beat the search quantization: the error
     floor tracks the fine resolution until physics (noise, multipath)
     dominates. This bounds how much compute the multires search needs.
     """
-    from repro.sim.scenarios import aperture_microbenchmark
-
+    resolutions_m = (0.10, 0.05, 0.02)
+    tasks = [
+        SweepTask.make(
+            _grid_resolution_trial,
+            params={"resolution_m": resolution, "trial": trial},
+            seed=seed * 300 + trial,
+            label=f"ablation/grid_resolution/r{resolution}/t{trial}",
+        )
+        for resolution in resolutions_m
+        for trial in range(n_trials)
+    ]
+    sweep = run_sweep(tasks, runtime, name="ablation_grid_resolution")
     rows: List[List[str]] = []
-    for resolution in (0.10, 0.05, 0.02):
-        errors = []
-        localizer = Localizer(frequency_hz=F, fine_resolution=resolution)
-        for trial in range(n_trials):
-            scenario = aperture_microbenchmark(2.0, seed * 300 + trial, snr_db=30.0)
-            errors.append(
-                localizer.locate(
-                    scenario.measurements, search_grid=scenario.search_grid
-                ).error_to(scenario.tag_position)
-            )
+    for i, resolution in enumerate(resolutions_m):
+        errors = sweep.results[i * n_trials : (i + 1) * n_trials]
         rows.append([fmt(resolution), fmt(float(np.median(errors)))])
     coarse = float(rows[0][1])
     fine = float(rows[-1][1])
@@ -267,16 +346,18 @@ def grid_resolution_ablation(n_trials: int = 6, seed: int = 0) -> ExperimentOutp
     )
 
 
-def run_all(seed: int = 0) -> List[ExperimentOutput]:
+def run_all(
+    seed: int = 0, runtime: Optional[RuntimeConfig] = None
+) -> List[ExperimentOutput]:
     """All ablations, in DESIGN.md order."""
     return [
         eq4_range_table(),
-        guard_band_ablation(seed),
+        guard_band_ablation(seed, runtime=runtime),
         frequency_shift_ablation(),
-        peak_rule_ablation(seed=seed),
-        disentangle_ablation(seed=seed),
-        matched_filter_frequency_ablation(seed=seed),
-        grid_resolution_ablation(seed=seed),
+        peak_rule_ablation(seed=seed, runtime=runtime),
+        disentangle_ablation(seed=seed, runtime=runtime),
+        matched_filter_frequency_ablation(seed=seed, runtime=runtime),
+        grid_resolution_ablation(seed=seed, runtime=runtime),
     ]
 
 

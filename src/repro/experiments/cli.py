@@ -1,0 +1,189 @@
+"""Command-line front end for the experiment sweep engine.
+
+Usage::
+
+    python -m repro.experiments                     # everything, serial
+    python -m repro.experiments fig12 fig13         # a subset
+    python -m repro.experiments --list              # available names
+    python -m repro.experiments --parallel --cache-dir .repro-cache
+    python -m repro.experiments --smoke --manifest-dir reports/manifests
+
+``--parallel`` fans tasks out over a process pool; results are
+bit-identical to ``--serial`` because every task's seed is fixed before
+dispatch. ``--cache-dir`` turns on the content-addressed result cache
+(second runs are nearly free); ``--no-cache`` bypasses it without
+deleting anything. ``--manifest-dir`` writes one JSON run manifest per
+sweep with per-task wall time, cache hits, and result hashes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.experiments import (
+    ablations,
+    fig4_spectrum,
+    fig6_heatmap,
+    fig9_isolation,
+    fig10_phase,
+    fig11_range,
+    fig12_localization,
+    fig13_aperture,
+    fig14_distance,
+)
+from repro.experiments.runner import ExperimentOutput
+from repro.runtime import RuntimeConfig
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One runnable experiment: its module entry points and smoke knobs."""
+
+    run: Callable[..., Any]
+    format_result: Callable[[Any], ExperimentOutput]
+    smoke_kwargs: Dict[str, Any] = field(default_factory=dict)
+
+
+EXPERIMENTS: Dict[str, ExperimentSpec] = {
+    "fig4": ExperimentSpec(fig4_spectrum.run, fig4_spectrum.format_result),
+    "fig6": ExperimentSpec(fig6_heatmap.run, fig6_heatmap.format_result),
+    "fig9": ExperimentSpec(
+        fig9_isolation.run, fig9_isolation.format_result, {"n_trials": 10}
+    ),
+    "fig10": ExperimentSpec(
+        fig10_phase.run, fig10_phase.format_result, {"n_trials": 8}
+    ),
+    "fig11": ExperimentSpec(
+        fig11_range.run, fig11_range.format_result, {"trials_per_point": 40}
+    ),
+    "fig12": ExperimentSpec(
+        fig12_localization.run,
+        fig12_localization.format_result,
+        {"n_trials": 6},
+    ),
+    "fig13": ExperimentSpec(
+        fig13_aperture.run, fig13_aperture.format_result, {"trials_per_point": 3}
+    ),
+    "fig14": ExperimentSpec(
+        fig14_distance.run, fig14_distance.format_result, {"trials_per_point": 2}
+    ),
+}
+
+ALL_NAMES = (*EXPERIMENTS, "ablations")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (shared with ``python -m repro``)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the RFly paper's evaluation figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment names (default: all figures + ablations)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available experiments"
+    )
+    backend = parser.add_mutually_exclusive_group()
+    backend.add_argument(
+        "--parallel",
+        action="store_true",
+        help="fan tasks out over a process pool (bit-identical to serial)",
+    )
+    backend.add_argument(
+        "--serial",
+        action="store_true",
+        help="run tasks in-process in task order (the default)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker count for --parallel (default: CPU count)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="content-addressed result cache directory (e.g. .repro-cache)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the cache entirely (neither read nor written)",
+    )
+    parser.add_argument(
+        "--manifest-dir",
+        default=None,
+        metavar="DIR",
+        help="write one JSON run manifest per sweep into this directory",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced trial counts (fast CI pass; tables still deterministic)",
+    )
+    parser.add_argument(
+        "--trace-memory",
+        action="store_true",
+        help="record per-task peak traced allocations in the manifest",
+    )
+    return parser
+
+
+def runtime_from_args(args: argparse.Namespace) -> RuntimeConfig:
+    """Translate CLI flags into a :class:`RuntimeConfig`."""
+    return RuntimeConfig(
+        backend="process" if args.parallel else "serial",
+        max_workers=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        manifest_dir=args.manifest_dir,
+        trace_memory=args.trace_memory,
+    )
+
+
+def run_experiment(
+    name: str,
+    runtime: RuntimeConfig,
+    smoke: bool = False,
+) -> List[ExperimentOutput]:
+    """Run one named experiment and return its rendered outputs."""
+    if name == "ablations":
+        return ablations.run_all(runtime=runtime)
+    spec = EXPERIMENTS[name]
+    kwargs = dict(spec.smoke_kwargs) if smoke else {}
+    result = spec.run(runtime=runtime, **kwargs)
+    return [spec.format_result(result)]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in ALL_NAMES:
+            print(name)
+        return 0
+
+    runtime = runtime_from_args(args)
+    chosen = args.experiments or list(ALL_NAMES)
+    for name in chosen:
+        if name not in ALL_NAMES:
+            parser.error(
+                f"unknown experiment {name!r}; choices: {', '.join(ALL_NAMES)}"
+            )
+        start = time.perf_counter()
+        for output in run_experiment(name, runtime, smoke=args.smoke):
+            print(output.report())
+            print()
+        print(f"[{name} regenerated in {time.perf_counter() - start:.1f} s]")
+        print()
+    return 0

@@ -11,7 +11,7 @@ uniform-random.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
@@ -23,6 +23,7 @@ from repro.hardware import PassiveTag, ReaderFrontend, Synthesizer
 from repro.reader import Reader
 from repro.relay import MirroredRelay, NoMirrorRelay
 from repro.relay.mirrored import RelayConfig
+from repro.runtime import RuntimeConfig, SweepTask, run_sweep
 from repro.sim.results import percentile
 
 #: Wired attenuation between reader and relay; calibrated so the
@@ -59,57 +60,91 @@ def _angular_errors_deg(phases: np.ndarray) -> np.ndarray:
     return np.rad2deg(np.abs(deviations))
 
 
-def run(n_trials: int = 50, seed: int = 0) -> Fig10Result:
-    """Run the Fig. 10 phase-accuracy campaign (sample level)."""
-    rng = np.random.default_rng(seed)
+def _link_amplitudes() -> "tuple[float, float]":
+    """(half-link amplitude, wire amplitude) of the bench setup."""
     wire_amp = float(np.sqrt(db_to_linear(-WIRE_ATTENUATION_DB)))
     half_amp = float(
         np.sqrt(
             db_to_linear(-pathloss.free_space_path_loss_db(TAG_DISTANCE_M, 916e6))
         )
     )
+    return half_amp, wire_amp
+
+
+def _campaign_reader_ppm(campaign_seed: int) -> float:
+    """The one crystal shared by every trial of a campaign (§7.1b)."""
+    return float(np.random.default_rng(campaign_seed).uniform(-1.0, 1.0))
+
+
+def _phase_trial(
+    trial: int, campaign_seed: int, mirrored: bool, seed: int
+) -> float:
+    """One Fig. 10 trial -> the reader's estimated reply phase (rad).
+
+    The campaign seed pins what is physically shared across trials (the
+    reader crystal's ppm error; the one mirrored-relay build); the
+    per-trial seed drives what varies per query (initial phase, noise,
+    and — for the no-mirror baseline — the relay oscillator draw).
+    """
+    rng = np.random.default_rng(seed)
+    half_amp, wire_amp = _link_amplitudes()
     tag = PassiveTag(epc=0x5EED, position=(TAG_DISTANCE_M, 0.0), rng=rng)
-    relay = MirroredRelay(915e6, RelayConfig(), np.random.default_rng(seed + 1))
+    if mirrored:
+        relay = MirroredRelay(
+            915e6, RelayConfig(), np.random.default_rng(campaign_seed + 1)
+        )
+    else:
+        relay = NoMirrorRelay(
+            915e6, RelayConfig(), np.random.default_rng(campaign_seed + 100 + trial)
+        )
     downlink, uplink = _media(relay, half_amp, wire_amp)
+    frontend = ReaderFrontend(
+        Synthesizer(
+            915e6,
+            ppm_error=_campaign_reader_ppm(campaign_seed),
+            phase_offset_rad=float(rng.uniform(0.0, 2.0 * np.pi)),
+        ),
+        tx_power_dbm=20.0,
+        rng=rng,
+    )
+    reader = Reader(frontend, tag_params=TagParams(blf=500e3, miller_m=4))
+    estimate = reader.measure_reply_phase(
+        tag, REPLY_BITS, downlink=downlink, uplink=uplink
+    )
+    return float(estimate.phase_rad)
 
-    # One physical USRP across all trials (one crystal): only the
-    # initial phase of the query varies, per the paper's procedure.
-    reader_ppm = float(rng.uniform(-1.0, 1.0))
 
-    def make_reader() -> Reader:
-        """A fresh reader sharing the experiment's one crystal."""
-        frontend = ReaderFrontend(
-            Synthesizer(
-                915e6,
-                ppm_error=reader_ppm,
-                phase_offset_rad=float(rng.uniform(0.0, 2.0 * np.pi)),
-            ),
-            tx_power_dbm=20.0,
-            rng=rng,
+def run(
+    n_trials: int = 50,
+    seed: int = 0,
+    runtime: Optional[RuntimeConfig] = None,
+) -> Fig10Result:
+    """Run the Fig. 10 phase-accuracy campaign (per-trial tasks).
+
+    The shared physical state (one crystal, one mirrored build) derives
+    from the campaign seed inside every task, so trials are independent
+    and the sweep parallelizes; per-trial randomness is trial-indexed.
+    """
+    tasks = [
+        SweepTask.make(
+            _phase_trial,
+            params={
+                "trial": trial,
+                "campaign_seed": seed,
+                "mirrored": mirrored,
+            },
+            seed=seed * 10_007 + 2 * trial + (0 if mirrored else 1),
+            label=f"fig10/{'mirrored' if mirrored else 'no_mirror'}/t{trial}",
         )
-        return Reader(frontend, tag_params=TagParams(blf=500e3, miller_m=4))
-
-    mirrored_phases: List[float] = []
-    for trial in range(n_trials):
-        estimate = make_reader().measure_reply_phase(
-            tag, REPLY_BITS, downlink=downlink, uplink=uplink
-        )
-        mirrored_phases.append(estimate.phase_rad)
-
-    no_mirror_phases: List[float] = []
-    for trial in range(n_trials):
-        baseline = NoMirrorRelay(
-            915e6, RelayConfig(), np.random.default_rng(seed + 100 + trial)
-        )
-        downlink_b, uplink_b = _media(baseline, half_amp, wire_amp)
-        estimate = make_reader().measure_reply_phase(
-            tag, REPLY_BITS, downlink=downlink_b, uplink=uplink_b
-        )
-        no_mirror_phases.append(estimate.phase_rad)
-
+        for mirrored in (True, False)
+        for trial in range(n_trials)
+    ]
+    sweep = run_sweep(tasks, runtime, name="fig10_phase")
+    mirrored_phases = np.asarray(sweep.results[:n_trials], dtype=float)
+    no_mirror_phases = np.asarray(sweep.results[n_trials:], dtype=float)
     return Fig10Result(
-        mirrored_errors_deg=_angular_errors_deg(np.asarray(mirrored_phases)),
-        no_mirror_errors_deg=_angular_errors_deg(np.asarray(no_mirror_phases)),
+        mirrored_errors_deg=_angular_errors_deg(mirrored_phases),
+        no_mirror_errors_deg=_angular_errors_deg(no_mirror_phases),
     )
 
 

@@ -7,12 +7,13 @@ non-line-of-sight.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.experiments.runner import ExperimentOutput, fmt
+from repro.runtime import RuntimeConfig, SweepTask, run_sweep
 from repro.sim.readrate import RangeConfig, RangeModel
 
 DEFAULT_DISTANCES = (1, 2, 4, 6, 8, 10, 15, 20, 30, 40, 50, 55, 60)
@@ -27,19 +28,52 @@ class Fig11Result:
     rates: Dict[str, np.ndarray]  # mode -> rates in [0, 1]
 
 
+def _point(
+    distance_m: float, mode: str, trials: int, seed: int, **config_fields: float
+) -> float:
+    """One (distance, mode) point of Fig. 11 -> read rate in [0, 1].
+
+    The :class:`RangeConfig` scalars arrive flattened in the task
+    params, so the cache key covers the full link budget.
+    """
+    model = RangeModel(RangeConfig(**config_fields))
+    rng = np.random.default_rng(seed)
+    return model.read_rate(distance_m, mode, rng, trials)
+
+
 def run(
     distances_m: Sequence[float] = DEFAULT_DISTANCES,
     trials_per_point: int = 300,
     seed: int = 0,
     config: RangeConfig = RangeConfig(),
+    runtime: Optional[RuntimeConfig] = None,
 ) -> Fig11Result:
-    """Sweep the three curves of Fig. 11."""
-    rng = np.random.default_rng(seed)
-    model = RangeModel(config)
-    rates = {mode: [] for mode in MODES}
-    for d in distances_m:
-        for mode in MODES:
-            rates[mode].append(model.read_rate(float(d), mode, rng, trials_per_point))
+    """Sweep the three curves of Fig. 11 on the engine.
+
+    Each (distance, mode) point draws its fading from an independent,
+    point-indexed seed instead of one shared sequential stream.
+    """
+    config_fields = {k: float(v) for k, v in asdict(config).items()}
+    tasks = [
+        SweepTask.make(
+            _point,
+            params={
+                "distance_m": float(d),
+                "mode": mode,
+                "trials": trials_per_point,
+                **config_fields,
+            },
+            seed=seed * 11_113 + point,
+            label=f"fig11/{mode}/d{d}",
+        )
+        for point, (d, mode) in enumerate(
+            (d, mode) for d in distances_m for mode in MODES
+        )
+    ]
+    sweep = run_sweep(tasks, runtime, name="fig11_range")
+    rates: Dict[str, List[float]] = {mode: [] for mode in MODES}
+    for task, rate in zip(tasks, sweep.results):
+        rates[str(dict(task.params)["mode"])].append(float(rate))
     return Fig11Result(
         distances_m=np.asarray(distances_m, dtype=float),
         rates={m: np.asarray(v) for m, v in rates.items()},

@@ -8,13 +8,14 @@ reports a 19 cm median and a 53 cm 90th-percentile error.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.constants import UHF_CENTER_FREQUENCY
 from repro.experiments.runner import ExperimentOutput, fmt
 from repro.localization import Localizer
+from repro.runtime import RuntimeConfig, SweepTask, run_sweep
 from repro.sim.results import empirical_cdf, percentile, summarize
 from repro.sim.scenarios import fig12_trial
 
@@ -30,17 +31,33 @@ class Fig12Result:
         return empirical_cdf(self.errors_m)
 
 
-def run(n_trials: int = 100, seed: int = 0) -> Fig12Result:
-    """Run the Fig. 12 campaign."""
+def _trial(trial: int, seed: int) -> float:
+    """One Fig. 12 trial: scenario build + locate -> error (m)."""
     localizer = Localizer(frequency_hz=UHF_CENTER_FREQUENCY)
-    errors: List[float] = []
-    for trial in range(n_trials):
-        scenario = fig12_trial(seed * 10_000 + trial)
-        result = localizer.locate(
-            scenario.measurements, search_grid=scenario.search_grid
+    scenario = fig12_trial(seed)
+    result = localizer.locate(
+        scenario.measurements, search_grid=scenario.search_grid
+    )
+    return result.error_to(scenario.tag_position)
+
+
+def run(
+    n_trials: int = 100,
+    seed: int = 0,
+    runtime: Optional[RuntimeConfig] = None,
+) -> Fig12Result:
+    """Run the Fig. 12 campaign (per-trial tasks on the sweep engine)."""
+    tasks = [
+        SweepTask.make(
+            _trial,
+            params={"trial": trial},
+            seed=seed * 10_000 + trial,
+            label=f"fig12/trial{trial}",
         )
-        errors.append(result.error_to(scenario.tag_position))
-    return Fig12Result(errors_m=np.asarray(errors))
+        for trial in range(n_trials)
+    ]
+    sweep = run_sweep(tasks, runtime, name="fig12_localization")
+    return Fig12Result(errors_m=np.asarray(sweep.results, dtype=float))
 
 
 def format_result(result: Fig12Result) -> ExperimentOutput:

@@ -9,13 +9,14 @@ from ~22 cm at 0.5 m aperture to <5 cm at 1 m (90th percentile <7 cm at
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.constants import UHF_CENTER_FREQUENCY
 from repro.experiments.runner import ExperimentOutput, fmt
 from repro.localization import Localizer
+from repro.runtime import RuntimeConfig, SweepTask, run_sweep
 from repro.sim.results import percentile
 from repro.sim.scenarios import aperture_microbenchmark
 
@@ -31,30 +32,49 @@ class Fig13Result:
     rssi_errors: Dict[float, np.ndarray]
 
 
+def _trial(aperture_m: float, trial: int, seed: int) -> "Tuple[float, float]":
+    """One (aperture, trial) point -> (SAR error, RSSI error) in meters.
+
+    Both localizers run against the same scenario and share one
+    pose->grid geometry via :meth:`Localizer.locate_with_baseline`.
+    """
+    localizer = Localizer(frequency_hz=UHF_CENTER_FREQUENCY)
+    scenario = aperture_microbenchmark(aperture_m, seed)
+    sar_result, rssi_estimate = localizer.locate_with_baseline(
+        scenario.measurements,
+        scenario.rssi_calibration_gain,
+        search_grid=scenario.search_grid,
+    )
+    return (
+        sar_result.error_to(scenario.tag_position),
+        float(np.linalg.norm(rssi_estimate - scenario.tag_position)),
+    )
+
+
 def run(
     apertures_m: Sequence[float] = DEFAULT_APERTURES,
     trials_per_point: int = 20,
     seed: int = 0,
+    runtime: Optional[RuntimeConfig] = None,
 ) -> Fig13Result:
-    """Run the aperture microbenchmark sweep."""
-    localizer = Localizer(frequency_hz=UHF_CENTER_FREQUENCY)
-    sar: Dict[float, List[float]] = {a: [] for a in apertures_m}
-    rssi: Dict[float, List[float]] = {a: [] for a in apertures_m}
-    for aperture in apertures_m:
-        for trial in range(trials_per_point):
-            scenario = aperture_microbenchmark(aperture, seed * 1000 + trial)
-            result = localizer.locate(
-                scenario.measurements, search_grid=scenario.search_grid
-            )
-            sar[aperture].append(result.error_to(scenario.tag_position))
-            estimate = localizer.locate_rssi(
-                scenario.measurements,
-                scenario.rssi_calibration_gain,
-                search_grid=scenario.search_grid,
-            )
-            rssi[aperture].append(
-                float(np.linalg.norm(estimate - scenario.tag_position))
-            )
+    """Run the aperture microbenchmark sweep on the engine."""
+    tasks = [
+        SweepTask.make(
+            _trial,
+            params={"aperture_m": float(aperture), "trial": trial},
+            seed=seed * 1000 + trial,
+            label=f"fig13/a{aperture}/t{trial}",
+        )
+        for aperture in apertures_m
+        for trial in range(trials_per_point)
+    ]
+    sweep = run_sweep(tasks, runtime, name="fig13_aperture")
+    sar: Dict[float, List[float]] = {float(a): [] for a in apertures_m}
+    rssi: Dict[float, List[float]] = {float(a): [] for a in apertures_m}
+    for task, (sar_error_m, rssi_error_m) in zip(tasks, sweep.results):
+        aperture = float(dict(task.params)["aperture_m"])
+        sar[aperture].append(sar_error_m)
+        rssi[aperture].append(rssi_error_m)
     return Fig13Result(
         apertures_m=np.asarray(apertures_m, dtype=float),
         sar_errors={a: np.asarray(v) for a, v in sar.items()},

@@ -10,13 +10,14 @@ percentile error grows to 82 cm.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.constants import UHF_CENTER_FREQUENCY
 from repro.experiments.runner import ExperimentOutput, fmt
 from repro.localization import Localizer
+from repro.runtime import RuntimeConfig, SweepTask, run_sweep
 from repro.sim.results import percentile
 from repro.sim.scenarios import distance_microbenchmark
 
@@ -32,30 +33,45 @@ class Fig14Result:
     rssi_errors: Dict[float, np.ndarray]
 
 
+def _trial(distance_m: float, trial: int, seed: int) -> "Tuple[float, float]":
+    """One (distance, trial) point -> (SAR error, RSSI error) in meters."""
+    localizer = Localizer(frequency_hz=UHF_CENTER_FREQUENCY)
+    scenario = distance_microbenchmark(distance_m, seed)
+    sar_result, rssi_estimate = localizer.locate_with_baseline(
+        scenario.measurements,
+        scenario.rssi_calibration_gain,
+        search_grid=scenario.search_grid,
+    )
+    return (
+        sar_result.error_to(scenario.tag_position),
+        float(np.linalg.norm(rssi_estimate - scenario.tag_position)),
+    )
+
+
 def run(
     distances_m: Sequence[float] = DEFAULT_DISTANCES,
     trials_per_point: int = 10,
     seed: int = 0,
+    runtime: Optional[RuntimeConfig] = None,
 ) -> Fig14Result:
-    """Run the projected-distance microbenchmark sweep."""
-    localizer = Localizer(frequency_hz=UHF_CENTER_FREQUENCY)
-    sar: Dict[float, List[float]] = {d: [] for d in distances_m}
-    rssi: Dict[float, List[float]] = {d: [] for d in distances_m}
-    for distance in distances_m:
-        for trial in range(trials_per_point):
-            scenario = distance_microbenchmark(distance, seed * 1000 + trial)
-            result = localizer.locate(
-                scenario.measurements, search_grid=scenario.search_grid
-            )
-            sar[distance].append(result.error_to(scenario.tag_position))
-            estimate = localizer.locate_rssi(
-                scenario.measurements,
-                scenario.rssi_calibration_gain,
-                search_grid=scenario.search_grid,
-            )
-            rssi[distance].append(
-                float(np.linalg.norm(estimate - scenario.tag_position))
-            )
+    """Run the projected-distance microbenchmark sweep on the engine."""
+    tasks = [
+        SweepTask.make(
+            _trial,
+            params={"distance_m": float(distance), "trial": trial},
+            seed=seed * 1000 + trial,
+            label=f"fig14/d{distance}/t{trial}",
+        )
+        for distance in distances_m
+        for trial in range(trials_per_point)
+    ]
+    sweep = run_sweep(tasks, runtime, name="fig14_distance")
+    sar: Dict[float, List[float]] = {float(d): [] for d in distances_m}
+    rssi: Dict[float, List[float]] = {float(d): [] for d in distances_m}
+    for task, (sar_error_m, rssi_error_m) in zip(tasks, sweep.results):
+        distance = float(dict(task.params)["distance_m"])
+        sar[distance].append(sar_error_m)
+        rssi[distance].append(rssi_error_m)
     return Fig14Result(
         distances_m=np.asarray(distances_m, dtype=float),
         sar_errors={d: np.asarray(v) for d, v in sar.items()},

@@ -11,6 +11,7 @@ densities, and verifies the separation quantitatively.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -20,6 +21,7 @@ from repro.gen2.backscatter import MillerEncoder, TagParams
 from repro.gen2.commands import Query
 from repro.gen2.pie import PIEEncoder, ReaderParams
 from repro.dsp.units import linear_to_db
+from repro.runtime import RuntimeConfig, SweepTask, run_sweep
 
 SAMPLE_RATE = 4.0e6
 
@@ -72,7 +74,7 @@ def _band_edge_near_peak(freqs, psd_db, threshold_db=10.0) -> float:
     return float(np.min(in_band))
 
 
-def run(seed: int = 0, n_fft: int = 1 << 14) -> Fig4Result:
+def _compute(n_fft: int, seed: int) -> Fig4Result:
     """Synthesize both waveforms and measure the guard band."""
     rng = np.random.default_rng(seed)
     # Regulatory edge shaping, as real readers apply (and as Fig. 4's
@@ -111,6 +113,19 @@ def run(seed: int = 0, n_fft: int = 1 << 14) -> Fig4Result:
         response_peak_offset_hz=response_peak,
         guard_band_hz=guard,
     )
+
+
+def run(
+    seed: int = 0,
+    n_fft: int = 1 << 14,
+    runtime: Optional[RuntimeConfig] = None,
+) -> Fig4Result:
+    """Run the guard-band measurement as a single engine task."""
+    task = SweepTask.make(
+        _compute, params={"n_fft": n_fft}, seed=seed, label="fig4/spectrum"
+    )
+    sweep = run_sweep([task], runtime, name="fig4_spectrum")
+    return sweep.results[0]
 
 
 def format_result(result: Fig4Result) -> ExperimentOutput:

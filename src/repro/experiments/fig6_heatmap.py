@@ -12,7 +12,7 @@ are in the result for plotting.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
@@ -26,6 +26,7 @@ from repro.localization import (
     select_nearest_to_trajectory,
 )
 from repro.localization.grid import Heatmap
+from repro.runtime import RuntimeConfig, SweepTask, run_sweep
 from repro.sim.scenarios import los_heatmap_scenario, multipath_heatmap_scenario
 
 _SHADES = " .:-=+*#%@"
@@ -59,7 +60,7 @@ def ascii_heatmap(heatmap: Heatmap, width: int = 64) -> str:
     return "\n".join(lines)
 
 
-def run(seed: int = 0) -> Fig6Result:
+def _compute(seed: int) -> Fig6Result:
     """Generate both Fig. 6 panels."""
     f = UHF_CENTER_FREQUENCY
     los = los_heatmap_scenario(seed)
@@ -99,6 +100,13 @@ def run(seed: int = 0) -> Fig6Result:
         multipath_error_argmax_m=float(argmax.error_to(multi.tag_position)),
         ghost_peaks_farther=bool(ghost_farther),
     )
+
+
+def run(seed: int = 0, runtime: Optional[RuntimeConfig] = None) -> Fig6Result:
+    """Run both Fig. 6 panels as a single engine task."""
+    task = SweepTask.make(_compute, params={}, seed=seed, label="fig6/heatmaps")
+    sweep = run_sweep([task], runtime, name="fig6_heatmap")
+    return sweep.results[0]
 
 
 def format_result(result: Fig6Result) -> ExperimentOutput:

@@ -10,7 +10,7 @@ over the analog relay on every path.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -19,6 +19,7 @@ from repro.relay.analog_baseline import AnalogCoupling, AnalogRelay
 from repro.relay.isolation import measure_all_isolations
 from repro.relay.mirrored import MirroredRelay, RelayConfig
 from repro.relay.self_interference import AntennaCoupling, LeakagePath
+from repro.runtime import RuntimeConfig, SweepTask, run_sweep
 from repro.sim.results import empirical_cdf, summarize
 
 PAPER_MEDIANS_DB = {
@@ -54,28 +55,59 @@ def _random_config(rng: np.random.Generator) -> RelayConfig:
     )
 
 
-def run(n_trials: int = 100, seed: int = 0) -> Fig9Result:
-    """Run the Fig. 9 isolation campaign."""
+def _trial(trial: int, seed: int) -> "Dict[str, Dict[str, float]]":
+    """One Fig. 9 trial: a fresh relay build probed on every path.
+
+    Returns plain string-keyed dicts so the payload pickles/caches
+    compactly and independently of the enum class.
+    """
     rng = np.random.default_rng(seed)
-    rfly = {path: [] for path in LeakagePath}
-    analog = {path: [] for path in LeakagePath}
-    for _ in range(n_trials):
-        relay = MirroredRelay(
-            reader_frequency_hz=float(rng.uniform(902.75e6, 927.25e6)),
-            config=_random_config(rng),
-            rng=rng,
-            coupling=AntennaCoupling.random(rng),
+    relay = MirroredRelay(
+        reader_frequency_hz=float(rng.uniform(902.75e6, 927.25e6)),
+        config=_random_config(rng),
+        rng=rng,
+        coupling=AntennaCoupling.random(rng),
+    )
+    input_power = float(rng.uniform(-50.0, -20.0))
+    report = measure_all_isolations(relay, input_power_dbm=input_power)
+    # Unity gain: the isolation figures are gain-independent, and a
+    # deep-faded coupling draw would make any positive gain ring.
+    baseline = AnalogRelay(
+        gain_db=0.0, coupling=AnalogCoupling.random(rng), margin_db=0.0
+    ).isolation_report()
+    return {
+        "rfly": {path.value: report.of(path) for path in LeakagePath},
+        "analog": {path.value: baseline.of(path) for path in LeakagePath},
+    }
+
+
+def run(
+    n_trials: int = 100,
+    seed: int = 0,
+    runtime: Optional[RuntimeConfig] = None,
+) -> Fig9Result:
+    """Run the Fig. 9 isolation campaign (per-trial tasks).
+
+    Each trial redraws its build tolerances from an independent,
+    trial-indexed seed, so the campaign parallelizes without any shared
+    RNG stream.
+    """
+    tasks = [
+        SweepTask.make(
+            _trial,
+            params={"trial": trial},
+            seed=seed * 100_003 + trial,
+            label=f"fig9/trial{trial}",
         )
-        input_power = float(rng.uniform(-50.0, -20.0))
-        report = measure_all_isolations(relay, input_power_dbm=input_power)
-        # Unity gain: the isolation figures are gain-independent, and a
-        # deep-faded coupling draw would make any positive gain ring.
-        baseline = AnalogRelay(
-            gain_db=0.0, coupling=AnalogCoupling.random(rng), margin_db=0.0
-        ).isolation_report()
+        for trial in range(n_trials)
+    ]
+    sweep = run_sweep(tasks, runtime, name="fig9_isolation")
+    rfly: "Dict[LeakagePath, List[float]]" = {path: [] for path in LeakagePath}
+    analog: "Dict[LeakagePath, List[float]]" = {path: [] for path in LeakagePath}
+    for payload in sweep.results:
         for path in LeakagePath:
-            rfly[path].append(report.of(path))
-            analog[path].append(baseline.of(path))
+            rfly[path].append(payload["rfly"][path.value])
+            analog[path].append(payload["analog"][path.value])
     return Fig9Result(
         rfly={p: np.asarray(v) for p, v in rfly.items()},
         analog={p: np.asarray(v) for p, v in analog.items()},

@@ -25,7 +25,13 @@ from repro.localization.measurement import (
 )
 from repro.localization.disentangle import disentangle, disentangle_series
 from repro.localization.grid import Grid2D, Heatmap
-from repro.localization.sar import sar_heatmap, sar_profile
+from repro.localization.sar import (
+    DEFAULT_CHUNK_NODES,
+    SarGeometry,
+    grid_geometry,
+    sar_heatmap,
+    sar_profile,
+)
 from repro.localization.peaks import Peak, find_peaks, select_nearest_to_trajectory
 from repro.localization.multires import multires_locate
 from repro.localization.rssi import rssi_distances, rssi_locate
@@ -43,6 +49,9 @@ __all__ = [
     "disentangle_series",
     "Grid2D",
     "Heatmap",
+    "DEFAULT_CHUNK_NODES",
+    "SarGeometry",
+    "grid_geometry",
     "sar_heatmap",
     "sar_profile",
     "Peak",

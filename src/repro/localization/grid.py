@@ -52,9 +52,8 @@ class Grid2D:
 
     @property
     def n_points(self) -> int:
-        """Total number of grid nodes."""
-        rows = int(np.floor((self.y_max - self.y_min) / self.resolution)) + 1
-        cols = int(np.floor((self.x_max - self.x_min) / self.resolution)) + 1
+        """Total number of grid nodes (consistent with :meth:`meshgrid`)."""
+        rows, cols = self.shape
         return rows * cols
 
     def meshgrid(self) -> Tuple[np.ndarray, np.ndarray]:

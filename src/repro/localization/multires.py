@@ -21,7 +21,7 @@ from repro.localization.peaks import (
     find_peaks,
     select_nearest_to_trajectory,
 )
-from repro.localization.sar import sar_heatmap
+from repro.localization.sar import SarGeometry, sar_heatmap
 
 
 @dataclass(frozen=True)
@@ -43,6 +43,7 @@ def multires_locate(
     fine_span: float = 1.0,
     relative_threshold: float = 0.7,
     use_nearest_peak_rule: bool = True,
+    coarse_geometry: Optional[SarGeometry] = None,
 ) -> MultiresResult:
     """Locate a tag with a coarse sweep plus a fine refinement.
 
@@ -58,6 +59,11 @@ def multires_locate(
     use_nearest_peak_rule:
         True applies §5.2's nearest-to-trajectory selection; False takes
         the global maximum (the ablation of the multipath rule).
+    coarse_geometry:
+        Precomputed pose->grid distances for the coarse stage (from
+        :func:`repro.localization.sar.grid_geometry` on the same
+        trajectory and grid), reusable across matched-filter
+        frequencies and the RSSI baseline.
     """
     if fine_resolution <= 0 or fine_span <= 0:
         raise LocalizationError("fine stage parameters must be positive")
@@ -66,7 +72,9 @@ def multires_locate(
             "fine resolution must refine the coarse grid "
             f"({fine_resolution} > {search_grid.resolution})"
         )
-    coarse = sar_heatmap(positions, channels, search_grid, frequency_hz)
+    coarse = sar_heatmap(
+        positions, channels, search_grid, frequency_hz, geometry=coarse_geometry
+    )
     peaks = find_peaks(coarse, relative_threshold=relative_threshold)
     if use_nearest_peak_rule:
         chosen = select_nearest_to_trajectory(peaks, positions)

@@ -8,7 +8,7 @@ the object the examples and the Fig. 12-14 benchmarks drive.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -19,6 +19,7 @@ from repro.localization.grid import Grid2D, Heatmap
 from repro.localization.measurement import ThroughRelayMeasurement
 from repro.localization.multires import MultiresResult, multires_locate
 from repro.localization.rssi import rssi_locate
+from repro.localization.sar import SarGeometry, grid_geometry
 
 
 @dataclass(frozen=True)
@@ -82,6 +83,15 @@ class Localizer:
         search_grid: Optional[Grid2D] = None,
     ) -> LocalizationResult:
         """Estimate one tag's 2-D position from a flight's measurements."""
+        result, _ = self._locate_multires(measurements, search_grid)
+        return result
+
+    def _locate_multires(
+        self,
+        measurements: Sequence[ThroughRelayMeasurement],
+        search_grid: Optional[Grid2D],
+        coarse_geometry: Optional[SarGeometry] = None,
+    ) -> "Tuple[LocalizationResult, Grid2D]":
         positions, channels = disentangle_series(measurements)
         grid = search_grid or Grid2D.around_trajectory(
             positions, margin=self.search_margin_m, resolution=self.coarse_resolution
@@ -94,13 +104,50 @@ class Localizer:
             fine_resolution=self.fine_resolution,
             relative_threshold=self.relative_threshold,
             use_nearest_peak_rule=self.use_nearest_peak_rule,
+            coarse_geometry=coarse_geometry,
         )
-        return LocalizationResult(
-            position=result.position,
-            coarse_heatmap=result.coarse_heatmap,
-            fine_heatmap=result.fine_heatmap,
-            peak_distance_to_trajectory_m=result.selected_peak.distance_to_trajectory_m,
+        return (
+            LocalizationResult(
+                position=result.position,
+                coarse_heatmap=result.coarse_heatmap,
+                fine_heatmap=result.fine_heatmap,
+                peak_distance_to_trajectory_m=(
+                    result.selected_peak.distance_to_trajectory_m
+                ),
+            ),
+            grid,
         )
+
+    def locate_with_baseline(
+        self,
+        measurements: Sequence[ThroughRelayMeasurement],
+        calibration_gain: float,
+        search_grid: Optional[Grid2D] = None,
+    ) -> "Tuple[LocalizationResult, np.ndarray]":
+        """SAR estimate plus the RSSI baseline, sharing one geometry.
+
+        The Fig. 13/14 sweeps score both localizers on every trial;
+        disentangling once and reusing the pose->grid distance tensor
+        between the SAR coarse stage and the RSSI multilateration
+        roughly halves the per-trial geometry work.
+        """
+        positions, channels = disentangle_series(measurements)
+        grid = search_grid or Grid2D.around_trajectory(
+            positions, margin=self.search_margin_m, resolution=self.coarse_resolution
+        )
+        geometry = grid_geometry(positions, grid)
+        sar_result, _ = self._locate_multires(
+            measurements, grid, coarse_geometry=geometry
+        )
+        rssi_estimate, _ = rssi_locate(
+            positions,
+            channels,
+            grid,
+            self.frequency_hz,
+            calibration_gain,
+            geometry=geometry,
+        )
+        return sar_result, rssi_estimate
 
     def locate_rssi(
         self,

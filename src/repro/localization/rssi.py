@@ -16,6 +16,7 @@ import numpy as np
 from repro.constants import SPEED_OF_LIGHT
 from repro.errors import InsufficientMeasurementsError, LocalizationError
 from repro.localization.grid import Grid2D, Heatmap
+from repro.localization.sar import SarGeometry, grid_geometry
 
 
 def rssi_distances(
@@ -53,12 +54,16 @@ def rssi_locate(
     search_grid: Grid2D,
     frequency_hz: float,
     calibration_gain: float = 1.0,
+    geometry: Optional[SarGeometry] = None,
 ) -> Tuple[np.ndarray, Heatmap]:
     """Multilaterate the tag from RSSI-derived distances.
 
     Scores every grid node by the negative mean squared distance
     mismatch and returns the best node plus the score map (for
-    side-by-side display against the SAR heatmap).
+    side-by-side display against the SAR heatmap). The baseline scores
+    the same pose->grid distances the SAR coarse stage evaluates, so a
+    precomputed ``geometry`` (built from this trajectory and grid) is
+    reused directly.
     """
     positions = np.asarray(positions, dtype=float)
     if positions.ndim != 2 or positions.shape[1] != 2:
@@ -68,13 +73,14 @@ def rssi_locate(
             "RSSI multilateration needs at least three poses"
         )
     distances = rssi_distances(channels, frequency_hz, calibration_gain)
-    gx, gy = search_grid.meshgrid()
-    nodes = np.column_stack([gx.ravel(), gy.ravel()])
-    mismatch = np.zeros(len(nodes))
-    for pose, d in zip(positions, distances):
-        predicted = np.linalg.norm(nodes - pose, axis=1)
-        mismatch += (predicted - d) ** 2
-    score = -mismatch / len(positions)
-    heatmap = Heatmap(grid=search_grid, values=score.reshape(gx.shape))
-    best = nodes[int(np.argmax(score))]
+    if geometry is None:
+        geometry = grid_geometry(positions, search_grid)
+    elif geometry.n_points != search_grid.n_points:
+        raise LocalizationError(
+            f"geometry covers {geometry.n_points} points but the grid has "
+            f"{search_grid.n_points}; build it from this grid"
+        )
+    score = -geometry.rssi_mismatch(distances)
+    heatmap = Heatmap(grid=search_grid, values=score.reshape(search_grid.shape))
+    best = geometry.points[int(np.argmax(score))]
     return best.copy(), heatmap

@@ -1,0 +1,40 @@
+"""The sweep engine: parallel, cached execution of experiment tasks.
+
+Every figure regeneration is a sweep over independent (scenario, seed,
+parameter) points. This package expresses each point as a pure, seeded
+:class:`~repro.runtime.task.SweepTask`, fans the tasks out over a
+serial or process-pool backend (:mod:`repro.runtime.backends` is the
+single audited home of ``concurrent.futures`` in the tree — reprolint
+R304 enforces this), memoizes results in a content-addressed on-disk
+cache, and records per-task wall-time/memory statistics into a run
+manifest consumable by ``benchmarks/``.
+
+Determinism contract: per-task seeds are fixed *before* dispatch
+(explicitly, or spawned from a root seed via
+``numpy.random.SeedSequence``), so the parallel backend produces
+bit-identical results — and an identical manifest fingerprint — to the
+serial one.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.cache import ResultCache, cache_key
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.engine import SweepResult, run_sweep
+from repro.runtime.manifest import RunManifest, TaskRecord
+from repro.runtime.seeding import seed_tasks, spawn_seed_sequences, spawn_task_seeds
+from repro.runtime.task import SweepTask
+
+__all__ = [
+    "SweepTask",
+    "SweepResult",
+    "run_sweep",
+    "RuntimeConfig",
+    "ResultCache",
+    "cache_key",
+    "RunManifest",
+    "TaskRecord",
+    "seed_tasks",
+    "spawn_seed_sequences",
+    "spawn_task_seeds",
+]

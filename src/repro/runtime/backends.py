@@ -1,0 +1,87 @@
+"""Execution backends: in-process serial and process-pool parallel.
+
+This module is the one audited home of ``concurrent.futures`` in the
+package (reprolint R304 bans it everywhere else). Both backends consume
+``(index, task)`` pairs and return :class:`TaskOutcome` rows in task
+order; because every task's seed is fixed before dispatch, the two
+backends are interchangeable bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.task import SweepTask
+
+
+@dataclass(frozen=True)
+class TaskOutcome:
+    """One executed task: payload plus its measured cost."""
+
+    index: int
+    payload: Any
+    wall_time_s: float
+    peak_memory_bytes: Optional[int] = None
+
+
+def execute_task(
+    spec: "Tuple[int, SweepTask, bool]",
+) -> TaskOutcome:
+    """Run one task and time it (module-level so workers can pickle it)."""
+    index, task, trace_memory = spec
+    if trace_memory:
+        tracemalloc.start()
+    start = time.perf_counter()
+    try:
+        payload = task.execute()
+    finally:
+        elapsed = time.perf_counter() - start
+        peak: Optional[int] = None
+        if trace_memory:
+            _, peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+    return TaskOutcome(
+        index=index,
+        payload=payload,
+        wall_time_s=elapsed,
+        peak_memory_bytes=peak,
+    )
+
+
+def run_serial(
+    specs: Sequence["Tuple[int, SweepTask, bool]"],
+) -> List[TaskOutcome]:
+    """Execute specs one by one, in order."""
+    return [execute_task(spec) for spec in specs]
+
+
+def run_process_pool(
+    specs: Sequence["Tuple[int, SweepTask, bool]"],
+    max_workers: int,
+) -> List[TaskOutcome]:
+    """Fan specs out over worker processes; results return in spec order.
+
+    Scheduling order is irrelevant to the payloads (tasks are pure and
+    pre-seeded); only the gather order here matters, and it follows the
+    submission order exactly.
+    """
+    if not specs:
+        return []
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        futures = [pool.submit(execute_task, spec) for spec in specs]
+        return [future.result() for future in futures]
+
+
+def run_backend(
+    config: RuntimeConfig,
+    specs: Sequence["Tuple[int, SweepTask, bool]"],
+) -> List[TaskOutcome]:
+    """Dispatch specs to the configured backend."""
+    if config.backend == "process" and len(specs) > 1:
+        return run_process_pool(specs, max_workers=config.resolved_workers)
+    return run_serial(specs)

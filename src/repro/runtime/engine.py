@@ -1,0 +1,130 @@
+"""The sweep engine: cache-aware, backend-agnostic task execution.
+
+``run_sweep`` is the one entry point every experiment runner goes
+through. The flow per sweep:
+
+1. fill in missing task seeds from ``root_seed`` (SeedSequence spawn);
+2. resolve each task's content-addressed cache key and serve hits;
+3. dispatch the misses to the configured backend (serial or process
+   pool) — payloads are bit-identical either way;
+4. persist new payloads and write the run manifest.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence
+
+import repro
+from repro.runtime.backends import TaskOutcome, run_backend
+from repro.runtime.cache import ResultCache, cache_key
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.manifest import (
+    RunManifest,
+    TaskRecord,
+    params_repr,
+    payload_hash,
+)
+from repro.runtime.seeding import seed_tasks
+from repro.runtime.task import SweepTask
+
+
+@dataclass
+class SweepResult:
+    """Payloads (in task order) plus the run's manifest."""
+
+    results: List[Any]
+    manifest: RunManifest
+
+    def __iter__(self) -> "Any":
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+
+def run_sweep(
+    tasks: Sequence[SweepTask],
+    config: Optional[RuntimeConfig] = None,
+    name: str = "sweep",
+    root_seed: Optional[int] = None,
+) -> SweepResult:
+    """Execute a task list under one runtime configuration.
+
+    Parameters
+    ----------
+    tasks:
+        The sweep's pure, seeded tasks (see :class:`SweepTask.make`).
+    config:
+        Backend/cache/manifest knobs; default is serial, no cache.
+    name:
+        Sweep name — the manifest filename under ``config.manifest_dir``.
+    root_seed:
+        When given, tasks with ``seed=None`` receive deterministic
+        seeds spawned from this root (by task index).
+    """
+    config = config or RuntimeConfig()
+    tasks = seed_tasks(tasks, root_seed)
+    started = time.perf_counter()
+
+    cache: Optional[ResultCache] = None
+    if config.cache_dir is not None and config.use_cache:
+        cache = ResultCache(config.cache_dir)
+
+    keys = [cache_key(task) for task in tasks]
+    outcomes: List[Optional[TaskOutcome]] = [None] * len(tasks)
+    hits = [False] * len(tasks)
+
+    misses: List["tuple[int, SweepTask, bool]"] = []
+    for index, (task, key) in enumerate(zip(tasks, keys)):
+        if cache is not None:
+            load_start = time.perf_counter()
+            hit, payload = cache.load(key)
+            if hit:
+                outcomes[index] = TaskOutcome(
+                    index=index,
+                    payload=payload,
+                    wall_time_s=time.perf_counter() - load_start,
+                )
+                hits[index] = True
+                continue
+        misses.append((index, task, config.trace_memory))
+
+    for outcome in run_backend(config, misses):
+        outcomes[outcome.index] = outcome
+        if cache is not None:
+            cache.store(keys[outcome.index], outcome.payload)
+
+    records = []
+    for index, (task, key) in enumerate(zip(tasks, keys)):
+        outcome = outcomes[index]
+        assert outcome is not None  # every index is a hit or a miss
+        records.append(
+            TaskRecord(
+                index=index,
+                label=task.label,
+                fn=task.fn_id,
+                params=params_repr(task.params),
+                seed=task.seed,
+                cache_key=key,
+                cache_hit=hits[index],
+                wall_time_s=outcome.wall_time_s,
+                result_hash=payload_hash(outcome.payload),
+                peak_memory_bytes=outcome.peak_memory_bytes,
+            )
+        )
+
+    manifest = RunManifest(
+        sweep=name,
+        backend=config.backend,
+        n_workers=config.resolved_workers,
+        repro_version=repro.__version__,
+        cache_dir=None if config.cache_dir is None else str(config.cache_dir),
+        cache_enabled=cache is not None,
+        total_wall_time_s=time.perf_counter() - started,
+        tasks=records,
+    )
+    if config.manifest_dir is not None:
+        manifest.save(config.manifest_dir / f"{name}.json")
+    return SweepResult(results=[o.payload for o in outcomes if o is not None], manifest=manifest)

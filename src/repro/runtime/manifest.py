@@ -1,0 +1,125 @@
+"""Run manifests: what a sweep did, per task, and what it cost.
+
+A manifest records one :func:`repro.runtime.engine.run_sweep` call:
+every task's identity (function, parameters, seed, cache key), whether
+it hit the cache, and its wall time (plus peak traced memory when
+enabled). ``benchmarks/`` consumes these to build the timing trajectory
+in ``BENCH_*.json``.
+
+The *fingerprint* is the determinism-relevant projection — identities
+and payload hashes, no timings — and must be byte-equal between serial
+and parallel runs of the same sweep (the property suite enforces this).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pickle
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, List, Optional
+
+#: Canonical formatting for a task's parameter tuple in reports.
+def params_repr(params: Any) -> str:
+    """Stable textual form of canonicalized task parameters."""
+    return repr(params)
+
+
+def payload_hash(payload: Any) -> str:
+    """SHA-256 over a payload's pickle — the bit-identity witness.
+
+    Two payloads with equal hashes round-tripped through the same
+    pickle protocol are byte-identical, which is exactly the claim the
+    serial-vs-parallel and cache-hit properties need.
+    """
+    return hashlib.sha256(
+        pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    ).hexdigest()
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """One task's row in the manifest."""
+
+    index: int
+    label: str
+    fn: str
+    params: str
+    seed: Optional[int]
+    cache_key: str
+    cache_hit: bool
+    wall_time_s: float
+    result_hash: str
+    peak_memory_bytes: Optional[int] = None
+
+
+@dataclass
+class RunManifest:
+    """Everything one sweep run recorded."""
+
+    sweep: str
+    backend: str
+    n_workers: int
+    repro_version: str
+    cache_dir: Optional[str]
+    cache_enabled: bool
+    total_wall_time_s: float = 0.0
+    tasks: List[TaskRecord] = field(default_factory=list)
+
+    @property
+    def n_tasks(self) -> int:
+        """Task count."""
+        return len(self.tasks)
+
+    @property
+    def cache_hits(self) -> int:
+        """How many tasks were served from the cache."""
+        return sum(1 for t in self.tasks if t.cache_hit)
+
+    @property
+    def task_wall_time_s(self) -> float:
+        """Summed per-task wall time (CPU-side cost, ignores overlap)."""
+        return float(sum(t.wall_time_s for t in self.tasks))
+
+    def fingerprint(self) -> str:
+        """Digest of the determinism-relevant fields only.
+
+        Excludes wall times, memory, worker counts, and backend name:
+        serial and process runs of one sweep must agree on this value.
+        """
+        material = repr(
+            [
+                (t.index, t.fn, t.params, t.seed, t.cache_key, t.result_hash)
+                for t in self.tasks
+            ]
+        ).encode("utf-8")
+        return hashlib.sha256(material).hexdigest()
+
+    def to_dict(self) -> "dict[str, Any]":
+        """JSON-ready mapping (includes derived summary fields)."""
+        return {
+            "sweep": self.sweep,
+            "backend": self.backend,
+            "n_workers": self.n_workers,
+            "repro_version": self.repro_version,
+            "cache_dir": self.cache_dir,
+            "cache_enabled": self.cache_enabled,
+            "n_tasks": self.n_tasks,
+            "cache_hits": self.cache_hits,
+            "total_wall_time_s": self.total_wall_time_s,
+            "task_wall_time_s": self.task_wall_time_s,
+            "fingerprint": self.fingerprint(),
+            "tasks": [asdict(t) for t in self.tasks],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """Serialized manifest."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    def save(self, path: "str | Path") -> Path:
+        """Write the manifest to ``path`` (parents created)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json() + "\n", encoding="utf-8")
+        return path

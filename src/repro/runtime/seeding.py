@@ -1,0 +1,75 @@
+"""Deterministic per-task seeding via ``numpy.random.SeedSequence``.
+
+The engine's bit-identity guarantee rests on fixing every task's seed
+*before* dispatch: a root seed spawns one ``SeedSequence`` child per
+task (by index), and each child collapses to a 128-bit integer seed.
+Execution order — serial, process-pool, whatever — can then never
+change what any task computes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.runtime.task import SweepTask
+
+#: Words of 32-bit state drawn per spawned child; 128 bits makes seed
+#: collisions across a sweep astronomically unlikely (and the property
+#: suite checks 10k spawns stay collision-free).
+_SEED_STATE_WORDS = 4
+
+
+def spawn_seed_sequences(
+    root_seed: int, n_tasks: int
+) -> List[np.random.SeedSequence]:
+    """The first ``n_tasks`` children of ``SeedSequence(root_seed)``.
+
+    Child ``i`` depends only on ``(root_seed, i)``, never on how many
+    siblings were spawned, so growing a sweep keeps old tasks' seeds.
+    """
+    if n_tasks < 0:
+        raise ConfigurationError(f"cannot spawn {n_tasks} seed sequences")
+    return list(np.random.SeedSequence(root_seed).spawn(n_tasks))
+
+
+def spawn_task_seeds(root_seed: int, n_tasks: int) -> List[int]:
+    """128-bit integer seeds for ``n_tasks`` tasks under one root."""
+    seeds = []
+    for child in spawn_seed_sequences(root_seed, n_tasks):
+        words = child.generate_state(_SEED_STATE_WORDS, dtype=np.uint32)
+        value = 0
+        for word in words:
+            value = (value << 32) | int(word)
+        seeds.append(value)
+    return seeds
+
+
+def seed_tasks(
+    tasks: Sequence[SweepTask], root_seed: Optional[int]
+) -> List[SweepTask]:
+    """Fill in missing task seeds by spawning from ``root_seed``.
+
+    Tasks that already carry an explicit seed keep it (the experiment
+    ports use explicit arithmetic seeds to stay comparable with the
+    paper tables); only ``seed=None`` tasks consume spawned children.
+    Spawn indices follow task order, so the assignment is deterministic
+    and backend-independent. With ``root_seed=None`` the tasks pass
+    through untouched — seedless tasks are legal for functions that are
+    pure in their parameters alone.
+    """
+    tasks = list(tasks)
+    unseeded = [i for i, task in enumerate(tasks) if task.seed is None]
+    if not unseeded or root_seed is None:
+        return tasks
+    spawned = spawn_task_seeds(root_seed, len(tasks))
+    for i in unseeded:
+        tasks[i] = SweepTask(
+            fn=tasks[i].fn,
+            params=tasks[i].params,
+            seed=spawned[i],
+            label=tasks[i].label,
+        )
+    return tasks

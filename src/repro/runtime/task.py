@@ -1,0 +1,119 @@
+"""The task model: one pure, seeded experiment point.
+
+A :class:`SweepTask` names a module-level function, a canonicalized
+parameter mapping, and an optional integer seed. Purity is the engine's
+load-bearing assumption: given the same ``(fn, params, seed)`` the task
+must return the same payload on any backend, which is what makes both
+process-pool fan-out and the content-addressed result cache sound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Parameter value types the engine accepts. The restriction is what
+#: guarantees tasks pickle cleanly to worker processes and canonicalize
+#: into stable cache keys.
+_SCALAR_TYPES = (bool, int, float, str, bytes, type(None))
+
+
+def canonical_params(params: Mapping[str, Any]) -> Tuple[Tuple[str, Any], ...]:
+    """Sorted, immutable, validated form of a task's parameter mapping.
+
+    Nested lists/tuples become tuples; nested dicts become sorted item
+    tuples; scalars pass through. Anything else (arrays, objects, rngs)
+    is rejected: task inputs must stay small and hashable — large or
+    stateful inputs belong inside the task function, derived from the
+    seed.
+    """
+    return tuple(
+        (str(key), _canonical_value(value, str(key)))
+        for key, value in sorted(params.items())
+    )
+
+
+def _canonical_value(value: Any, key: str) -> Any:
+    if isinstance(value, _SCALAR_TYPES):
+        return value
+    if isinstance(value, (list, tuple)):
+        return tuple(_canonical_value(v, key) for v in value)
+    if isinstance(value, Mapping):
+        return tuple(
+            (str(k), _canonical_value(v, key)) for k, v in sorted(value.items())
+        )
+    raise ConfigurationError(
+        f"task parameter {key!r} has unsupported type {type(value).__name__}; "
+        "pass scalars, strings, or nested lists/dicts of them"
+    )
+
+
+def fn_identity(fn: Callable[..., Any]) -> str:
+    """``module:qualname`` of a task function (the cache-key component)."""
+    module = getattr(fn, "__module__", None)
+    qualname = getattr(fn, "__qualname__", None)
+    if not module or not qualname or "<locals>" in qualname:
+        raise ConfigurationError(
+            f"task function {fn!r} must be an importable module-level "
+            "function (lambdas and closures cannot be dispatched to "
+            "worker processes or cache-keyed)"
+        )
+    return f"{module}:{qualname}"
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One pure, seeded unit of work in a sweep.
+
+    ``fn`` is called as ``fn(**params)`` — with ``seed=<seed>`` appended
+    when :attr:`seed` is not None — and must depend on nothing but those
+    arguments.
+    """
+
+    fn: Callable[..., Any]
+    params: Tuple[Tuple[str, Any], ...] = ()
+    seed: Optional[int] = None
+    label: str = ""
+
+    @staticmethod
+    def make(
+        fn: Callable[..., Any],
+        params: Optional[Mapping[str, Any]] = None,
+        seed: Optional[int] = None,
+        label: str = "",
+    ) -> "SweepTask":
+        """Build a task, canonicalizing ``params`` and validating ``fn``."""
+        identity = fn_identity(fn)
+        canonical = canonical_params(params or {})
+        if seed is not None and not isinstance(seed, int):
+            raise ConfigurationError(
+                f"task seed must be an int or None, got {type(seed).__name__}"
+            )
+        return SweepTask(
+            fn=fn,
+            params=canonical,
+            seed=seed,
+            label=label or identity.rsplit(":", 1)[1],
+        )
+
+    @property
+    def fn_id(self) -> str:
+        """``module:qualname`` of the task function."""
+        return fn_identity(self.fn)
+
+    def kwargs(self) -> "dict[str, Any]":
+        """The keyword arguments the task function is called with.
+
+        Canonicalized containers stay tuples: task functions taking
+        sequence parameters must accept any sequence type.
+        """
+        kwargs: "dict[str, Any]" = dict(self.params)
+        if self.seed is not None:
+            kwargs["seed"] = self.seed
+        return kwargs
+
+    def execute(self) -> Any:
+        """Run the task in-process (the serial backend's core)."""
+        return self.fn(**self.kwargs())

@@ -55,6 +55,41 @@ class TestLegacyGlobalNpRandom:
         assert codes(src) == []
 
 
+class TestAdHocParallelism:
+    def codes_at(self, source: str, path: str) -> list:
+        return [
+            f.code
+            for f in analyze_source(
+                textwrap.dedent(source), path=path, config=DETERMINISM_ONLY
+            )
+        ]
+
+    def test_import_multiprocessing_is_flagged(self):
+        assert "R304" in codes("import multiprocessing")
+
+    def test_import_multiprocessing_submodule_is_flagged(self):
+        assert "R304" in codes("import multiprocessing.pool")
+
+    def test_from_concurrent_futures_is_flagged(self):
+        assert "R304" in codes(
+            "from concurrent.futures import ProcessPoolExecutor"
+        )
+
+    def test_from_concurrent_import_futures_is_flagged(self):
+        assert "R304" in codes("from concurrent import futures")
+
+    def test_runtime_backends_module_is_exempt(self):
+        src = "from concurrent.futures import ProcessPoolExecutor"
+        assert self.codes_at(src, "src/repro/runtime/backends.py") == []
+
+    def test_experiments_module_is_not_exempt(self):
+        src = "import multiprocessing"
+        assert "R304" in self.codes_at(src, "src/repro/experiments/cli.py")
+
+    def test_unrelated_imports_pass(self):
+        assert codes("import concurrency_helpers\nimport threading") == []
+
+
 class TestStdlibRandomImport:
     def test_import_random_is_flagged(self):
         assert "R303" in codes("import random")

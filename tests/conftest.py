@@ -11,3 +11,17 @@ settings.register_profile(
     derandomize=True,
 )
 settings.load_profile("repro")
+
+
+def pytest_addoption(parser):
+    """Register the golden-file regeneration flag.
+
+    ``pytest tests/experiments/test_golden.py --update-golden`` rewrites
+    every golden table from the current code instead of comparing.
+    """
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/experiments/golden/*.txt from current outputs",
+    )

@@ -1,0 +1,48 @@
+"""Module-level task functions for the runtime tests.
+
+Worker processes pickle task functions by reference, so everything the
+engine tests dispatch must live at module scope in an importable module
+— that is this file's whole job.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def add(x, y):
+    """Seedless pure arithmetic."""
+    return x + y
+
+
+def normal_sum(n, seed):
+    """Sum of n standard-normal draws — scalar, seed-sensitive."""
+    rng = np.random.default_rng(seed)
+    return float(rng.normal(size=n).sum())
+
+
+def normal_draw(n, seed):
+    """Raw normal draws — an ndarray payload for bit-identity checks."""
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=n)
+
+
+def structured(n, seed):
+    """A nested payload: dict of arrays and scalars."""
+    rng = np.random.default_rng(seed)
+    values = rng.normal(size=n)
+    return {"values": values, "mean": float(values.mean()), "n": n}
+
+
+def slow_square(x, delay_s=0.0):
+    """Square with an optional sleep (for wall-time accounting tests)."""
+    import time
+
+    if delay_s:
+        time.sleep(delay_s)
+    return x * x
+
+
+def boom(seed):
+    """Always raises — error-propagation tests."""
+    raise ValueError(f"boom({seed})")

@@ -1,0 +1,69 @@
+"""Unit tests for deterministic SeedSequence-based task seeding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime import SweepTask, seed_tasks, spawn_seed_sequences, spawn_task_seeds
+
+from tests.runtime import sweep_fns
+
+
+class TestSpawning:
+    def test_deterministic(self):
+        assert spawn_task_seeds(42, 20) == spawn_task_seeds(42, 20)
+
+    def test_root_changes_everything(self):
+        assert set(spawn_task_seeds(0, 10)).isdisjoint(spawn_task_seeds(1, 10))
+
+    def test_prefix_stable_under_growth(self):
+        # Child i depends only on (root, i): growing a sweep must not
+        # reshuffle the seeds of tasks that already existed.
+        assert spawn_task_seeds(7, 20)[:5] == spawn_task_seeds(7, 5)
+
+    def test_seeds_are_128_bit(self):
+        for seed in spawn_task_seeds(3, 50):
+            assert 0 <= seed < 1 << 128
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            spawn_seed_sequences(0, -1)
+
+    def test_no_collisions_across_10k_tasks(self):
+        seeds = spawn_task_seeds(0, 10_000)
+        assert len(set(seeds)) == 10_000
+
+    def test_no_collisions_across_roots(self):
+        pool = set()
+        for root in range(20):
+            pool.update(spawn_task_seeds(root, 100))
+        assert len(pool) == 20 * 100
+
+
+class TestSeedTasks:
+    def _unseeded(self, n):
+        return [
+            SweepTask.make(sweep_fns.normal_sum, params={"n": i + 1})
+            for i in range(n)
+        ]
+
+    def test_fills_only_missing_seeds(self):
+        explicit = SweepTask.make(sweep_fns.normal_sum, params={"n": 9}, seed=123)
+        tasks = seed_tasks([explicit, *self._unseeded(2)], root_seed=0)
+        assert tasks[0].seed == 123
+        assert tasks[1].seed is not None and tasks[2].seed is not None
+        assert tasks[1].seed != tasks[2].seed
+
+    def test_assignment_by_task_index(self):
+        spawned = spawn_task_seeds(5, 3)
+        tasks = seed_tasks(self._unseeded(3), root_seed=5)
+        assert [t.seed for t in tasks] == spawned
+
+    def test_root_none_passthrough(self):
+        tasks = self._unseeded(2)
+        assert seed_tasks(tasks, root_seed=None) == tasks
+
+    def test_idempotent_once_seeded(self):
+        once = seed_tasks(self._unseeded(4), root_seed=9)
+        assert seed_tasks(once, root_seed=9) == once

@@ -1,0 +1,97 @@
+"""Unit tests for the SweepTask model and parameter canonicalization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime import SweepTask
+from repro.runtime.task import canonical_params, fn_identity
+
+from tests.runtime import sweep_fns
+
+
+class TestCanonicalParams:
+    def test_sorted_by_key(self):
+        params = canonical_params({"b": 2, "a": 1, "c": 3})
+        assert [k for k, _ in params] == ["a", "b", "c"]
+
+    def test_order_insensitive(self):
+        assert canonical_params({"x": 1, "y": 2}) == canonical_params(
+            {"y": 2, "x": 1}
+        )
+
+    def test_nested_containers_become_tuples(self):
+        params = canonical_params({"xs": [1, 2, [3, 4]], "m": {"b": 2, "a": 1}})
+        assert dict(params)["xs"] == (1, 2, (3, 4))
+        assert dict(params)["m"] == (("a", 1), ("b", 2))
+
+    def test_scalars_pass_through(self):
+        params = dict(
+            canonical_params(
+                {"i": 3, "f": 0.5, "s": "x", "b": True, "none": None}
+            )
+        )
+        assert params == {"i": 3, "f": 0.5, "s": "x", "b": True, "none": None}
+
+    def test_rejects_arrays(self):
+        with pytest.raises(ConfigurationError, match="unsupported type"):
+            canonical_params({"a": np.zeros(3)})
+
+    def test_rejects_objects(self):
+        with pytest.raises(ConfigurationError, match="unsupported type"):
+            canonical_params({"rng": np.random.default_rng(0)})
+
+
+class TestFnIdentity:
+    def test_module_level_function(self):
+        assert fn_identity(sweep_fns.add) == "tests.runtime.sweep_fns:add"
+
+    def test_rejects_lambda(self):
+        with pytest.raises(ConfigurationError, match="module-level"):
+            fn_identity(lambda x: x)
+
+    def test_rejects_closure(self):
+        def outer():
+            def inner(x):
+                return x
+
+            return inner
+
+        with pytest.raises(ConfigurationError, match="module-level"):
+            fn_identity(outer())
+
+
+class TestSweepTask:
+    def test_make_and_execute(self):
+        task = SweepTask.make(sweep_fns.add, params={"x": 2, "y": 3})
+        assert task.execute() == 5
+
+    def test_seed_appended_to_kwargs(self):
+        task = SweepTask.make(sweep_fns.normal_sum, params={"n": 4}, seed=7)
+        assert task.kwargs() == {"n": 4, "seed": 7}
+
+    def test_no_seed_no_kwarg(self):
+        task = SweepTask.make(sweep_fns.add, params={"x": 1, "y": 1})
+        assert "seed" not in task.kwargs()
+
+    def test_default_label_is_fn_name(self):
+        assert SweepTask.make(sweep_fns.add, params={"x": 0, "y": 0}).label == "add"
+
+    def test_explicit_label(self):
+        task = SweepTask.make(sweep_fns.add, params={"x": 0, "y": 0}, label="a/b")
+        assert task.label == "a/b"
+
+    def test_non_int_seed_rejected(self):
+        with pytest.raises(ConfigurationError, match="seed"):
+            SweepTask.make(sweep_fns.normal_sum, params={"n": 1}, seed=1.5)
+
+    def test_frozen(self):
+        task = SweepTask.make(sweep_fns.add, params={"x": 0, "y": 0})
+        with pytest.raises(AttributeError):
+            task.seed = 3
+
+    def test_execution_reproducible(self):
+        task = SweepTask.make(sweep_fns.normal_draw, params={"n": 16}, seed=11)
+        np.testing.assert_array_equal(task.execute(), task.execute())
