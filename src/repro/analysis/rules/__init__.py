@@ -2,7 +2,12 @@
 
 from __future__ import annotations
 
-from repro.analysis.rules import api, determinism, units  # noqa: F401  (registration)
+from repro.analysis.rules import (  # noqa: F401  (registration)
+    api,
+    determinism,
+    observability,
+    units,
+)
 from repro.analysis.rules.base import ModuleContext, Rule, all_rules, register
 
 __all__ = ["ModuleContext", "Rule", "all_rules", "register"]

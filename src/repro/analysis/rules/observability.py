@@ -1,0 +1,86 @@
+"""Observability rules (``O5xx``).
+
+Timing belongs to the tracing layer: spans carry wall/CPU time into run
+manifests, and :func:`repro.obs.tracing.wall_clock_s` is the sanctioned
+raw clock. Ad-hoc ``time.perf_counter()`` stopwatches scattered through
+library code bypass that surface — their measurements never reach a
+manifest, a trace file, or the metrics registry.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import ModuleContext, Rule, register
+
+#: Path fragments of the packages allowed to read clocks directly: the
+#: tracing layer itself and the engine that records task wall times.
+CLOCK_EXEMPT_FRAGMENTS = ("repro/obs/", "repro/runtime/")
+
+#: ``time`` module functions that read a clock.
+CLOCK_FUNCTIONS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+        "process_time_ns",
+        "clock",
+    }
+)
+
+
+def _is_exempt(ctx: ModuleContext) -> bool:
+    path = ctx.path.replace("\\", "/")
+    return any(fragment in path for fragment in CLOCK_EXEMPT_FRAGMENTS)
+
+
+@register
+class AdHocTiming(Rule):
+    """O501: raw clock reads outside ``repro.obs``/``repro.runtime``.
+
+    A ``time.perf_counter()`` pair is an untracked span: its duration
+    is printed or dropped instead of landing in the run manifest. Wrap
+    the region in ``repro.obs.tracing.span(...)``, or call
+    ``repro.obs.wall_clock_s()`` when only a raw timestamp difference
+    is needed (e.g. CLI status lines).
+    """
+
+    code = "O501"
+    name = "ad-hoc-timing"
+    severity = "error"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if _is_exempt(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in CLOCK_FUNCTIONS
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "time"
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"ad-hoc time.{func.attr}() timing; use a "
+                        "repro.obs.tracing span (or repro.obs.wall_clock_s)",
+                    )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "time" and node.level == 0:
+                    for alias in node.names:
+                        if alias.name in CLOCK_FUNCTIONS:
+                            yield self.finding(
+                                ctx,
+                                node,
+                                f"importing {alias.name} from time for ad-hoc "
+                                "timing; use a repro.obs.tracing span (or "
+                                "repro.obs.wall_clock_s)",
+                            )

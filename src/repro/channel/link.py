@@ -19,6 +19,7 @@ from repro.channel.multipath import one_way_channel
 from repro.constants import BOLTZMANN_DBM_PER_HZ
 from repro.dsp.units import db_to_linear, linear_to_db
 from repro.errors import LinkBudgetError
+from repro.obs import metrics
 
 
 @dataclass
@@ -77,6 +78,7 @@ class Link:
 
     def complex_channel(self) -> complex:
         """One-way channel including antenna gains and polarization loss."""
+        metrics.count("channel.links_evaluated")
         h = self.environment.channel(self.a, self.b, self.frequency_hz)
         gain_db = (
             self.tx_antenna.gain_dbi(self.b - self.a)

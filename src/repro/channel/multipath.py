@@ -33,6 +33,7 @@ from repro.channel.geometry import (
 from repro.channel.pathloss import free_space_amplitude
 from repro.constants import SPEED_OF_LIGHT
 from repro.errors import GeometryError
+from repro.obs import metrics
 
 MAX_SUPPORTED_REFLECTIONS = 2
 
@@ -169,6 +170,7 @@ def trace_rays(
                             ),
                         )
                     )
+    metrics.count("channel.rays_traced", len(rays))
     return rays
 
 
@@ -179,6 +181,7 @@ def one_way_channel(rays: Sequence[Ray], frequency_hz: float) -> complex:
     """
     if frequency_hz <= 0:
         raise GeometryError(f"frequency must be positive, got {frequency_hz}")
+    metrics.count("channel.channels_synthesized")
     h = 0.0 + 0.0j
     for ray in rays:
         amplitude = ray.gain * free_space_amplitude(ray.length, frequency_hz)

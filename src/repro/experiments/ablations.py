@@ -17,7 +17,8 @@ without it:
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+import warnings
+from typing import Any, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -74,28 +75,27 @@ def _guard_band_point(cutoff_khz: float, seed: int) -> float:
     return measure_isolation_db(relay, LeakagePath.INTER_DOWNLINK)
 
 
-def guard_band_ablation(
-    seed: int = 0, runtime: Optional[RuntimeConfig] = None
-) -> ExperimentOutput:
-    """Inter-link isolation vs downlink LPF cutoff.
+GUARD_BAND_CUTOFFS_KHZ = (100.0, 200.0, 300.0, 450.0)
 
-    Once the cutoff approaches the 500 kHz BLF the filter passes the
-    relayed tag response and the guard-band defense of §4.2 is gone.
-    """
-    cutoffs_khz = (100.0, 200.0, 300.0, 450.0)
-    tasks = [
+
+def _guard_band_tasks(seed: int) -> List[SweepTask]:
+    """The guard-band cutoff sweep as one task per cutoff."""
+    return [
         SweepTask.make(
             _guard_band_point,
             params={"cutoff_khz": cutoff},
             seed=seed,
             label=f"ablation/guard_band/{cutoff:.0f}kHz",
         )
-        for cutoff in cutoffs_khz
+        for cutoff in GUARD_BAND_CUTOFFS_KHZ
     ]
-    sweep = run_sweep(tasks, runtime, name="ablation_guard_band")
+
+
+def _reduce_guard_band(payloads: Sequence[float]) -> ExperimentOutput:
+    """Per-cutoff isolations -> the guard-band table."""
     rows: List[List[str]] = [
         [fmt(cutoff), fmt(isolation, 4)]
-        for cutoff, isolation in zip(cutoffs_khz, sweep.results)
+        for cutoff, isolation in zip(GUARD_BAND_CUTOFFS_KHZ, payloads)
     ]
     first = float(rows[0][1])
     last = float(rows[-1][1])
@@ -109,6 +109,18 @@ def guard_band_ablation(
             "collapse at 450 kHz": f"{last:.0f} dB",
         },
     )
+
+
+def guard_band_ablation(
+    seed: int = 0, runtime: Optional[RuntimeConfig] = None
+) -> ExperimentOutput:
+    """Inter-link isolation vs downlink LPF cutoff.
+
+    Once the cutoff approaches the 500 kHz BLF the filter passes the
+    relayed tag response and the guard-band defense of §4.2 is gone.
+    """
+    sweep = run_sweep(_guard_band_tasks(seed), runtime, name="ablation_guard_band")
+    return _reduce_guard_band(sweep.results)
 
 
 def frequency_shift_ablation() -> ExperimentOutput:
@@ -150,13 +162,12 @@ def _peak_rule_trial(trial: int, seed: int) -> "Tuple[float, float]":
     return float(nearest), float(argmax)
 
 
-def peak_rule_ablation(
-    n_trials: int = 10,
-    seed: int = 0,
-    runtime: Optional[RuntimeConfig] = None,
-) -> ExperimentOutput:
-    """Nearest-peak rule vs plain argmax under heavy multipath."""
-    tasks = [
+PEAK_RULE_TRIALS = 10
+
+
+def _peak_rule_tasks(n_trials: int, seed: int) -> List[SweepTask]:
+    """The peak-rule comparison as per-trial tasks."""
+    return [
         SweepTask.make(
             _peak_rule_trial,
             params={"trial": trial},
@@ -165,9 +176,14 @@ def peak_rule_ablation(
         )
         for trial in range(n_trials)
     ]
-    sweep = run_sweep(tasks, runtime, name="ablation_peak_rule")
-    nearest_errors = [pair[0] for pair in sweep.results]
-    argmax_errors = [pair[1] for pair in sweep.results]
+
+
+def _reduce_peak_rule(
+    payloads: Sequence[Tuple[float, float]]
+) -> ExperimentOutput:
+    """Per-trial (nearest, argmax) errors -> the peak-rule table."""
+    nearest_errors = [pair[0] for pair in payloads]
+    argmax_errors = [pair[1] for pair in payloads]
     rows = [
         ["nearest-to-trajectory (§5.2)", fmt(float(np.median(nearest_errors)))],
         ["highest peak (ablated)", fmt(float(np.median(argmax_errors)))],
@@ -184,6 +200,18 @@ def peak_rule_ablation(
             )
         },
     )
+
+
+def peak_rule_ablation(
+    n_trials: int = PEAK_RULE_TRIALS,
+    seed: int = 0,
+    runtime: Optional[RuntimeConfig] = None,
+) -> ExperimentOutput:
+    """Nearest-peak rule vs plain argmax under heavy multipath."""
+    sweep = run_sweep(
+        _peak_rule_tasks(n_trials, seed), runtime, name="ablation_peak_rule"
+    )
+    return _reduce_peak_rule(sweep.results)
 
 
 def _disentangle_trial(trial: int, seed: int) -> "Tuple[float, float]":
@@ -211,19 +239,12 @@ def _disentangle_trial(trial: int, seed: int) -> "Tuple[float, float]":
     return float(disentangled), float(entangled)
 
 
-def disentangle_ablation(
-    n_trials: int = 8,
-    seed: int = 0,
-    runtime: Optional[RuntimeConfig] = None,
-) -> ExperimentOutput:
-    """Localizing with the raw (entangled) channel vs Eq. 10.
+DISENTANGLE_TRIALS = 8
 
-    Without the reference-RFID division, the reader-relay half-link's
-    phase progression corrupts the array equations and the estimate
-    collapses (paper §5.1: knowing the drone location is NOT enough
-    because of residual multipath on that half-link).
-    """
-    tasks = [
+
+def _disentangle_tasks(n_trials: int, seed: int) -> List[SweepTask]:
+    """The disentanglement comparison as per-trial tasks."""
+    return [
         SweepTask.make(
             _disentangle_trial,
             params={"trial": trial},
@@ -232,9 +253,14 @@ def disentangle_ablation(
         )
         for trial in range(n_trials)
     ]
-    sweep = run_sweep(tasks, runtime, name="ablation_disentangle")
-    disentangled_errors = [pair[0] for pair in sweep.results]
-    entangled_errors = [pair[1] for pair in sweep.results]
+
+
+def _reduce_disentangle(
+    payloads: Sequence[Tuple[float, float]]
+) -> ExperimentOutput:
+    """Per-trial (disentangled, entangled) errors -> the table."""
+    disentangled_errors = [pair[0] for pair in payloads]
+    entangled_errors = [pair[1] for pair in payloads]
     rows = [
         ["with Eq. 10 disentanglement", fmt(float(np.median(disentangled_errors)))],
         ["raw entangled channel", fmt(float(np.median(entangled_errors)))],
@@ -251,6 +277,24 @@ def disentangle_ablation(
     )
 
 
+def disentangle_ablation(
+    n_trials: int = DISENTANGLE_TRIALS,
+    seed: int = 0,
+    runtime: Optional[RuntimeConfig] = None,
+) -> ExperimentOutput:
+    """Localizing with the raw (entangled) channel vs Eq. 10.
+
+    Without the reference-RFID division, the reader-relay half-link's
+    phase progression corrupts the array equations and the estimate
+    collapses (paper §5.1: knowing the drone location is NOT enough
+    because of residual multipath on that half-link).
+    """
+    sweep = run_sweep(
+        _disentangle_tasks(n_trials, seed), runtime, name="ablation_disentangle"
+    )
+    return _reduce_disentangle(sweep.results)
+
+
 def _matched_filter_trial(trial: int, seed: int) -> "Tuple[float, float]":
     """(error at reader's f, error at exact f2) on one scenario."""
     scenario = fig12_trial(seed)
@@ -263,13 +307,12 @@ def _matched_filter_trial(trial: int, seed: int) -> "Tuple[float, float]":
     return float(f_error), float(f2_error)
 
 
-def matched_filter_frequency_ablation(
-    n_trials: int = 8,
-    seed: int = 0,
-    runtime: Optional[RuntimeConfig] = None,
-) -> ExperimentOutput:
-    """Using the reader's f vs the exact f2 in Eq. 12 (§5.2)."""
-    tasks = [
+MATCHED_FILTER_TRIALS = 8
+
+
+def _matched_filter_tasks(n_trials: int, seed: int) -> List[SweepTask]:
+    """The matched-filter frequency comparison as per-trial tasks."""
+    return [
         SweepTask.make(
             _matched_filter_trial,
             params={"trial": trial},
@@ -278,9 +321,14 @@ def matched_filter_frequency_ablation(
         )
         for trial in range(n_trials)
     ]
-    sweep = run_sweep(tasks, runtime, name="ablation_matched_filter")
-    f_errors = [pair[0] for pair in sweep.results]
-    f2_errors = [pair[1] for pair in sweep.results]
+
+
+def _reduce_matched_filter(
+    payloads: Sequence[Tuple[float, float]]
+) -> ExperimentOutput:
+    """Per-trial (f, f2) errors -> the matched-filter table."""
+    f_errors = [pair[0] for pair in payloads]
+    f2_errors = [pair[1] for pair in payloads]
     delta = abs(float(np.median(f_errors)) - float(np.median(f2_errors)))
     rows = [
         ["reader's f (paper's shortcut)", fmt(float(np.median(f_errors)))],
@@ -293,6 +341,20 @@ def matched_filter_frequency_ablation(
         paper_claims={"difference": "negligible while (f - f2)/f < 0.01"},
         measured={"difference": f"{delta * 100:.1f} cm"},
     )
+
+
+def matched_filter_frequency_ablation(
+    n_trials: int = MATCHED_FILTER_TRIALS,
+    seed: int = 0,
+    runtime: Optional[RuntimeConfig] = None,
+) -> ExperimentOutput:
+    """Using the reader's f vs the exact f2 in Eq. 12 (§5.2)."""
+    sweep = run_sweep(
+        _matched_filter_tasks(n_trials, seed),
+        runtime,
+        name="ablation_matched_filter",
+    )
+    return _reduce_matched_filter(sweep.results)
 
 
 def _grid_resolution_trial(resolution_m: float, trial: int, seed: int) -> float:
@@ -308,32 +370,31 @@ def _grid_resolution_trial(resolution_m: float, trial: int, seed: int) -> float:
     )
 
 
-def grid_resolution_ablation(
-    n_trials: int = 6,
-    seed: int = 0,
-    runtime: Optional[RuntimeConfig] = None,
-) -> ExperimentOutput:
-    """Fine-grid resolution vs achievable accuracy.
+GRID_RESOLUTIONS_M = (0.10, 0.05, 0.02)
+GRID_RESOLUTION_TRIALS = 6
 
-    The SAR estimate cannot beat the search quantization: the error
-    floor tracks the fine resolution until physics (noise, multipath)
-    dominates. This bounds how much compute the multires search needs.
-    """
-    resolutions_m = (0.10, 0.05, 0.02)
-    tasks = [
+
+def _grid_resolution_tasks(n_trials: int, seed: int) -> List[SweepTask]:
+    """The grid-resolution sweep as (resolution, trial) tasks."""
+    return [
         SweepTask.make(
             _grid_resolution_trial,
             params={"resolution_m": resolution, "trial": trial},
             seed=seed * 300 + trial,
             label=f"ablation/grid_resolution/r{resolution}/t{trial}",
         )
-        for resolution in resolutions_m
+        for resolution in GRID_RESOLUTIONS_M
         for trial in range(n_trials)
     ]
-    sweep = run_sweep(tasks, runtime, name="ablation_grid_resolution")
+
+
+def _reduce_grid_resolution(
+    payloads: Sequence[float], n_trials: int
+) -> ExperimentOutput:
+    """Per-trial errors (resolution-major) -> the resolution table."""
     rows: List[List[str]] = []
-    for i, resolution in enumerate(resolutions_m):
-        errors = sweep.results[i * n_trials : (i + 1) * n_trials]
+    for i, resolution in enumerate(GRID_RESOLUTIONS_M):
+        errors = payloads[i * n_trials : (i + 1) * n_trials]
         rows.append([fmt(resolution), fmt(float(np.median(errors)))])
     coarse = float(rows[0][1])
     fine = float(rows[-1][1])
@@ -346,19 +407,85 @@ def grid_resolution_ablation(
     )
 
 
+def grid_resolution_ablation(
+    n_trials: int = GRID_RESOLUTION_TRIALS,
+    seed: int = 0,
+    runtime: Optional[RuntimeConfig] = None,
+) -> ExperimentOutput:
+    """Fine-grid resolution vs achievable accuracy.
+
+    The SAR estimate cannot beat the search quantization: the error
+    floor tracks the fine resolution until physics (noise, multipath)
+    dominates. This bounds how much compute the multires search needs.
+    """
+    sweep = run_sweep(
+        _grid_resolution_tasks(n_trials, seed),
+        runtime,
+        name="ablation_grid_resolution",
+    )
+    return _reduce_grid_resolution(sweep.results, n_trials)
+
+
+def build_tasks(seed: int = 0) -> List[SweepTask]:
+    """Every swept ablation as one combined task list, DESIGN.md order.
+
+    The pure-math ablations (Eq. 4 table, frequency-shift config check)
+    contribute no tasks; :func:`reduce` re-inserts their tables at the
+    right positions. Task params and seeds match the standalone
+    ablation functions exactly, so the cache is shared between the two
+    entry points.
+    """
+    return [
+        *_guard_band_tasks(seed),
+        *_peak_rule_tasks(PEAK_RULE_TRIALS, seed),
+        *_disentangle_tasks(DISENTANGLE_TRIALS, seed),
+        *_matched_filter_tasks(MATCHED_FILTER_TRIALS, seed),
+        *_grid_resolution_tasks(GRID_RESOLUTION_TRIALS, seed),
+    ]
+
+
+def reduce(
+    payloads: Sequence[Any], params: Mapping[str, Any]
+) -> List[ExperimentOutput]:
+    """Slice combined payloads back into the per-ablation tables."""
+    segments = (
+        len(GUARD_BAND_CUTOFFS_KHZ),
+        PEAK_RULE_TRIALS,
+        DISENTANGLE_TRIALS,
+        MATCHED_FILTER_TRIALS,
+        len(GRID_RESOLUTIONS_M) * GRID_RESOLUTION_TRIALS,
+    )
+    slices: List[Sequence[Any]] = []
+    start = 0
+    for length in segments:
+        slices.append(payloads[start : start + length])
+        start += length
+    return [
+        eq4_range_table(),
+        _reduce_guard_band(slices[0]),
+        frequency_shift_ablation(),
+        _reduce_peak_rule(slices[1]),
+        _reduce_disentangle(slices[2]),
+        _reduce_matched_filter(slices[3]),
+        _reduce_grid_resolution(slices[4], GRID_RESOLUTION_TRIALS),
+    ]
+
+
 def run_all(
     seed: int = 0, runtime: Optional[RuntimeConfig] = None
 ) -> List[ExperimentOutput]:
-    """All ablations, in DESIGN.md order."""
-    return [
-        eq4_range_table(),
-        guard_band_ablation(seed, runtime=runtime),
-        frequency_shift_ablation(),
-        peak_rule_ablation(seed=seed, runtime=runtime),
-        disentangle_ablation(seed=seed, runtime=runtime),
-        matched_filter_frequency_ablation(seed=seed, runtime=runtime),
-        grid_resolution_ablation(seed=seed, runtime=runtime),
-    ]
+    """Deprecated shim; use ``repro.experiments.registry`` instead."""
+    warnings.warn(
+        "ablations.run_all() is deprecated; use "
+        "repro.experiments.registry.run_experiment('ablations', ...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.experiments import registry
+
+    return registry.run_experiment(
+        "ablations", runtime=runtime, seed=seed
+    ).result
 
 
 if __name__ == "__main__":  # pragma: no cover - manual regeneration

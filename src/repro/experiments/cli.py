@@ -2,9 +2,10 @@
 
 Usage::
 
+    python -m repro.experiments list                # available names
+    python -m repro.experiments run fig12 --trace   # one figure, traced
     python -m repro.experiments                     # everything, serial
-    python -m repro.experiments fig12 fig13         # a subset
-    python -m repro.experiments --list              # available names
+    python -m repro.experiments fig12 fig13         # legacy bare names
     python -m repro.experiments --parallel --cache-dir .repro-cache
     python -m repro.experiments --smoke --manifest-dir reports/manifests
 
@@ -14,62 +15,44 @@ dispatch. ``--cache-dir`` turns on the content-addressed result cache
 (second runs are nearly free); ``--no-cache`` bypasses it without
 deleting anything. ``--manifest-dir`` writes one JSON run manifest per
 sweep with per-task wall time, cache hits, and result hashes.
+
+Observability (``repro.obs``) flags:
+
+``--trace``
+    Record nested span trees (engine + per-task) and print the engine
+    span tree after each experiment; with ``--obs-dir DIR`` also write
+    ``<sweep>.trace.jsonl``.
+``--metrics``
+    Collect the metrics registry (cache hits/misses, tasks dispatched,
+    grid points evaluated, ...) and print it; with ``--obs-dir DIR``
+    also write ``<sweep>.metrics.json``.
+``--profile`` / ``--trace-malloc``
+    Per-task cProfile aggregation / peak traced allocations.
 """
 
 from __future__ import annotations
 
 import argparse
-import time
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
-from repro.experiments import (
-    ablations,
-    fig4_spectrum,
-    fig6_heatmap,
-    fig9_isolation,
-    fig10_phase,
-    fig11_range,
-    fig12_localization,
-    fig13_aperture,
-    fig14_distance,
-)
+from repro.errors import ConfigurationError
+from repro.experiments import registry
+from repro.experiments.registry import ExperimentSpec
 from repro.experiments.runner import ExperimentOutput
+from repro.obs import (
+    CProfileObserver,
+    MetricsObserver,
+    SweepObserver,
+    TraceMallocObserver,
+    TraceObserver,
+    wall_clock_s,
+)
 from repro.runtime import RuntimeConfig
 
-
-@dataclass(frozen=True)
-class ExperimentSpec:
-    """One runnable experiment: its module entry points and smoke knobs."""
-
-    run: Callable[..., Any]
-    format_result: Callable[[Any], ExperimentOutput]
-    smoke_kwargs: Dict[str, Any] = field(default_factory=dict)
-
-
+#: CLI alias -> registry spec, in registry order. Kept for backward
+#: compatibility with callers that imported the old per-figure table.
 EXPERIMENTS: Dict[str, ExperimentSpec] = {
-    "fig4": ExperimentSpec(fig4_spectrum.run, fig4_spectrum.format_result),
-    "fig6": ExperimentSpec(fig6_heatmap.run, fig6_heatmap.format_result),
-    "fig9": ExperimentSpec(
-        fig9_isolation.run, fig9_isolation.format_result, {"n_trials": 10}
-    ),
-    "fig10": ExperimentSpec(
-        fig10_phase.run, fig10_phase.format_result, {"n_trials": 8}
-    ),
-    "fig11": ExperimentSpec(
-        fig11_range.run, fig11_range.format_result, {"trials_per_point": 40}
-    ),
-    "fig12": ExperimentSpec(
-        fig12_localization.run,
-        fig12_localization.format_result,
-        {"n_trials": 6},
-    ),
-    "fig13": ExperimentSpec(
-        fig13_aperture.run, fig13_aperture.format_result, {"trials_per_point": 3}
-    ),
-    "fig14": ExperimentSpec(
-        fig14_distance.run, fig14_distance.format_result, {"trials_per_point": 2}
-    ),
+    spec.alias: spec for spec in registry.REGISTRY if spec.alias != spec.name
 }
 
 ALL_NAMES = (*EXPERIMENTS, "ablations")
@@ -84,7 +67,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiments",
         nargs="*",
-        help="experiment names (default: all figures + ablations)",
+        help=(
+            "'list', 'run NAME [NAME ...]', or bare experiment names "
+            "(default: all figures + ablations)"
+        ),
     )
     parser.add_argument(
         "--list", action="store_true", help="list available experiments"
@@ -130,9 +116,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="reduced trial counts (fast CI pass; tables still deterministic)",
     )
     parser.add_argument(
-        "--trace-memory",
+        "--trace",
+        action="store_true",
+        help="record span trees and print the engine span tree per sweep",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect and print the metrics registry per sweep",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="aggregate per-task cProfile rows and print the top functions",
+    )
+    parser.add_argument(
+        "--trace-malloc",
         action="store_true",
         help="record per-task peak traced allocations in the manifest",
+    )
+    parser.add_argument(
+        "--trace-memory",
+        action="store_true",
+        dest="trace_malloc",
+        help="deprecated alias for --trace-malloc",
+    )
+    parser.add_argument(
+        "--obs-dir",
+        default=None,
+        metavar="DIR",
+        help="write trace JSONL / metrics JSON files into this directory",
     )
     return parser
 
@@ -145,22 +158,69 @@ def runtime_from_args(args: argparse.Namespace) -> RuntimeConfig:
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
         manifest_dir=args.manifest_dir,
-        trace_memory=args.trace_memory,
     )
+
+
+def observers_from_args(args: argparse.Namespace) -> List[SweepObserver]:
+    """Fresh observer instances for one experiment's sweeps."""
+    observers: List[SweepObserver] = []
+    if args.trace:
+        observers.append(TraceObserver(out_dir=args.obs_dir))
+    if args.metrics:
+        observers.append(MetricsObserver(out_dir=args.obs_dir))
+    if args.profile:
+        observers.append(CProfileObserver())
+    if args.trace_malloc:
+        observers.append(TraceMallocObserver())
+    return observers
 
 
 def run_experiment(
     name: str,
     runtime: RuntimeConfig,
     smoke: bool = False,
+    observers: Optional[Sequence[SweepObserver]] = None,
 ) -> List[ExperimentOutput]:
     """Run one named experiment and return its rendered outputs."""
-    if name == "ablations":
-        return ablations.run_all(runtime=runtime)
-    spec = EXPERIMENTS[name]
-    kwargs = dict(spec.smoke_kwargs) if smoke else {}
-    result = spec.run(runtime=runtime, **kwargs)
-    return [spec.format_result(result)]
+    return registry.run_experiment(
+        name, runtime=runtime, smoke=smoke, observers=observers
+    ).outputs
+
+
+def _observer_reports(observers: Sequence[SweepObserver]) -> List[str]:
+    """Headed report blocks of the observers that produce one."""
+    reports = []
+    for observer in observers:
+        if isinstance(observer, TraceObserver):
+            reports.append(f"span tree:\n{observer.report()}")
+        elif isinstance(observer, MetricsObserver):
+            reports.append(f"metrics:\n{observer.report()}")
+        elif isinstance(observer, CProfileObserver):
+            reports.append(f"profile (top functions):\n{observer.report()}")
+    return reports
+
+
+def _resolve_names(
+    parser: argparse.ArgumentParser, tokens: List[str]
+) -> "tuple[List[str], bool]":
+    """Interpret positional tokens -> (experiment names, list_requested).
+
+    Supports the subcommand forms ``list`` and ``run NAME [NAME ...]``
+    alongside the legacy bare-name form.
+    """
+    if tokens and tokens[0] == "list":
+        if len(tokens) > 1:
+            parser.error("'list' takes no further arguments")
+        return [], True
+    if tokens and tokens[0] == "run":
+        tokens = tokens[1:]
+    chosen = tokens or list(ALL_NAMES)
+    for name in chosen:
+        try:
+            registry.get(name)
+        except ConfigurationError as error:
+            parser.error(str(error))
+    return chosen, False
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -168,22 +228,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
 
-    if args.list:
-        for name in ALL_NAMES:
-            print(name)
+    chosen, list_requested = _resolve_names(parser, args.experiments)
+    if args.list or list_requested:
+        for spec in registry.REGISTRY:
+            print(f"{spec.alias:<10} {spec.description}")
         return 0
 
     runtime = runtime_from_args(args)
-    chosen = args.experiments or list(ALL_NAMES)
     for name in chosen:
-        if name not in ALL_NAMES:
-            parser.error(
-                f"unknown experiment {name!r}; choices: {', '.join(ALL_NAMES)}"
-            )
-        start = time.perf_counter()
-        for output in run_experiment(name, runtime, smoke=args.smoke):
+        start_s = wall_clock_s()
+        observers = observers_from_args(args)
+        for output in run_experiment(
+            name, runtime, smoke=args.smoke, observers=observers
+        ):
             print(output.report())
             print()
-        print(f"[{name} regenerated in {time.perf_counter() - start:.1f} s]")
+        for report in _observer_reports(observers):
+            print(report)
+            print()
+        print(f"[{name} regenerated in {wall_clock_s() - start_s:.1f} s]")
         print()
     return 0

@@ -10,8 +10,9 @@ uniform-random.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Any, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -23,7 +24,7 @@ from repro.hardware import PassiveTag, ReaderFrontend, Synthesizer
 from repro.reader import Reader
 from repro.relay import MirroredRelay, NoMirrorRelay
 from repro.relay.mirrored import RelayConfig
-from repro.runtime import RuntimeConfig, SweepTask, run_sweep
+from repro.runtime import RuntimeConfig, SweepTask
 from repro.sim.results import percentile
 
 #: Wired attenuation between reader and relay; calibrated so the
@@ -114,18 +115,15 @@ def _phase_trial(
     return float(estimate.phase_rad)
 
 
-def run(
-    n_trials: int = 50,
-    seed: int = 0,
-    runtime: Optional[RuntimeConfig] = None,
-) -> Fig10Result:
-    """Run the Fig. 10 phase-accuracy campaign (per-trial tasks).
+def build_tasks(n_trials: int = 50, seed: int = 0) -> List[SweepTask]:
+    """The Fig. 10 phase-accuracy campaign as per-trial tasks.
 
     The shared physical state (one crystal, one mirrored build) derives
     from the campaign seed inside every task, so trials are independent
     and the sweep parallelizes; per-trial randomness is trial-indexed.
+    The mirrored block comes first, then the no-mirror baseline.
     """
-    tasks = [
+    return [
         SweepTask.make(
             _phase_trial,
             params={
@@ -139,13 +137,38 @@ def run(
         for mirrored in (True, False)
         for trial in range(n_trials)
     ]
-    sweep = run_sweep(tasks, runtime, name="fig10_phase")
-    mirrored_phases = np.asarray(sweep.results[:n_trials], dtype=float)
-    no_mirror_phases = np.asarray(sweep.results[n_trials:], dtype=float)
+
+
+def reduce(
+    payloads: Sequence[float], params: Mapping[str, Any]
+) -> Fig10Result:
+    """Split the payloads back into the two blocks and take deviations."""
+    n_trials = int(params["n_trials"])
+    mirrored_phases = np.asarray(payloads[:n_trials], dtype=float)
+    no_mirror_phases = np.asarray(payloads[n_trials:], dtype=float)
     return Fig10Result(
         mirrored_errors_deg=_angular_errors_deg(mirrored_phases),
         no_mirror_errors_deg=_angular_errors_deg(no_mirror_phases),
     )
+
+
+def run(
+    n_trials: int = 50,
+    seed: int = 0,
+    runtime: Optional[RuntimeConfig] = None,
+) -> Fig10Result:
+    """Deprecated shim; use ``repro.experiments.registry`` instead."""
+    warnings.warn(
+        "fig10_phase.run() is deprecated; use "
+        "repro.experiments.registry.run_experiment('fig10_phase', ...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.experiments import registry
+
+    return registry.run_experiment(
+        "fig10_phase", runtime=runtime, n_trials=n_trials, seed=seed
+    ).result
 
 
 def format_result(result: Fig10Result) -> ExperimentOutput:

@@ -7,13 +7,14 @@ non-line-of-sight.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import asdict, dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
 from repro.experiments.runner import ExperimentOutput, fmt
-from repro.runtime import RuntimeConfig, SweepTask, run_sweep
+from repro.runtime import RuntimeConfig, SweepTask
 from repro.sim.readrate import RangeConfig, RangeModel
 
 DEFAULT_DISTANCES = (1, 2, 4, 6, 8, 10, 15, 20, 30, 40, 50, 55, 60)
@@ -41,20 +42,22 @@ def _point(
     return model.read_rate(distance_m, mode, rng, trials)
 
 
-def run(
+def build_tasks(
     distances_m: Sequence[float] = DEFAULT_DISTANCES,
     trials_per_point: int = 300,
     seed: int = 0,
-    config: RangeConfig = RangeConfig(),
-    runtime: Optional[RuntimeConfig] = None,
-) -> Fig11Result:
-    """Sweep the three curves of Fig. 11 on the engine.
+    config: Optional[RangeConfig] = None,
+) -> List[SweepTask]:
+    """The three curves of Fig. 11 as (distance, mode) point tasks.
 
     Each (distance, mode) point draws its fading from an independent,
-    point-indexed seed instead of one shared sequential stream.
+    point-indexed seed instead of one shared sequential stream. The
+    :class:`RangeConfig` scalars flatten into the params so the cache
+    key covers the full link budget.
     """
+    config = config if config is not None else RangeConfig()
     config_fields = {k: float(v) for k, v in asdict(config).items()}
-    tasks = [
+    return [
         SweepTask.make(
             _point,
             params={
@@ -70,14 +73,47 @@ def run(
             (d, mode) for d in distances_m for mode in MODES
         )
     ]
-    sweep = run_sweep(tasks, runtime, name="fig11_range")
+
+
+def reduce(
+    payloads: Sequence[float], params: Mapping[str, Any]
+) -> Fig11Result:
+    """Regroup point payloads by mode (distance-major task order)."""
+    distances_m = params["distances_m"]
     rates: Dict[str, List[float]] = {mode: [] for mode in MODES}
-    for task, rate in zip(tasks, sweep.results):
-        rates[str(dict(task.params)["mode"])].append(float(rate))
+    points = ((d, mode) for d in distances_m for mode in MODES)
+    for (_d, mode), rate in zip(points, payloads):
+        rates[mode].append(float(rate))
     return Fig11Result(
         distances_m=np.asarray(distances_m, dtype=float),
         rates={m: np.asarray(v) for m, v in rates.items()},
     )
+
+
+def run(
+    distances_m: Sequence[float] = DEFAULT_DISTANCES,
+    trials_per_point: int = 300,
+    seed: int = 0,
+    config: Optional[RangeConfig] = None,
+    runtime: Optional[RuntimeConfig] = None,
+) -> Fig11Result:
+    """Deprecated shim; use ``repro.experiments.registry`` instead."""
+    warnings.warn(
+        "fig11_range.run() is deprecated; use "
+        "repro.experiments.registry.run_experiment('fig11_range', ...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.experiments import registry
+
+    return registry.run_experiment(
+        "fig11_range",
+        runtime=runtime,
+        distances_m=distances_m,
+        trials_per_point=trials_per_point,
+        seed=seed,
+        config=config,
+    ).result
 
 
 def format_result(result: Fig11Result) -> ExperimentOutput:

@@ -7,15 +7,16 @@ reports a 19 cm median and a 53 cm 90th-percentile error.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Any, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.constants import UHF_CENTER_FREQUENCY
 from repro.experiments.runner import ExperimentOutput, fmt
 from repro.localization import Localizer
-from repro.runtime import RuntimeConfig, SweepTask, run_sweep
+from repro.runtime import RuntimeConfig, SweepTask
 from repro.sim.results import empirical_cdf, percentile, summarize
 from repro.sim.scenarios import fig12_trial
 
@@ -41,13 +42,9 @@ def _trial(trial: int, seed: int) -> float:
     return result.error_to(scenario.tag_position)
 
 
-def run(
-    n_trials: int = 100,
-    seed: int = 0,
-    runtime: Optional[RuntimeConfig] = None,
-) -> Fig12Result:
-    """Run the Fig. 12 campaign (per-trial tasks on the sweep engine)."""
-    tasks = [
+def build_tasks(n_trials: int = 100, seed: int = 0) -> List[SweepTask]:
+    """The Fig. 12 campaign as per-trial tasks."""
+    return [
         SweepTask.make(
             _trial,
             params={"trial": trial},
@@ -56,8 +53,32 @@ def run(
         )
         for trial in range(n_trials)
     ]
-    sweep = run_sweep(tasks, runtime, name="fig12_localization")
-    return Fig12Result(errors_m=np.asarray(sweep.results, dtype=float))
+
+
+def reduce(
+    payloads: Sequence[float], params: Mapping[str, Any]
+) -> Fig12Result:
+    """Per-trial errors in task order -> the error-sample result."""
+    return Fig12Result(errors_m=np.asarray(payloads, dtype=float))
+
+
+def run(
+    n_trials: int = 100,
+    seed: int = 0,
+    runtime: Optional[RuntimeConfig] = None,
+) -> Fig12Result:
+    """Deprecated shim; use ``repro.experiments.registry`` instead."""
+    warnings.warn(
+        "fig12_localization.run() is deprecated; use "
+        "repro.experiments.registry.run_experiment('fig12_localization', ...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.experiments import registry
+
+    return registry.run_experiment(
+        "fig12_localization", runtime=runtime, n_trials=n_trials, seed=seed
+    ).result
 
 
 def format_result(result: Fig12Result) -> ExperimentOutput:

@@ -8,15 +8,16 @@ from ~22 cm at 0.5 m aperture to <5 cm at 1 m (90th percentile <7 cm at
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.constants import UHF_CENTER_FREQUENCY
 from repro.experiments.runner import ExperimentOutput, fmt
 from repro.localization import Localizer
-from repro.runtime import RuntimeConfig, SweepTask, run_sweep
+from repro.runtime import RuntimeConfig, SweepTask
 from repro.sim.results import percentile
 from repro.sim.scenarios import aperture_microbenchmark
 
@@ -51,14 +52,13 @@ def _trial(aperture_m: float, trial: int, seed: int) -> "Tuple[float, float]":
     )
 
 
-def run(
+def build_tasks(
     apertures_m: Sequence[float] = DEFAULT_APERTURES,
     trials_per_point: int = 20,
     seed: int = 0,
-    runtime: Optional[RuntimeConfig] = None,
-) -> Fig13Result:
-    """Run the aperture microbenchmark sweep on the engine."""
-    tasks = [
+) -> List[SweepTask]:
+    """The aperture microbenchmark as (aperture, trial) tasks."""
+    return [
         SweepTask.make(
             _trial,
             params={"aperture_m": float(aperture), "trial": trial},
@@ -68,11 +68,20 @@ def run(
         for aperture in apertures_m
         for trial in range(trials_per_point)
     ]
-    sweep = run_sweep(tasks, runtime, name="fig13_aperture")
+
+
+def reduce(
+    payloads: Sequence[Tuple[float, float]], params: Mapping[str, Any]
+) -> Fig13Result:
+    """Regroup payloads by aperture (aperture-major task order)."""
+    apertures_m = params["apertures_m"]
+    trials_per_point = int(params["trials_per_point"])
     sar: Dict[float, List[float]] = {float(a): [] for a in apertures_m}
     rssi: Dict[float, List[float]] = {float(a): [] for a in apertures_m}
-    for task, (sar_error_m, rssi_error_m) in zip(tasks, sweep.results):
-        aperture = float(dict(task.params)["aperture_m"])
+    points = (
+        float(a) for a in apertures_m for _ in range(trials_per_point)
+    )
+    for aperture, (sar_error_m, rssi_error_m) in zip(points, payloads):
         sar[aperture].append(sar_error_m)
         rssi[aperture].append(rssi_error_m)
     return Fig13Result(
@@ -80,6 +89,30 @@ def run(
         sar_errors={a: np.asarray(v) for a, v in sar.items()},
         rssi_errors={a: np.asarray(v) for a, v in rssi.items()},
     )
+
+
+def run(
+    apertures_m: Sequence[float] = DEFAULT_APERTURES,
+    trials_per_point: int = 20,
+    seed: int = 0,
+    runtime: Optional[RuntimeConfig] = None,
+) -> Fig13Result:
+    """Deprecated shim; use ``repro.experiments.registry`` instead."""
+    warnings.warn(
+        "fig13_aperture.run() is deprecated; use "
+        "repro.experiments.registry.run_experiment('fig13_aperture', ...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.experiments import registry
+
+    return registry.run_experiment(
+        "fig13_aperture",
+        runtime=runtime,
+        apertures_m=apertures_m,
+        trials_per_point=trials_per_point,
+        seed=seed,
+    ).result
 
 
 def format_result(result: Fig13Result) -> ExperimentOutput:

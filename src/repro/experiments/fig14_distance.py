@@ -9,15 +9,16 @@ percentile error grows to 82 cm.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.constants import UHF_CENTER_FREQUENCY
 from repro.experiments.runner import ExperimentOutput, fmt
 from repro.localization import Localizer
-from repro.runtime import RuntimeConfig, SweepTask, run_sweep
+from repro.runtime import RuntimeConfig, SweepTask
 from repro.sim.results import percentile
 from repro.sim.scenarios import distance_microbenchmark
 
@@ -48,14 +49,13 @@ def _trial(distance_m: float, trial: int, seed: int) -> "Tuple[float, float]":
     )
 
 
-def run(
+def build_tasks(
     distances_m: Sequence[float] = DEFAULT_DISTANCES,
     trials_per_point: int = 10,
     seed: int = 0,
-    runtime: Optional[RuntimeConfig] = None,
-) -> Fig14Result:
-    """Run the projected-distance microbenchmark sweep on the engine."""
-    tasks = [
+) -> List[SweepTask]:
+    """The projected-distance microbenchmark as (distance, trial) tasks."""
+    return [
         SweepTask.make(
             _trial,
             params={"distance_m": float(distance), "trial": trial},
@@ -65,11 +65,20 @@ def run(
         for distance in distances_m
         for trial in range(trials_per_point)
     ]
-    sweep = run_sweep(tasks, runtime, name="fig14_distance")
+
+
+def reduce(
+    payloads: Sequence[Tuple[float, float]], params: Mapping[str, Any]
+) -> Fig14Result:
+    """Regroup payloads by distance (distance-major task order)."""
+    distances_m = params["distances_m"]
+    trials_per_point = int(params["trials_per_point"])
     sar: Dict[float, List[float]] = {float(d): [] for d in distances_m}
     rssi: Dict[float, List[float]] = {float(d): [] for d in distances_m}
-    for task, (sar_error_m, rssi_error_m) in zip(tasks, sweep.results):
-        distance = float(dict(task.params)["distance_m"])
+    points = (
+        float(d) for d in distances_m for _ in range(trials_per_point)
+    )
+    for distance, (sar_error_m, rssi_error_m) in zip(points, payloads):
         sar[distance].append(sar_error_m)
         rssi[distance].append(rssi_error_m)
     return Fig14Result(
@@ -77,6 +86,30 @@ def run(
         sar_errors={d: np.asarray(v) for d, v in sar.items()},
         rssi_errors={d: np.asarray(v) for d, v in rssi.items()},
     )
+
+
+def run(
+    distances_m: Sequence[float] = DEFAULT_DISTANCES,
+    trials_per_point: int = 10,
+    seed: int = 0,
+    runtime: Optional[RuntimeConfig] = None,
+) -> Fig14Result:
+    """Deprecated shim; use ``repro.experiments.registry`` instead."""
+    warnings.warn(
+        "fig14_distance.run() is deprecated; use "
+        "repro.experiments.registry.run_experiment('fig14_distance', ...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.experiments import registry
+
+    return registry.run_experiment(
+        "fig14_distance",
+        runtime=runtime,
+        distances_m=distances_m,
+        trials_per_point=trials_per_point,
+        seed=seed,
+    ).result
 
 
 def format_result(result: Fig14Result) -> ExperimentOutput:

@@ -10,8 +10,9 @@ densities, and verifies the separation quantitatively.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -21,7 +22,7 @@ from repro.gen2.backscatter import MillerEncoder, TagParams
 from repro.gen2.commands import Query
 from repro.gen2.pie import PIEEncoder, ReaderParams
 from repro.dsp.units import linear_to_db
-from repro.runtime import RuntimeConfig, SweepTask, run_sweep
+from repro.runtime import RuntimeConfig, SweepTask
 
 SAMPLE_RATE = 4.0e6
 
@@ -115,17 +116,39 @@ def _compute(n_fft: int, seed: int) -> Fig4Result:
     )
 
 
+def build_tasks(n_fft: int = 1 << 14, seed: int = 0) -> List[SweepTask]:
+    """The guard-band measurement as a single engine task."""
+    return [
+        SweepTask.make(
+            _compute, params={"n_fft": n_fft}, seed=seed, label="fig4/spectrum"
+        )
+    ]
+
+
+def reduce(
+    payloads: Sequence[Fig4Result], params: Mapping[str, Any]
+) -> Fig4Result:
+    """Single-task sweep: the one payload is the result."""
+    return payloads[0]
+
+
 def run(
     seed: int = 0,
     n_fft: int = 1 << 14,
     runtime: Optional[RuntimeConfig] = None,
 ) -> Fig4Result:
-    """Run the guard-band measurement as a single engine task."""
-    task = SweepTask.make(
-        _compute, params={"n_fft": n_fft}, seed=seed, label="fig4/spectrum"
+    """Deprecated shim; use ``repro.experiments.registry`` instead."""
+    warnings.warn(
+        "fig4_spectrum.run() is deprecated; use "
+        "repro.experiments.registry.run_experiment('fig4_spectrum', ...)",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    sweep = run_sweep([task], runtime, name="fig4_spectrum")
-    return sweep.results[0]
+    from repro.experiments import registry
+
+    return registry.run_experiment(
+        "fig4_spectrum", runtime=runtime, seed=seed, n_fft=n_fft
+    ).result
 
 
 def format_result(result: Fig4Result) -> ExperimentOutput:

@@ -11,8 +11,9 @@ are in the result for plotting.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Any, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -26,7 +27,7 @@ from repro.localization import (
     select_nearest_to_trajectory,
 )
 from repro.localization.grid import Heatmap
-from repro.runtime import RuntimeConfig, SweepTask, run_sweep
+from repro.runtime import RuntimeConfig, SweepTask
 from repro.sim.scenarios import los_heatmap_scenario, multipath_heatmap_scenario
 
 _SHADES = " .:-=+*#%@"
@@ -102,11 +103,33 @@ def _compute(seed: int) -> Fig6Result:
     )
 
 
+def build_tasks(seed: int = 0) -> List[SweepTask]:
+    """Both Fig. 6 panels as a single engine task."""
+    return [
+        SweepTask.make(_compute, params={}, seed=seed, label="fig6/heatmaps")
+    ]
+
+
+def reduce(
+    payloads: Sequence[Fig6Result], params: Mapping[str, Any]
+) -> Fig6Result:
+    """Single-task sweep: the one payload is the result."""
+    return payloads[0]
+
+
 def run(seed: int = 0, runtime: Optional[RuntimeConfig] = None) -> Fig6Result:
-    """Run both Fig. 6 panels as a single engine task."""
-    task = SweepTask.make(_compute, params={}, seed=seed, label="fig6/heatmaps")
-    sweep = run_sweep([task], runtime, name="fig6_heatmap")
-    return sweep.results[0]
+    """Deprecated shim; use ``repro.experiments.registry`` instead."""
+    warnings.warn(
+        "fig6_heatmap.run() is deprecated; use "
+        "repro.experiments.registry.run_experiment('fig6_heatmap', ...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.experiments import registry
+
+    return registry.run_experiment(
+        "fig6_heatmap", runtime=runtime, seed=seed
+    ).result
 
 
 def format_result(result: Fig6Result) -> ExperimentOutput:

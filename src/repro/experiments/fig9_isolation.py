@@ -9,8 +9,9 @@ over the analog relay on every path.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -19,7 +20,7 @@ from repro.relay.analog_baseline import AnalogCoupling, AnalogRelay
 from repro.relay.isolation import measure_all_isolations
 from repro.relay.mirrored import MirroredRelay, RelayConfig
 from repro.relay.self_interference import AntennaCoupling, LeakagePath
-from repro.runtime import RuntimeConfig, SweepTask, run_sweep
+from repro.runtime import RuntimeConfig, SweepTask
 from repro.sim.results import empirical_cdf, summarize
 
 PAPER_MEDIANS_DB = {
@@ -81,18 +82,14 @@ def _trial(trial: int, seed: int) -> "Dict[str, Dict[str, float]]":
     }
 
 
-def run(
-    n_trials: int = 100,
-    seed: int = 0,
-    runtime: Optional[RuntimeConfig] = None,
-) -> Fig9Result:
-    """Run the Fig. 9 isolation campaign (per-trial tasks).
+def build_tasks(n_trials: int = 100, seed: int = 0) -> List[SweepTask]:
+    """The Fig. 9 isolation campaign as per-trial tasks.
 
     Each trial redraws its build tolerances from an independent,
     trial-indexed seed, so the campaign parallelizes without any shared
     RNG stream.
     """
-    tasks = [
+    return [
         SweepTask.make(
             _trial,
             params={"trial": trial},
@@ -101,10 +98,15 @@ def run(
         )
         for trial in range(n_trials)
     ]
-    sweep = run_sweep(tasks, runtime, name="fig9_isolation")
+
+
+def reduce(
+    payloads: Sequence[Any], params: Mapping[str, Any]
+) -> Fig9Result:
+    """Collect per-trial path isolations into sample arrays."""
     rfly: "Dict[LeakagePath, List[float]]" = {path: [] for path in LeakagePath}
     analog: "Dict[LeakagePath, List[float]]" = {path: [] for path in LeakagePath}
-    for payload in sweep.results:
+    for payload in payloads:
         for path in LeakagePath:
             rfly[path].append(payload["rfly"][path.value])
             analog[path].append(payload["analog"][path.value])
@@ -112,6 +114,25 @@ def run(
         rfly={p: np.asarray(v) for p, v in rfly.items()},
         analog={p: np.asarray(v) for p, v in analog.items()},
     )
+
+
+def run(
+    n_trials: int = 100,
+    seed: int = 0,
+    runtime: Optional[RuntimeConfig] = None,
+) -> Fig9Result:
+    """Deprecated shim; use ``repro.experiments.registry`` instead."""
+    warnings.warn(
+        "fig9_isolation.run() is deprecated; use "
+        "repro.experiments.registry.run_experiment('fig9_isolation', ...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.experiments import registry
+
+    return registry.run_experiment(
+        "fig9_isolation", runtime=runtime, n_trials=n_trials, seed=seed
+    ).result
 
 
 def format_result(result: Fig9Result) -> ExperimentOutput:

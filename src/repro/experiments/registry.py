@@ -1,0 +1,246 @@
+"""The experiment registry: one spec shape for all nine experiments.
+
+Historically every figure module exposed its own ad-hoc
+``run(...)`` signature. The registry replaces that with a single
+:class:`ExperimentSpec` per experiment:
+
+``build_tasks(**params)``
+    Pure: parameters -> the sweep's :class:`~repro.runtime.SweepTask`
+    list, preserving each figure's exact seed scheme.
+``reduce(payloads, params)``
+    Pure: payloads (in task order) + the same parameters -> the
+    figure's structured result. Grouping is rebuilt deterministically
+    from ``params`` (never from shared state), so a cached, parallel,
+    or observed run reduces identically.
+``render(result)``
+    The result -> its :class:`~repro.experiments.runner.ExperimentOutput`
+    tables.
+
+:func:`run_experiment` threads any :mod:`repro.obs` observers straight
+into :func:`~repro.runtime.run_sweep`, which is how
+``python -m repro.experiments run <name> --trace --metrics`` attaches
+tracing without the figure modules knowing about it.
+
+The old module-level ``run()`` entry points remain as thin
+deprecation shims delegating here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    ablations,
+    fig4_spectrum,
+    fig6_heatmap,
+    fig9_isolation,
+    fig10_phase,
+    fig11_range,
+    fig12_localization,
+    fig13_aperture,
+    fig14_distance,
+)
+from repro.experiments.runner import ExperimentOutput
+from repro.obs.observers import SweepObserver
+from repro.runtime import RuntimeConfig, SweepResult, SweepTask, run_sweep
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Everything needed to run, reduce, and render one experiment."""
+
+    name: str
+    alias: str
+    description: str
+    build_tasks: Callable[..., List[SweepTask]]
+    reduce: Callable[[Sequence[Any], Mapping[str, Any]], Any]
+    render: Callable[[Any], List[ExperimentOutput]]
+    defaults: "Dict[str, Any]" = field(default_factory=dict)
+    smoke_overrides: "Dict[str, Any]" = field(default_factory=dict)
+
+    @property
+    def golden_filename(self) -> str:
+        """The checked-in golden table file (under tests/experiments/golden)."""
+        return f"{self.alias}.txt"
+
+
+@dataclass
+class ExperimentRun:
+    """One registry-driven run: parameters, result, rendered outputs."""
+
+    spec: ExperimentSpec
+    params: Dict[str, Any]
+    result: Any
+    outputs: List[ExperimentOutput]
+    sweep: SweepResult
+
+
+REGISTRY: Tuple[ExperimentSpec, ...] = (
+    ExperimentSpec(
+        name="fig4_spectrum",
+        alias="fig4",
+        description="query/response guard band from synthesized Gen2 PSDs",
+        build_tasks=fig4_spectrum.build_tasks,
+        reduce=fig4_spectrum.reduce,
+        render=lambda result: [fig4_spectrum.format_result(result)],
+        defaults={"n_fft": 1 << 14, "seed": 0},
+    ),
+    ExperimentSpec(
+        name="fig6_heatmap",
+        alias="fig6",
+        description="P(x, y) likelihood heatmaps, LoS and heavy multipath",
+        build_tasks=fig6_heatmap.build_tasks,
+        reduce=fig6_heatmap.reduce,
+        render=lambda result: [fig6_heatmap.format_result(result)],
+        defaults={"seed": 0},
+    ),
+    ExperimentSpec(
+        name="fig9_isolation",
+        alias="fig9",
+        description="self-interference isolation CDFs vs the analog relay",
+        build_tasks=fig9_isolation.build_tasks,
+        reduce=fig9_isolation.reduce,
+        render=lambda result: [fig9_isolation.format_result(result)],
+        defaults={"n_trials": 100, "seed": 0},
+        smoke_overrides={"n_trials": 10},
+    ),
+    ExperimentSpec(
+        name="fig10_phase",
+        alias="fig10",
+        description="phase preservation of the mirrored architecture",
+        build_tasks=fig10_phase.build_tasks,
+        reduce=fig10_phase.reduce,
+        render=lambda result: [fig10_phase.format_result(result)],
+        defaults={"n_trials": 50, "seed": 0},
+        smoke_overrides={"n_trials": 8},
+    ),
+    ExperimentSpec(
+        name="fig11_range",
+        alias="fig11",
+        description="read rate vs distance: no relay, relay LoS, relay NLoS",
+        build_tasks=fig11_range.build_tasks,
+        reduce=fig11_range.reduce,
+        render=lambda result: [fig11_range.format_result(result)],
+        defaults={
+            "distances_m": fig11_range.DEFAULT_DISTANCES,
+            "trials_per_point": 300,
+            "seed": 0,
+            "config": None,
+        },
+        smoke_overrides={"trials_per_point": 40},
+    ),
+    ExperimentSpec(
+        name="fig12_localization",
+        alias="fig12",
+        description="end-to-end localization error CDF across the building",
+        build_tasks=fig12_localization.build_tasks,
+        reduce=fig12_localization.reduce,
+        render=lambda result: [fig12_localization.format_result(result)],
+        defaults={"n_trials": 100, "seed": 0},
+        smoke_overrides={"n_trials": 6},
+    ),
+    ExperimentSpec(
+        name="fig13_aperture",
+        alias="fig13",
+        description="localization accuracy vs flight-path aperture",
+        build_tasks=fig13_aperture.build_tasks,
+        reduce=fig13_aperture.reduce,
+        render=lambda result: [fig13_aperture.format_result(result)],
+        defaults={
+            "apertures_m": fig13_aperture.DEFAULT_APERTURES,
+            "trials_per_point": 20,
+            "seed": 0,
+        },
+        smoke_overrides={"trials_per_point": 3},
+    ),
+    ExperimentSpec(
+        name="fig14_distance",
+        alias="fig14",
+        description="localization accuracy vs projected reader distance",
+        build_tasks=fig14_distance.build_tasks,
+        reduce=fig14_distance.reduce,
+        render=lambda result: [fig14_distance.format_result(result)],
+        defaults={
+            "distances_m": fig14_distance.DEFAULT_DISTANCES,
+            "trials_per_point": 10,
+            "seed": 0,
+        },
+        smoke_overrides={"trials_per_point": 2},
+    ),
+    ExperimentSpec(
+        name="ablations",
+        alias="ablations",
+        description="design-choice ablations (DESIGN.md §5), one sweep",
+        build_tasks=ablations.build_tasks,
+        reduce=ablations.reduce,
+        render=list,
+        defaults={"seed": 0},
+    ),
+)
+
+_BY_NAME: Dict[str, ExperimentSpec] = {}
+for _spec in REGISTRY:
+    _BY_NAME[_spec.name] = _spec
+    _BY_NAME[_spec.alias] = _spec
+
+
+def names() -> List[str]:
+    """Canonical experiment names, in registry order."""
+    return [spec.name for spec in REGISTRY]
+
+
+def aliases() -> List[str]:
+    """Short CLI aliases (the golden-file stems), in registry order."""
+    return [spec.alias for spec in REGISTRY]
+
+
+def get(name: str) -> ExperimentSpec:
+    """Resolve a canonical name or alias to its spec."""
+    spec = _BY_NAME.get(name)
+    if spec is None:
+        known = ", ".join(names())
+        raise ConfigurationError(
+            f"unknown experiment {name!r}; choices: {known}"
+        )
+    return spec
+
+
+def run_experiment(
+    name: "str | ExperimentSpec",
+    runtime: Optional[RuntimeConfig] = None,
+    smoke: bool = False,
+    observers: Optional[Sequence[SweepObserver]] = None,
+    **overrides: Any,
+) -> ExperimentRun:
+    """Run one experiment through the registry.
+
+    ``params = defaults`` overlaid with the spec's smoke overrides
+    (when ``smoke``) and then any explicit keyword overrides; the same
+    mapping feeds both ``build_tasks`` and ``reduce``.
+    """
+    spec = get(name) if isinstance(name, str) else name
+    params: Dict[str, Any] = dict(spec.defaults)
+    if smoke:
+        params.update(spec.smoke_overrides)
+    params.update(overrides)
+    tasks = spec.build_tasks(**params)
+    sweep = run_sweep(tasks, runtime, name=spec.name, observers=observers)
+    result = spec.reduce(sweep.results, params)
+    return ExperimentRun(
+        spec=spec,
+        params=params,
+        result=result,
+        outputs=spec.render(result),
+        sweep=sweep,
+    )

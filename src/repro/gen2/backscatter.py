@@ -33,6 +33,7 @@ from repro.constants import GEN2_BLF_DEFAULT, GEN2_BLF_MAX, GEN2_BLF_MIN
 from repro.dsp.signal import Signal
 from repro.errors import ConfigurationError, EncodingError
 from repro.gen2.bitops import Bits, validate_bits
+from repro.obs import metrics
 
 PILOT_ZEROS = 12
 PREAMBLE_BITS = 6  # 1 0 1 0 v 1
@@ -74,6 +75,7 @@ def _halves_to_signal(
     samples = np.zeros(boundaries[-1], dtype=np.complex128)
     for level, lo, hi in zip(halves, boundaries[:-1], boundaries[1:]):
         samples[lo:hi] = float(level)
+    metrics.count("gen2.samples_synthesized", len(samples))
     return Signal(samples, sample_rate, center_frequency_hz, start_time)
 
 

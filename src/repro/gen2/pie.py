@@ -29,6 +29,7 @@ from repro.constants import (
 from repro.dsp.signal import Signal
 from repro.errors import ConfigurationError, EncodingError
 from repro.gen2.bitops import Bits, validate_bits
+from repro.obs import metrics
 
 DELIMITER_SECONDS = 12.5e-6
 DR_64_OVER_3 = 64.0 / 3.0
@@ -172,6 +173,7 @@ class PIEEncoder:
             # Symmetric smoothing keeps the threshold crossings centered,
             # so PIE interval decoding is unaffected.
             samples = np.convolve(samples, window, mode="same")
+        metrics.count("gen2.samples_synthesized", len(samples))
         return Signal(samples, self.sample_rate, center_frequency_hz, start_time)
 
 

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.errors import LocalizationError
 from repro.localization.grid import Grid2D, Heatmap
+from repro.obs import tracing
 from repro.localization.peaks import (
     Peak,
     find_peaks,
@@ -72,19 +73,22 @@ def multires_locate(
             "fine resolution must refine the coarse grid "
             f"({fine_resolution} > {search_grid.resolution})"
         )
-    coarse = sar_heatmap(
-        positions, channels, search_grid, frequency_hz, geometry=coarse_geometry
-    )
-    peaks = find_peaks(coarse, relative_threshold=relative_threshold)
-    if use_nearest_peak_rule:
-        chosen = select_nearest_to_trajectory(peaks, positions)
-    else:
-        chosen = peaks[0]  # strongest
-    fine_grid = search_grid.refined_around(
-        chosen.position, span=fine_span, resolution=fine_resolution
-    )
-    fine = sar_heatmap(positions, channels, fine_grid, frequency_hz)
-    estimate = fine.argmax_position()
+    with tracing.span("localize.coarse", points=search_grid.n_points):
+        coarse = sar_heatmap(
+            positions, channels, search_grid, frequency_hz, geometry=coarse_geometry
+        )
+    with tracing.span("localize.peaks"):
+        peaks = find_peaks(coarse, relative_threshold=relative_threshold)
+        if use_nearest_peak_rule:
+            chosen = select_nearest_to_trajectory(peaks, positions)
+        else:
+            chosen = peaks[0]  # strongest
+    with tracing.span("localize.fine"):
+        fine_grid = search_grid.refined_around(
+            chosen.position, span=fine_span, resolution=fine_resolution
+        )
+        fine = sar_heatmap(positions, channels, fine_grid, frequency_hz)
+        estimate = fine.argmax_position()
     return MultiresResult(
         position=estimate,
         coarse_heatmap=coarse,

@@ -20,6 +20,7 @@ from repro.localization.measurement import ThroughRelayMeasurement
 from repro.localization.multires import MultiresResult, multires_locate
 from repro.localization.rssi import rssi_locate
 from repro.localization.sar import SarGeometry, grid_geometry
+from repro.obs import tracing
 
 
 @dataclass(frozen=True)
@@ -92,20 +93,24 @@ class Localizer:
         search_grid: Optional[Grid2D],
         coarse_geometry: Optional[SarGeometry] = None,
     ) -> "Tuple[LocalizationResult, Grid2D]":
-        positions, channels = disentangle_series(measurements)
-        grid = search_grid or Grid2D.around_trajectory(
-            positions, margin=self.search_margin_m, resolution=self.coarse_resolution
-        )
-        result: MultiresResult = multires_locate(
-            positions,
-            channels,
-            grid,
-            self.frequency_hz,
-            fine_resolution=self.fine_resolution,
-            relative_threshold=self.relative_threshold,
-            use_nearest_peak_rule=self.use_nearest_peak_rule,
-            coarse_geometry=coarse_geometry,
-        )
+        with tracing.span("localize.locate", poses=len(measurements)):
+            with tracing.span("localize.disentangle"):
+                positions, channels = disentangle_series(measurements)
+            grid = search_grid or Grid2D.around_trajectory(
+                positions,
+                margin=self.search_margin_m,
+                resolution=self.coarse_resolution,
+            )
+            result: MultiresResult = multires_locate(
+                positions,
+                channels,
+                grid,
+                self.frequency_hz,
+                fine_resolution=self.fine_resolution,
+                relative_threshold=self.relative_threshold,
+                use_nearest_peak_rule=self.use_nearest_peak_rule,
+                coarse_geometry=coarse_geometry,
+            )
         return (
             LocalizationResult(
                 position=result.position,

@@ -31,6 +31,7 @@ import numpy as np
 from repro.constants import SPEED_OF_LIGHT
 from repro.errors import InsufficientMeasurementsError, LocalizationError
 from repro.localization.grid import Grid2D, Heatmap
+from repro.obs import metrics, tracing
 
 #: Default number of candidate nodes evaluated per chunk. Public and
 #: overridable per call: the chunked and unchunked evaluations agree
@@ -140,11 +141,15 @@ class SarGeometry:
                 len(positions) * len(points) <= _MAX_STORE_ELEMENTS
             )
         self.stores_distances = bool(store_distances)
-        self._chunks: "Optional[list[np.ndarray]]" = (
-            [chunk for _, chunk in self._compute_chunks()]
-            if self.stores_distances
-            else None
-        )
+        if self.stores_distances:
+            with tracing.span(
+                "sar.geometry", poses=len(positions), points=len(points)
+            ):
+                self._chunks: "Optional[list[np.ndarray]]" = [
+                    chunk for _, chunk in self._compute_chunks()
+                ]
+        else:
+            self._chunks = None
 
     def _compute_chunks(self) -> Iterator[Tuple[slice, np.ndarray]]:
         """Distance chunks, freshly computed."""
@@ -190,18 +195,22 @@ class SarGeometry:
         the projection — the standard SAR back-projection weighting.
         """
         _validate(self.positions, channels, frequency_hz)
-        weights = np.asarray(channels, dtype=complex).copy()
-        if normalize:
-            magnitudes = np.abs(weights)
-            nonzero = magnitudes > 0
-            weights[nonzero] = weights[nonzero] / magnitudes[nonzero]
-        k_factor = 2.0 * np.pi * frequency_hz * 2.0 / SPEED_OF_LIGHT
-        values = np.empty(self.n_points)
-        for node_slice, distances_m in self.iter_chunks():
-            phases = np.exp(1j * (k_factor * distances_m))
-            phases *= weights[:, None]
-            values[node_slice] = np.abs(phases.sum(axis=0))
-        return values / len(weights)
+        with tracing.span(
+            "sar.project", poses=self.n_poses, points=self.n_points
+        ):
+            metrics.count("localization.sar.grid_points", self.n_points)
+            weights = np.asarray(channels, dtype=complex).copy()
+            if normalize:
+                magnitudes = np.abs(weights)
+                nonzero = magnitudes > 0
+                weights[nonzero] = weights[nonzero] / magnitudes[nonzero]
+            k_factor = 2.0 * np.pi * frequency_hz * 2.0 / SPEED_OF_LIGHT
+            values = np.empty(self.n_points)
+            for node_slice, distances_m in self.iter_chunks():
+                phases = np.exp(1j * (k_factor * distances_m))
+                phases *= weights[:, None]
+                values[node_slice] = np.abs(phases.sum(axis=0))
+            return values / len(weights)
 
     def rssi_mismatch(self, distances_m: np.ndarray) -> np.ndarray:
         """Mean squared distance mismatch per candidate (RSSI baseline).
@@ -215,12 +224,16 @@ class SarGeometry:
             raise LocalizationError(
                 f"expected {self.n_poses} distances, got {distances_m.shape}"
             )
-        mismatch = np.empty(self.n_points)
-        for node_slice, predicted_m in self.iter_chunks():
-            mismatch[node_slice] = np.mean(
-                (predicted_m - distances_m[:, None]) ** 2, axis=0
-            )
-        return mismatch
+        with tracing.span(
+            "sar.rssi_mismatch", poses=self.n_poses, points=self.n_points
+        ):
+            metrics.count("localization.rssi.grid_points", self.n_points)
+            mismatch = np.empty(self.n_points)
+            for node_slice, predicted_m in self.iter_chunks():
+                mismatch[node_slice] = np.mean(
+                    (predicted_m - distances_m[:, None]) ** 2, axis=0
+                )
+            return mismatch
 
 
 def grid_geometry(

@@ -1,0 +1,82 @@
+"""Observability: structured tracing, metrics, and profiling hooks.
+
+The package is stdlib-only and import-light so instrumentation can
+live in the hottest code paths:
+
+* :mod:`repro.obs.tracing` — nested :func:`span` context managers
+  recording wall/CPU time into a tree; no-ops unless a tracer is
+  active.
+* :mod:`repro.obs.metrics` — a counters/gauges/histograms registry
+  whose snapshots merge order-insensitively; :func:`count`/
+  :func:`observe`/:func:`set_gauge` are no-ops unless a registry is
+  active.
+* :mod:`repro.obs.observers` — the :class:`SweepObserver` protocol the
+  sweep engine accepts via ``run_sweep(..., observers=[...])``, plus
+  the concrete trace/metrics/tracemalloc/cProfile observers.
+
+Nothing here imports ``repro.runtime``; the engine imports us.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    activate_registry,
+    active_registry,
+    count,
+    observe,
+    set_gauge,
+)
+from repro.obs.observers import (
+    NULL_PROBE,
+    CProfileObserver,
+    MetricsObserver,
+    SweepObserver,
+    TaskTelemetry,
+    TraceMallocObserver,
+    TraceObserver,
+    WorkerProbe,
+    combined_probe,
+    probed,
+    task_span_coverage,
+)
+from repro.obs.tracing import (
+    Span,
+    Tracer,
+    activate_tracer,
+    active_tracer,
+    cpu_clock_s,
+    render_span_tree,
+    span,
+    wall_clock_s,
+    write_spans_jsonl,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "span",
+    "activate_tracer",
+    "active_tracer",
+    "wall_clock_s",
+    "cpu_clock_s",
+    "render_span_tree",
+    "write_spans_jsonl",
+    "MetricsRegistry",
+    "count",
+    "observe",
+    "set_gauge",
+    "activate_registry",
+    "active_registry",
+    "SweepObserver",
+    "TraceObserver",
+    "MetricsObserver",
+    "TraceMallocObserver",
+    "CProfileObserver",
+    "WorkerProbe",
+    "TaskTelemetry",
+    "NULL_PROBE",
+    "combined_probe",
+    "probed",
+    "task_span_coverage",
+]

@@ -1,0 +1,228 @@
+"""Metrics registry: counters, gauges, and mergeable histograms.
+
+Instrumented code reports through the module-level helpers
+(:func:`count`, :func:`set_gauge`, :func:`observe`), which are no-ops
+unless a :class:`MetricsRegistry` is active — the same
+activate/restore discipline as :mod:`repro.obs.tracing`, so hot loops
+pay one global read when metrics are off.
+
+Everything a registry stores merges *order-insensitively*: counters
+add, gauges take the later write, histograms add their counts/sums and
+widen their min/max and power-of-two buckets. That is what lets the
+sweep engine run each task against a fresh registry (in-process or in
+a worker), ship the snapshot back in the task envelope, and reduce the
+snapshots in task order — the merged totals are identical between the
+serial and process backends, a property the hypothesis suite asserts.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional
+
+
+@dataclass
+class HistogramState:
+    """Summary + power-of-two bucket histogram of observed values."""
+
+    count: int = 0
+    total: float = 0.0
+    min_value: float = math.inf
+    max_value: float = -math.inf
+    buckets: Dict[int, int] = field(default_factory=dict)
+
+    def observe(self, value: float) -> None:
+        """Fold one observation in."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.min_value = min(self.min_value, value)
+        self.max_value = max(self.max_value, value)
+        bucket = _bucket_of(value)
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+
+    def merge(self, other: "HistogramState") -> None:
+        """Fold another histogram in (order-insensitive)."""
+        self.count += other.count
+        self.total += other.total
+        self.min_value = min(self.min_value, other.min_value)
+        self.max_value = max(self.max_value, other.max_value)
+        for bucket, n in other.buckets.items():
+            self.buckets[bucket] = self.buckets.get(bucket, 0) + n
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready mapping."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": None if self.count == 0 else self.min_value,
+            "max": None if self.count == 0 else self.max_value,
+            "buckets": {str(k): v for k, v in sorted(self.buckets.items())},
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "HistogramState":
+        """Rebuild from :meth:`to_dict` output."""
+        state = HistogramState(
+            count=int(data.get("count", 0)),
+            total=float(data.get("total", 0.0)),
+            min_value=math.inf
+            if data.get("min") is None
+            else float(data["min"]),
+            max_value=-math.inf
+            if data.get("max") is None
+            else float(data["max"]),
+        )
+        state.buckets = {
+            int(k): int(v) for k, v in data.get("buckets", {}).items()
+        }
+        return state
+
+
+def _bucket_of(value: float) -> int:
+    """Power-of-two bucket index: the binary exponent of ``|value|``."""
+    if value == 0.0 or not math.isfinite(value):
+        return 0
+    return math.frexp(abs(value))[1]
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and histograms with snapshot/merge."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, HistogramState] = {}
+
+    def count(self, name: str, amount: float = 1.0) -> None:
+        """Add ``amount`` to counter ``name`` (created at zero)."""
+        self.counters[name] = self.counters.get(name, 0.0) + amount
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to its most recent value."""
+        self.gauges[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Fold one observation into histogram ``name``."""
+        state = self.histograms.get(name)
+        if state is None:
+            state = self.histograms[name] = HistogramState()
+        state.observe(value)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Serializable, mergeable view of everything recorded."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {
+                name: state.to_dict()
+                for name, state in self.histograms.items()
+            },
+        }
+
+    def merge_snapshot(self, snapshot: Dict[str, Any]) -> None:
+        """Fold one :meth:`snapshot` in (counters add, gauges overwrite)."""
+        for name, value in snapshot.get("counters", {}).items():
+            self.count(name, value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.set_gauge(name, value)
+        for name, data in snapshot.get("histograms", {}).items():
+            incoming = HistogramState.from_dict(data)
+            state = self.histograms.get(name)
+            if state is None:
+                self.histograms[name] = incoming
+            else:
+                state.merge(incoming)
+
+    def render_text(self) -> str:
+        """Sorted fixed-width text report of every metric."""
+        lines = []
+        for name in sorted(self.counters):
+            lines.append(f"counter    {name} = {_fmt(self.counters[name])}")
+        for name in sorted(self.gauges):
+            lines.append(f"gauge      {name} = {_fmt(self.gauges[name])}")
+        for name in sorted(self.histograms):
+            state = self.histograms[name]
+            mean = state.total / state.count if state.count else 0.0
+            lines.append(
+                f"histogram  {name}: n={state.count} mean={_fmt(mean)} "
+                f"min={_fmt(state.min_value)} max={_fmt(state.max_value)}"
+            )
+        return "\n".join(lines) if lines else "(no metrics recorded)"
+
+    def to_json(self, indent: int = 2) -> str:
+        """Serialized snapshot."""
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def save_json(self, path: "str | Path") -> Path:
+        """Write the snapshot to ``path`` (parents created)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json() + "\n", encoding="utf-8")
+        return path
+
+
+def _fmt(value: float) -> str:
+    """Integers render bare; floats keep short precision."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.6g}"
+
+
+#: The process-local active registry; ``None`` means metrics are no-ops.
+_ACTIVE_REGISTRY: Optional[MetricsRegistry] = None
+
+
+def active_registry() -> Optional[MetricsRegistry]:
+    """The registry currently receiving metrics, if any."""
+    return _ACTIVE_REGISTRY
+
+
+def activate_registry(
+    registry: Optional[MetricsRegistry],
+) -> Optional[MetricsRegistry]:
+    """Install ``registry`` as active; returns the previous one."""
+    global _ACTIVE_REGISTRY
+    previous = _ACTIVE_REGISTRY
+    _ACTIVE_REGISTRY = registry
+    return previous
+
+
+@contextmanager
+def activated(
+    registry: Optional[MetricsRegistry],
+) -> Iterator[Optional[MetricsRegistry]]:
+    """Scope with ``registry`` active; ``None`` leaves metrics untouched."""
+    if registry is None:
+        yield None
+        return
+    previous = activate_registry(registry)
+    try:
+        yield registry
+    finally:
+        activate_registry(previous)
+
+
+def count(name: str, amount: float = 1.0) -> None:
+    """Increment a counter on the active registry (no-op when none)."""
+    registry = _ACTIVE_REGISTRY
+    if registry is not None:
+        registry.count(name, amount)
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Set a gauge on the active registry (no-op when none)."""
+    registry = _ACTIVE_REGISTRY
+    if registry is not None:
+        registry.set_gauge(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    """Record a histogram observation on the active registry."""
+    registry = _ACTIVE_REGISTRY
+    if registry is not None:
+        registry.observe(name, value)

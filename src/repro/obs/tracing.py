@@ -1,0 +1,243 @@
+"""Structured tracing: nested spans with wall/CPU time.
+
+A *span* is one named, attributed region of work; spans nest, forming a
+tree per traced region of code. Library code opens spans through the
+module-level :func:`span` helper::
+
+    with span("sar.project", n_poses=64, n_points=120_000):
+        ...
+
+When no tracer is active (the default), :func:`span` returns a shared
+no-op context manager whose cost is one module-global read — hot loops
+stay hot. Activating a :class:`Tracer` (the sweep engine does this when
+a trace observer is attached) makes the same call sites record a
+:class:`Span` tree with wall time (``time.perf_counter``) and CPU time
+(``time.process_time``).
+
+Span trees serialize to plain dicts (JSON-lines friendly) and expose a
+timing-free :meth:`Span.structure` projection, which is what the
+serial-vs-parallel determinism property compares: two backends must
+produce identical span *structure* even though timings differ.
+
+This module is intentionally zero-dependency (stdlib only) and must
+not import from ``repro.runtime`` — the engine imports us.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+
+
+def wall_clock_s() -> float:
+    """Monotonic wall-clock seconds (the package's one sanctioned clock).
+
+    Reprolint O501 bans ad-hoc ``time.time()``/``time.perf_counter()``
+    timing outside ``repro.obs`` and ``repro.runtime``; code that needs
+    a raw timestamp difference calls this instead.
+    """
+    return time.perf_counter()
+
+
+def cpu_clock_s() -> float:
+    """Process CPU seconds (system + user) for CPU-time attribution."""
+    return time.process_time()
+
+
+@dataclass
+class Span:
+    """One traced region: name, attributes, timings, children."""
+
+    name: str
+    attrs: Tuple[Tuple[str, Any], ...] = ()
+    wall_time_s: float = 0.0
+    cpu_time_s: float = 0.0
+    children: List["Span"] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready mapping (recursive)."""
+        return {
+            "name": self.name,
+            "attrs": dict(self.attrs),
+            "wall_time_s": self.wall_time_s,
+            "cpu_time_s": self.cpu_time_s,
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "Span":
+        """Rebuild a span tree from :meth:`to_dict` output."""
+        return Span(
+            name=str(data["name"]),
+            attrs=tuple(sorted(dict(data.get("attrs", {})).items())),
+            wall_time_s=float(data.get("wall_time_s", 0.0)),
+            cpu_time_s=float(data.get("cpu_time_s", 0.0)),
+            children=[
+                Span.from_dict(child) for child in data.get("children", [])
+            ],
+        )
+
+    def structure(self) -> Tuple[Any, ...]:
+        """Timing-free projection: (name, attrs, child structures).
+
+        Serial and parallel sweeps must agree on this value for every
+        task — names, attributes, counts, and parent edges are all
+        deterministic; only the recorded times are not.
+        """
+        return (
+            self.name,
+            self.attrs,
+            tuple(child.structure() for child in self.children),
+        )
+
+    def walk(self) -> Iterator["Span"]:
+        """Yield this span then every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+class Tracer:
+    """Collects a forest of spans for one region of execution.
+
+    Not thread-safe by design: the engine gives each task (and each
+    worker process) its own tracer, so there is no shared mutable
+    state to race on.
+    """
+
+    def __init__(self) -> None:
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        """Open a child span of the innermost open span (or a root)."""
+        node = Span(name=name, attrs=tuple(sorted(attrs.items())))
+        if self._stack:
+            self._stack[-1].children.append(node)
+        else:
+            self.roots.append(node)
+        self._stack.append(node)
+        wall_start_s = time.perf_counter()
+        cpu_start_s = time.process_time()
+        try:
+            yield node
+        finally:
+            node.wall_time_s = time.perf_counter() - wall_start_s
+            node.cpu_time_s = time.process_time() - cpu_start_s
+            self._stack.pop()
+
+    def root_dicts(self) -> List[Dict[str, Any]]:
+        """Every root span serialized (the task-envelope payload)."""
+        return [root.to_dict() for root in self.roots]
+
+
+class _NullSpanContext:
+    """Shared no-op context manager returned when tracing is inactive."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info: Any) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpanContext()
+
+#: The process-local active tracer; ``None`` means spans are no-ops.
+_ACTIVE_TRACER: Optional[Tracer] = None
+
+
+def active_tracer() -> Optional[Tracer]:
+    """The tracer currently receiving spans, if any."""
+    return _ACTIVE_TRACER
+
+
+def activate_tracer(tracer: Optional[Tracer]) -> Optional[Tracer]:
+    """Install ``tracer`` as the active one; returns the previous one.
+
+    Callers restore the returned tracer when done so nested scopes
+    (engine sweep -> serial in-process task) unwind correctly.
+    """
+    global _ACTIVE_TRACER
+    previous = _ACTIVE_TRACER
+    _ACTIVE_TRACER = tracer
+    return previous
+
+
+@contextmanager
+def activated(tracer: Optional[Tracer]) -> Iterator[Optional[Tracer]]:
+    """Scope with ``tracer`` active; ``None`` leaves tracing untouched."""
+    if tracer is None:
+        yield None
+        return
+    previous = activate_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        activate_tracer(previous)
+
+
+def span(name: str, **attrs: Any) -> Any:
+    """Context manager recording one span on the active tracer.
+
+    The instrumentation call sites throughout the package use this; it
+    costs a single global read when tracing is off.
+    """
+    tracer = _ACTIVE_TRACER
+    if tracer is None:
+        return _NULL_SPAN
+    return tracer.span(name, **attrs)
+
+
+def write_spans_jsonl(
+    path: "str | Path", entries: Iterable[Dict[str, Any]]
+) -> Path:
+    """Write span entries as JSON lines (one entry per line)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        for entry in entries:
+            fh.write(json.dumps(entry, sort_keys=True) + "\n")
+    return path
+
+
+def render_span_tree(
+    spans: "List[Dict[str, Any]]", total_wall_time_s: Optional[float] = None
+) -> str:
+    """Indented text rendering of serialized span trees.
+
+    Percentages are of ``total_wall_time_s`` when given, else of the
+    summed root wall times.
+    """
+    if not spans:
+        return "(no spans recorded)"
+    denominator_s = total_wall_time_s
+    if denominator_s is None or denominator_s <= 0.0:
+        denominator_s = sum(s.get("wall_time_s", 0.0) for s in spans) or 1.0
+    lines: List[str] = []
+
+    def _render(node: Dict[str, Any], depth: int) -> None:
+        share = 100.0 * node.get("wall_time_s", 0.0) / denominator_s
+        attrs = node.get("attrs", {})
+        attr_text = (
+            " [" + ", ".join(f"{k}={v}" for k, v in sorted(attrs.items())) + "]"
+            if attrs
+            else ""
+        )
+        lines.append(
+            f"{'  ' * depth}{node['name']}{attr_text}  "
+            f"{node.get('wall_time_s', 0.0) * 1e3:.1f} ms  {share:.1f}%"
+        )
+        for child in node.get("children", []):
+            _render(child, depth + 1)
+
+    for root in spans:
+        _render(root, 0)
+    return "\n".join(lines)

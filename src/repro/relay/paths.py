@@ -25,6 +25,7 @@ from repro.dsp.oscillator import Oscillator
 from repro.dsp.signal import Signal
 from repro.dsp.units import db_to_linear
 from repro.errors import ConfigurationError, RelayError
+from repro.obs import metrics
 
 
 @dataclass(frozen=True)
@@ -101,6 +102,7 @@ class ForwardingPath:
                 f"path listens at {self.input_frequency_hz / 1e6:.3f} MHz but the "
                 f"signal is centered at {sig.center_frequency_hz / 1e6:.3f} MHz"
             )
+        metrics.count("relay.signals_forwarded")
         baseband = downconvert(sig, self.lo_in)
         filtered = self.baseband_filter.apply(baseband)
         amplified = self.amplifiers.apply(filtered)

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.channel.pathloss import free_space_range_for_loss
 from repro.errors import ConfigurationError, RelayInstabilityError
+from repro.obs import metrics
 
 
 class LeakagePath(enum.Enum):
@@ -81,6 +82,7 @@ def is_stable(
     """True when the loop gain stays below unity with a safety margin."""
     if margin_db < 0:
         raise ConfigurationError("stability margin must be >= 0 dB")
+    metrics.count("relay.stability_checks")
     return loop_gain_db(path_gain_db, isolation_db) < -margin_db
 
 

@@ -14,10 +14,17 @@ Determinism contract: per-task seeds are fixed *before* dispatch
 ``numpy.random.SeedSequence``), so the parallel backend produces
 bit-identical results — and an identical manifest fingerprint — to the
 serial one.
+
+Observability plugs in through ``run_sweep(..., observers=[...])``
+(see :mod:`repro.obs`): span trees, metric snapshots, and profiling
+data collected inside tasks ride back in the result envelope and are
+reduced in task order, so observers never perturb the determinism
+contract.
 """
 
 from __future__ import annotations
 
+from repro.runtime.backends import TaskOutcome
 from repro.runtime.cache import ResultCache, cache_key
 from repro.runtime.config import RuntimeConfig
 from repro.runtime.engine import SweepResult, run_sweep
@@ -28,6 +35,7 @@ from repro.runtime.task import SweepTask
 __all__ = [
     "SweepTask",
     "SweepResult",
+    "TaskOutcome",
     "run_sweep",
     "RuntimeConfig",
     "ResultCache",

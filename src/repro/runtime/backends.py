@@ -2,66 +2,77 @@
 
 This module is the one audited home of ``concurrent.futures`` in the
 package (reprolint R304 bans it everywhere else). Both backends consume
-``(index, task)`` pairs and return :class:`TaskOutcome` rows in task
-order; because every task's seed is fixed before dispatch, the two
+``(index, task, probe)`` specs and return :class:`TaskOutcome` rows in
+task order; because every task's seed is fixed before dispatch, the two
 backends are interchangeable bit-for-bit.
+
+The :class:`~repro.obs.observers.WorkerProbe` element of each spec is a
+picklable set of capability flags: it tells the task wrapper which
+telemetry collectors (tracer, metrics registry, tracemalloc, cProfile)
+to arm around the task body. Collected telemetry rides back inside the
+outcome envelope, so worker-process spans and metric snapshots reach
+the engine without any shared state — and get reduced in task order.
 """
 
 from __future__ import annotations
 
 import time
-import tracemalloc
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, List, Optional, Sequence, Tuple
 
+from repro.obs import tracing
+from repro.obs.observers import TaskTelemetry, WorkerProbe, probed
 from repro.runtime.config import RuntimeConfig
 from repro.runtime.task import SweepTask
+
+#: One dispatchable unit: task index, the task, telemetry capabilities.
+TaskSpec = Tuple[int, SweepTask, WorkerProbe]
 
 
 @dataclass(frozen=True)
 class TaskOutcome:
-    """One executed task: payload plus its measured cost."""
+    """One executed task: payload, measured cost, optional telemetry."""
 
     index: int
     payload: Any
     wall_time_s: float
-    peak_memory_bytes: Optional[int] = None
+    telemetry: Optional[TaskTelemetry] = None
+
+    @property
+    def peak_memory_bytes(self) -> Optional[int]:
+        """Peak traced allocations, when the tracemalloc probe was armed."""
+        return None if self.telemetry is None else self.telemetry.peak_memory_bytes
 
 
-def execute_task(
-    spec: "Tuple[int, SweepTask, bool]",
-) -> TaskOutcome:
-    """Run one task and time it (module-level so workers can pickle it)."""
-    index, task, trace_memory = spec
-    if trace_memory:
-        tracemalloc.start()
-    start = time.perf_counter()
-    try:
-        payload = task.execute()
-    finally:
-        elapsed = time.perf_counter() - start
-        peak: Optional[int] = None
-        if trace_memory:
-            _, peak = tracemalloc.get_traced_memory()
-            tracemalloc.stop()
+def execute_task(spec: TaskSpec) -> TaskOutcome:
+    """Run one task and time it (module-level so workers can pickle it).
+
+    When the probe arms tracing, the task body runs under a *fresh*
+    tracer with a single ``task.execute`` root span — identically
+    in-process and in a worker, which is what makes serial and parallel
+    span structures comparable.
+    """
+    index, task, probe = spec
+    start_s = time.perf_counter()
+    with probed(probe) as telemetry:
+        with tracing.span("task.execute", fn=task.fn_id, label=task.label):
+            payload = task.execute()
     return TaskOutcome(
         index=index,
         payload=payload,
-        wall_time_s=elapsed,
-        peak_memory_bytes=peak,
+        wall_time_s=time.perf_counter() - start_s,
+        telemetry=telemetry if probe.enabled else None,
     )
 
 
-def run_serial(
-    specs: Sequence["Tuple[int, SweepTask, bool]"],
-) -> List[TaskOutcome]:
+def run_serial(specs: Sequence[TaskSpec]) -> List[TaskOutcome]:
     """Execute specs one by one, in order."""
     return [execute_task(spec) for spec in specs]
 
 
 def run_process_pool(
-    specs: Sequence["Tuple[int, SweepTask, bool]"],
+    specs: Sequence[TaskSpec],
     max_workers: int,
 ) -> List[TaskOutcome]:
     """Fan specs out over worker processes; results return in spec order.
@@ -79,7 +90,7 @@ def run_process_pool(
 
 def run_backend(
     config: RuntimeConfig,
-    specs: Sequence["Tuple[int, SweepTask, bool]"],
+    specs: Sequence[TaskSpec],
 ) -> List[TaskOutcome]:
     """Dispatch specs to the configured backend."""
     if config.backend == "process" and len(specs) > 1:

@@ -10,11 +10,18 @@ property suite asserts via pickle-roundtrip equality.
 Writes are atomic (temp file + ``os.replace``) so a process-pool sweep
 and a concurrent sweep over the same cache directory never interleave
 partial payloads.
+
+Corrupt-entry self-healing is *observable*: every evicted entry logs a
+warning with its key and increments the
+``runtime.cache.corrupt_evicted`` counter on the active metrics
+registry (see :mod:`repro.obs.metrics`) — a silently shrinking cache
+was indistinguishable from a cold one.
 """
 
 from __future__ import annotations
 
 import hashlib
+import logging
 import os
 import pickle
 import tempfile
@@ -23,7 +30,10 @@ from typing import Any, Optional, Tuple
 
 import repro
 from repro.errors import ConfigurationError
+from repro.obs import metrics
 from repro.runtime.task import SweepTask
+
+logger = logging.getLogger(__name__)
 
 #: Bump to invalidate every cached payload without a version release
 #: (e.g. when the pickle layout of a result type changes).
@@ -72,7 +82,24 @@ class ResultCache:
                 return True, pickle.load(fh)
         except FileNotFoundError:
             return False, None
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+        except (
+            OSError,
+            pickle.UnpicklingError,
+            EOFError,
+            AttributeError,
+            ImportError,
+            IndexError,
+            TypeError,
+            ValueError,
+        ):
+            # pickle.load raises a zoo of exception types on truncated
+            # or garbage bytes; any of them means the entry is corrupt.
+            logger.warning(
+                "evicting corrupt cache entry %s (%s); task will re-run",
+                key,
+                path,
+            )
+            metrics.count("runtime.cache.corrupt_evicted")
             try:
                 path.unlink()
             except OSError:

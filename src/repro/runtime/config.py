@@ -29,8 +29,10 @@ class RuntimeConfig:
     ``manifest_dir``
         When set, every sweep writes ``<manifest_dir>/<sweep name>.json``.
     ``trace_memory``
-        Record per-task peak traced allocations via ``tracemalloc``
-        (off by default: tracing slows numeric inner loops).
+        Deprecated: equivalent to passing
+        ``observers=[repro.obs.TraceMallocObserver()]`` to
+        :func:`~repro.runtime.engine.run_sweep`. Kept working for one
+        release via a shim that appends the observer and warns.
     """
 
     backend: str = "serial"

@@ -8,16 +8,34 @@ through. The flow per sweep:
 3. dispatch the misses to the configured backend (serial or process
    pool) — payloads are bit-identical either way;
 4. persist new payloads and write the run manifest.
+
+Observability attaches through ``observers=[...]`` — any objects
+implementing the :class:`~repro.obs.observers.SweepObserver` protocol.
+The union of their :class:`~repro.obs.observers.WorkerProbe` flags
+ships with every dispatched task, so workers arm exactly the
+collectors the attached observers need; telemetry returns inside each
+:class:`~repro.runtime.backends.TaskOutcome` and is handed to
+observers **in task order**, keeping serial and parallel runs
+identical on everything except timing.
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass
 from typing import Any, List, Optional, Sequence
 
 import repro
-from repro.runtime.backends import TaskOutcome, run_backend
+from repro.obs import metrics, tracing
+from repro.obs.observers import (
+    MetricsObserver,
+    SweepObserver,
+    TraceMallocObserver,
+    combined_probe,
+)
+from repro.obs.tracing import Tracer
+from repro.runtime.backends import TaskOutcome, TaskSpec, run_backend
 from repro.runtime.cache import ResultCache, cache_key
 from repro.runtime.config import RuntimeConfig
 from repro.runtime.manifest import (
@@ -44,11 +62,30 @@ class SweepResult:
         return len(self.results)
 
 
+def _resolve_observers(
+    config: RuntimeConfig,
+    observers: Optional[Sequence[SweepObserver]],
+) -> List[SweepObserver]:
+    """The effective observer list, honoring the ``trace_memory`` shim."""
+    observer_list = list(observers) if observers is not None else []
+    if config.trace_memory:
+        warnings.warn(
+            "RuntimeConfig(trace_memory=True) is deprecated; pass "
+            "observers=[repro.obs.TraceMallocObserver()] to run_sweep "
+            "instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        observer_list.append(TraceMallocObserver())
+    return observer_list
+
+
 def run_sweep(
     tasks: Sequence[SweepTask],
     config: Optional[RuntimeConfig] = None,
     name: str = "sweep",
     root_seed: Optional[int] = None,
+    observers: Optional[Sequence[SweepObserver]] = None,
 ) -> SweepResult:
     """Execute a task list under one runtime configuration.
 
@@ -63,10 +100,27 @@ def run_sweep(
     root_seed:
         When given, tasks with ``seed=None`` receive deterministic
         seeds spawned from this root (by task index).
+    observers:
+        :class:`~repro.obs.observers.SweepObserver` instances — trace,
+        metrics, tracemalloc, or cProfile collectors (or your own).
+        Observers never change payloads, cache keys, or the manifest
+        fingerprint; tables regenerate byte-identically with or
+        without them.
     """
     config = config or RuntimeConfig()
+    observer_list = _resolve_observers(config, observers)
+    probe = combined_probe(observer_list)
+    tracer = Tracer() if probe.trace else None
+    registry = None
+    for observer in observer_list:
+        if isinstance(observer, MetricsObserver):
+            registry = observer.registry
+            break
+
     tasks = seed_tasks(tasks, root_seed)
-    started = time.perf_counter()
+    started_s = time.perf_counter()
+    for observer in observer_list:
+        observer.on_sweep_start(name, tasks, config)
 
     cache: Optional[ResultCache] = None
     if config.cache_dir is not None and config.use_cache:
@@ -75,45 +129,63 @@ def run_sweep(
     keys = [cache_key(task) for task in tasks]
     outcomes: List[Optional[TaskOutcome]] = [None] * len(tasks)
     hits = [False] * len(tasks)
+    records: List[TaskRecord] = []
 
-    misses: List["tuple[int, SweepTask, bool]"] = []
-    for index, (task, key) in enumerate(zip(tasks, keys)):
-        if cache is not None:
-            load_start = time.perf_counter()
-            hit, payload = cache.load(key)
-            if hit:
-                outcomes[index] = TaskOutcome(
-                    index=index,
-                    payload=payload,
-                    wall_time_s=time.perf_counter() - load_start,
-                )
-                hits[index] = True
-                continue
-        misses.append((index, task, config.trace_memory))
+    with tracing.activated(tracer), metrics.activated(registry):
+        with tracing.span("sweep.run", sweep=name, n_tasks=len(tasks)):
+            misses: List[TaskSpec] = []
+            with tracing.span("sweep.resolve_cache"):
+                for index, (task, key) in enumerate(zip(tasks, keys)):
+                    if cache is not None:
+                        load_start_s = time.perf_counter()
+                        hit, payload = cache.load(key)
+                        if hit:
+                            outcomes[index] = TaskOutcome(
+                                index=index,
+                                payload=payload,
+                                wall_time_s=time.perf_counter()
+                                - load_start_s,
+                            )
+                            hits[index] = True
+                            metrics.count("runtime.cache.hits")
+                            continue
+                        metrics.count("runtime.cache.misses")
+                    misses.append((index, task, probe))
+            metrics.count("runtime.sweeps")
+            metrics.count("runtime.tasks.dispatched", len(misses))
 
-    for outcome in run_backend(config, misses):
-        outcomes[outcome.index] = outcome
-        if cache is not None:
-            cache.store(keys[outcome.index], outcome.payload)
+            with tracing.span("sweep.dispatch", n_tasks=len(misses)):
+                executed = run_backend(config, misses)
 
-    records = []
-    for index, (task, key) in enumerate(zip(tasks, keys)):
-        outcome = outcomes[index]
-        assert outcome is not None  # every index is a hit or a miss
-        records.append(
-            TaskRecord(
-                index=index,
-                label=task.label,
-                fn=task.fn_id,
-                params=params_repr(task.params),
-                seed=task.seed,
-                cache_key=key,
-                cache_hit=hits[index],
-                wall_time_s=outcome.wall_time_s,
-                result_hash=payload_hash(outcome.payload),
-                peak_memory_bytes=outcome.peak_memory_bytes,
-            )
-        )
+            with tracing.span("sweep.persist"):
+                for outcome in executed:
+                    outcomes[outcome.index] = outcome
+                    if cache is not None:
+                        cache.store(keys[outcome.index], outcome.payload)
+                        metrics.count("runtime.cache.stores")
+
+            with tracing.span("sweep.finalize"):
+                for index, (task, key) in enumerate(zip(tasks, keys)):
+                    outcome = outcomes[index]
+                    assert outcome is not None  # every index: hit or miss
+                    telemetry = outcome.telemetry
+                    records.append(
+                        TaskRecord(
+                            index=index,
+                            label=task.label,
+                            fn=task.fn_id,
+                            params=params_repr(task.params),
+                            seed=task.seed,
+                            cache_key=key,
+                            cache_hit=hits[index],
+                            wall_time_s=outcome.wall_time_s,
+                            result_hash=payload_hash(outcome.payload),
+                            peak_memory_bytes=outcome.peak_memory_bytes,
+                            spans=None
+                            if telemetry is None
+                            else telemetry.spans,
+                        )
+                    )
 
     manifest = RunManifest(
         sweep=name,
@@ -122,9 +194,18 @@ def run_sweep(
         repro_version=repro.__version__,
         cache_dir=None if config.cache_dir is None else str(config.cache_dir),
         cache_enabled=cache is not None,
-        total_wall_time_s=time.perf_counter() - started,
+        total_wall_time_s=time.perf_counter() - started_s,
+        spans=tracer.root_dicts() if tracer is not None else [],
         tasks=records,
     )
+    for index in range(len(records)):
+        for observer in observer_list:
+            observer.on_task(records[index], outcomes[index])
+    for observer in observer_list:
+        observer.on_sweep_end(manifest)
     if config.manifest_dir is not None:
         manifest.save(config.manifest_dir / f"{name}.json")
-    return SweepResult(results=[o.payload for o in outcomes if o is not None], manifest=manifest)
+    return SweepResult(
+        results=[o.payload for o in outcomes if o is not None],
+        manifest=manifest,
+    )

@@ -18,7 +18,7 @@ import json
 import pickle
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Any, List, Optional
+from typing import Any, Dict, List, Optional
 
 #: Canonical formatting for a task's parameter tuple in reports.
 def params_repr(params: Any) -> str:
@@ -52,6 +52,10 @@ class TaskRecord:
     wall_time_s: float
     result_hash: str
     peak_memory_bytes: Optional[int] = None
+    #: Serialized span trees recorded inside the task (trace observer
+    #: attached); ``None`` for untraced runs and cache hits. Excluded
+    #: from :meth:`RunManifest.fingerprint` — spans carry timings.
+    spans: Optional[List[Dict[str, Any]]] = None
 
 
 @dataclass
@@ -65,6 +69,9 @@ class RunManifest:
     cache_dir: Optional[str]
     cache_enabled: bool
     total_wall_time_s: float = 0.0
+    #: The engine's own serialized span trees (``sweep.run`` and its
+    #: phases) when a trace observer was attached; empty otherwise.
+    spans: List[Dict[str, Any]] = field(default_factory=list)
     tasks: List[TaskRecord] = field(default_factory=list)
 
     @property
@@ -110,6 +117,7 @@ class RunManifest:
             "total_wall_time_s": self.total_wall_time_s,
             "task_wall_time_s": self.task_wall_time_s,
             "fingerprint": self.fingerprint(),
+            "spans": self.spans,
             "tasks": [asdict(t) for t in self.tasks],
         }
 

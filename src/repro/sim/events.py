@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.gen2.inventory import run_inventory
 from repro.hardware.tag import PassiveTag
+from repro.obs import metrics, tracing
 
 
 def inventory_at_pose(
@@ -32,15 +33,17 @@ def inventory_at_pose(
     of the flag state left by the previous pose.
     """
     read: Set[int] = set()
-    for target in ("A", "B"):
-        result = run_inventory(
-            [t.protocol for t in tags],
-            rng,
-            target=target,
-            max_slots=max_slots,
-            hears=_wrap_powered(tags, powered),
-        )
-        read.update(result.epcs)
+    with tracing.span("sim.inventory", n_tags=len(tags)):
+        for target in ("A", "B"):
+            result = run_inventory(
+                [t.protocol for t in tags],
+                rng,
+                target=target,
+                max_slots=max_slots,
+                hears=_wrap_powered(tags, powered),
+            )
+            read.update(result.epcs)
+        metrics.count("sim.tags_inventoried", len(read))
     return read
 
 

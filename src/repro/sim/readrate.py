@@ -41,6 +41,7 @@ from repro.constants import (
 )
 from repro.errors import ConfigurationError
 from repro.dsp.units import linear_to_db
+from repro.obs import metrics, tracing
 
 
 @dataclass(frozen=True)
@@ -229,4 +230,6 @@ class RangeModel:
             trial = lambda: self.relay_read(distance_m, rng, line_of_sight=False)
         else:
             raise ConfigurationError(f"unknown mode {mode!r}")
-        return sum(trial() for _ in range(trials)) / trials
+        with tracing.span("sim.read_rate", mode=mode, trials=trials):
+            metrics.count("sim.readrate.trials", trials)
+            return sum(trial() for _ in range(trials)) / trials

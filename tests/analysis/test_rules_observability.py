@@ -1,0 +1,95 @@
+"""Observability rules: ad-hoc clock reads outside the sanctioned layers."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import AnalysisConfig, analyze_source
+
+OBSERVABILITY_ONLY = AnalysisConfig(select=("O",))
+
+
+def codes(source: str) -> list:
+    return [
+        f.code
+        for f in analyze_source(
+            textwrap.dedent(source), config=OBSERVABILITY_ONLY
+        )
+    ]
+
+
+def codes_at(source: str, path: str) -> list:
+    return [
+        f.code
+        for f in analyze_source(
+            textwrap.dedent(source), path=path, config=OBSERVABILITY_ONLY
+        )
+    ]
+
+
+class TestAdHocTiming:
+    def test_time_time_call_is_flagged(self):
+        assert "O501" in codes("import time\nstart = time.time()")
+
+    def test_perf_counter_call_is_flagged(self):
+        assert "O501" in codes("import time\nstart = time.perf_counter()")
+
+    def test_process_time_call_is_flagged(self):
+        assert "O501" in codes("import time\ncpu = time.process_time()")
+
+    def test_monotonic_ns_call_is_flagged(self):
+        assert "O501" in codes("import time\nt = time.monotonic_ns()")
+
+    def test_stopwatch_pair_yields_one_finding_per_read(self):
+        src = """
+        import time
+        start = time.perf_counter()
+        work()
+        elapsed = time.perf_counter() - start
+        """
+        assert codes(src) == ["O501", "O501"]
+
+    def test_from_time_import_clock_is_flagged(self):
+        assert "O501" in codes("from time import perf_counter")
+
+    def test_from_time_import_mixed_names(self):
+        # sleep is fine; the clock import in the same statement is not.
+        assert codes("from time import sleep, monotonic") == ["O501"]
+
+
+class TestNonClockTimeUsagePasses:
+    def test_time_sleep_passes(self):
+        assert codes("import time\ntime.sleep(0.1)") == []
+
+    def test_bare_import_time_passes(self):
+        assert codes("import time") == []
+
+    def test_from_time_import_sleep_passes(self):
+        assert codes("from time import sleep") == []
+
+    def test_strftime_passes(self):
+        assert codes("import time\ntime.strftime('%Y')") == []
+
+    def test_other_objects_named_time_pass(self):
+        # Only the ``time`` module's clocks are in scope, but a local
+        # object called ``time`` is indistinguishable by AST — the rule
+        # accepts that false-positive risk; unrelated attributes pass.
+        assert codes("signal.time_stretch()") == []
+
+
+class TestExemptPaths:
+    def test_obs_tracing_module_is_exempt(self):
+        src = "import time\nstart = time.perf_counter()"
+        assert codes_at(src, "src/repro/obs/tracing.py") == []
+
+    def test_runtime_engine_module_is_exempt(self):
+        src = "import time\nstart = time.perf_counter()"
+        assert codes_at(src, "src/repro/runtime/engine.py") == []
+
+    def test_experiments_module_is_not_exempt(self):
+        src = "import time\nstart = time.perf_counter()"
+        assert "O501" in codes_at(src, "src/repro/experiments/cli.py")
+
+    def test_windows_style_paths_are_normalized(self):
+        src = "import time\nstart = time.perf_counter()"
+        assert codes_at(src, "src\\repro\\obs\\tracing.py") == []

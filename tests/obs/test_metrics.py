@@ -1,0 +1,171 @@
+"""Unit tests for the metrics registry (repro.obs.metrics)."""
+
+from __future__ import annotations
+
+import json
+import math
+
+from repro.obs.metrics import (
+    HistogramState,
+    MetricsRegistry,
+    activated,
+    active_registry,
+    count,
+    observe,
+    set_gauge,
+)
+
+
+class TestRegistry:
+    def test_counters_add(self):
+        registry = MetricsRegistry()
+        registry.count("hits")
+        registry.count("hits", 4)
+        assert registry.counters["hits"] == 5.0
+
+    def test_gauges_take_last_write(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("workers", 2)
+        registry.set_gauge("workers", 8)
+        assert registry.gauges["workers"] == 8.0
+
+    def test_histograms_summarize(self):
+        registry = MetricsRegistry()
+        for value in (1.0, 2.0, 3.0):
+            registry.observe("latency", value)
+        state = registry.histograms["latency"]
+        assert state.count == 3
+        assert state.total == 6.0
+        assert state.min_value == 1.0
+        assert state.max_value == 3.0
+
+    def test_render_text_sorted_and_typed(self):
+        registry = MetricsRegistry()
+        registry.count("b.counter", 2)
+        registry.count("a.counter", 1)
+        registry.set_gauge("g", 1.5)
+        registry.observe("h", 4.0)
+        lines = registry.render_text().splitlines()
+        assert lines[0] == "counter    a.counter = 1"
+        assert lines[1] == "counter    b.counter = 2"
+        assert lines[2] == "gauge      g = 1.5"
+        assert lines[3].startswith("histogram  h: n=1")
+
+    def test_render_text_empty(self):
+        assert MetricsRegistry().render_text() == "(no metrics recorded)"
+
+    def test_to_json_round_trips_through_snapshot(self):
+        registry = MetricsRegistry()
+        registry.count("c", 3)
+        registry.observe("h", 0.25)
+        data = json.loads(registry.to_json())
+        other = MetricsRegistry()
+        other.merge_snapshot(data)
+        assert other.snapshot() == registry.snapshot()
+
+    def test_save_json_creates_parents(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.count("c")
+        path = registry.save_json(tmp_path / "a" / "b" / "metrics.json")
+        assert json.loads(path.read_text())["counters"] == {"c": 1.0}
+
+
+class TestMergeSemantics:
+    def _registry(self, events):
+        registry = MetricsRegistry()
+        for kind, name, value in events:
+            getattr(registry, kind)(name, value)
+        return registry
+
+    def test_merge_is_order_insensitive_for_counters_and_histograms(self):
+        events_a = [("count", "c", 2.0), ("observe", "h", 1.0)]
+        events_b = [("count", "c", 3.0), ("observe", "h", 8.0)]
+        forward = MetricsRegistry()
+        forward.merge_snapshot(self._registry(events_a).snapshot())
+        forward.merge_snapshot(self._registry(events_b).snapshot())
+        backward = MetricsRegistry()
+        backward.merge_snapshot(self._registry(events_b).snapshot())
+        backward.merge_snapshot(self._registry(events_a).snapshot())
+        assert forward.counters == backward.counters
+        assert (
+            forward.histograms["h"].to_dict()
+            == backward.histograms["h"].to_dict()
+        )
+
+    def test_merge_gauges_take_later_snapshot(self):
+        target = MetricsRegistry()
+        target.merge_snapshot({"gauges": {"g": 1.0}})
+        target.merge_snapshot({"gauges": {"g": 7.0}})
+        assert target.gauges["g"] == 7.0
+
+    def test_merged_totals_equal_single_registry(self):
+        # Split the same event stream across two registries (what the
+        # engine does per task): merged result == one shared registry.
+        shared = MetricsRegistry()
+        parts = [MetricsRegistry(), MetricsRegistry()]
+        for i, value in enumerate([0.5, 2.0, 4.0, 64.0]):
+            shared.count("n")
+            shared.observe("v", value)
+            parts[i % 2].count("n")
+            parts[i % 2].observe("v", value)
+        merged = MetricsRegistry()
+        for part in parts:
+            merged.merge_snapshot(part.snapshot())
+        assert merged.counters == shared.counters
+        assert merged.histograms["v"].to_dict() == shared.histograms["v"].to_dict()
+
+
+class TestHistogramState:
+    def test_empty_to_dict_has_null_bounds(self):
+        data = HistogramState().to_dict()
+        assert data["min"] is None and data["max"] is None
+
+    def test_from_dict_round_trip(self):
+        state = HistogramState()
+        for value in (0.0, 1.5, -3.0, 1e9):
+            state.observe(value)
+        rebuilt = HistogramState.from_dict(state.to_dict())
+        assert rebuilt.to_dict() == state.to_dict()
+
+    def test_merge_widens_bounds_and_adds_buckets(self):
+        a, b = HistogramState(), HistogramState()
+        a.observe(1.0)
+        b.observe(100.0)
+        a.merge(b)
+        assert a.count == 2
+        assert a.min_value == 1.0
+        assert a.max_value == 100.0
+        assert sum(a.buckets.values()) == 2
+
+    def test_empty_merge_keeps_bounds_empty(self):
+        a = HistogramState()
+        a.merge(HistogramState())
+        assert a.count == 0
+        assert math.isinf(a.min_value)
+
+
+class TestModuleLevelHelpers:
+    def test_noop_when_inactive(self):
+        assert active_registry() is None
+        count("dropped")
+        set_gauge("dropped", 1.0)
+        observe("dropped", 1.0)  # nothing raised, nothing recorded
+
+    def test_activated_records_and_restores(self):
+        registry = MetricsRegistry()
+        with activated(registry):
+            assert active_registry() is registry
+            count("c", 2)
+            set_gauge("g", 3)
+            observe("h", 4.0)
+        assert active_registry() is None
+        assert registry.counters == {"c": 2.0}
+        assert registry.gauges == {"g": 3.0}
+        assert registry.histograms["h"].count == 1
+
+    def test_activated_none_leaves_registry_untouched(self):
+        outer = MetricsRegistry()
+        with activated(outer):
+            with activated(None):
+                count("goes.to.outer")
+        assert outer.counters == {"goes.to.outer": 1.0}

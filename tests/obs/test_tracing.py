@@ -1,0 +1,195 @@
+"""Unit tests for the structured tracing layer (repro.obs.tracing)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.tracing import (
+    _NULL_SPAN,
+    Span,
+    Tracer,
+    activated,
+    active_tracer,
+    render_span_tree,
+    span,
+    write_spans_jsonl,
+)
+
+
+class TestSpanTree:
+    def test_nesting_builds_parent_child_edges(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner_a"):
+                pass
+            with tracer.span("inner_b"):
+                pass
+        assert len(tracer.roots) == 1
+        root = tracer.roots[0]
+        assert root.name == "outer"
+        assert [child.name for child in root.children] == [
+            "inner_a",
+            "inner_b",
+        ]
+
+    def test_sibling_order_is_open_order(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            for name in ("first", "second", "third"):
+                with tracer.span(name):
+                    pass
+        assert [c.name for c in tracer.roots[0].children] == [
+            "first",
+            "second",
+            "third",
+        ]
+
+    def test_sequential_roots_form_a_forest(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        assert [root.name for root in tracer.roots] == ["a", "b"]
+
+    def test_timings_recorded_and_nested_le_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                sum(range(1000))
+        outer = tracer.roots[0]
+        inner = outer.children[0]
+        assert outer.wall_time_s >= inner.wall_time_s >= 0.0
+        assert outer.cpu_time_s >= 0.0
+
+    def test_stack_unwinds_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise ValueError("boom")
+        # Both spans closed despite the exception; a new span is a root.
+        with tracer.span("after"):
+            pass
+        assert [root.name for root in tracer.roots] == ["outer", "after"]
+
+    def test_attrs_sorted_deterministically(self):
+        tracer = Tracer()
+        with tracer.span("s", zebra=1, alpha=2):
+            pass
+        assert tracer.roots[0].attrs == (("alpha", 2), ("zebra", 1))
+
+    def test_walk_is_depth_first(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("a"):
+                with tracer.span("a1"):
+                    pass
+            with tracer.span("b"):
+                pass
+        names = [node.name for node in tracer.roots[0].walk()]
+        assert names == ["root", "a", "a1", "b"]
+
+
+class TestSerialization:
+    def _sample_tracer(self) -> Tracer:
+        tracer = Tracer()
+        with tracer.span("root", grid=32):
+            with tracer.span("child", phase="fine"):
+                pass
+        return tracer
+
+    def test_to_dict_from_dict_round_trip(self):
+        root = self._sample_tracer().roots[0]
+        rebuilt = Span.from_dict(root.to_dict())
+        assert rebuilt.structure() == root.structure()
+        assert rebuilt.wall_time_s == root.wall_time_s
+        assert rebuilt.cpu_time_s == root.cpu_time_s
+
+    def test_to_dict_is_json_serializable(self):
+        root = self._sample_tracer().roots[0]
+        text = json.dumps(root.to_dict(), sort_keys=True)
+        assert Span.from_dict(json.loads(text)).structure() == root.structure()
+
+    def test_structure_excludes_timings(self):
+        a = Span(name="s", wall_time_s=1.0, cpu_time_s=0.5)
+        b = Span(name="s", wall_time_s=2.0, cpu_time_s=0.1)
+        assert a.structure() == b.structure()
+
+    def test_structure_includes_attrs_and_children(self):
+        a = Span(name="s", attrs=(("n", 1),))
+        b = Span(name="s", attrs=(("n", 2),))
+        assert a.structure() != b.structure()
+        c = Span(name="s", children=[Span(name="k")])
+        assert a.structure() != c.structure()
+
+    def test_write_spans_jsonl(self, tmp_path):
+        root = self._sample_tracer().roots[0]
+        path = write_spans_jsonl(
+            tmp_path / "deep" / "trace.jsonl",
+            [{"task": None, "span": root.to_dict()}],
+        )
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == 1
+        entry = json.loads(lines[0])
+        assert entry["task"] is None
+        assert entry["span"]["name"] == "root"
+
+
+class TestModuleLevelSpan:
+    def test_inactive_returns_shared_null_span(self):
+        assert active_tracer() is None
+        assert span("anything", n=1) is _NULL_SPAN
+        with span("still.inactive"):
+            pass  # no-op context manager works
+
+    def test_activated_records_and_restores(self):
+        tracer = Tracer()
+        with activated(tracer):
+            assert active_tracer() is tracer
+            with span("recorded", n=3):
+                pass
+        assert active_tracer() is None
+        assert [root.name for root in tracer.roots] == ["recorded"]
+        assert tracer.roots[0].attrs == (("n", 3),)
+
+    def test_activated_none_leaves_tracing_untouched(self):
+        outer = Tracer()
+        with activated(outer):
+            with activated(None):
+                with span("goes.to.outer"):
+                    pass
+        assert [root.name for root in outer.roots] == ["goes.to.outer"]
+
+    def test_activated_nests_and_unwinds(self):
+        outer, inner = Tracer(), Tracer()
+        with activated(outer):
+            with activated(inner):
+                with span("inner.span"):
+                    pass
+            with span("outer.span"):
+                pass
+        assert [r.name for r in inner.roots] == ["inner.span"]
+        assert [r.name for r in outer.roots] == ["outer.span"]
+
+
+class TestRenderSpanTree:
+    def test_empty(self):
+        assert render_span_tree([]) == "(no spans recorded)"
+
+    def test_renders_names_attrs_and_percentages(self):
+        tracer = Tracer()
+        with tracer.span("sweep.run", sweep="fig12"):
+            with tracer.span("sweep.dispatch", n_tasks=6):
+                pass
+        text = render_span_tree(tracer.root_dicts())
+        assert "sweep.run [sweep=fig12]" in text
+        assert "  sweep.dispatch [n_tasks=6]" in text
+        assert "%" in text
+
+    def test_total_wall_time_sets_denominator(self):
+        spans = [{"name": "half", "wall_time_s": 0.5, "children": []}]
+        text = render_span_tree(spans, total_wall_time_s=1.0)
+        assert "50.0%" in text

@@ -46,3 +46,23 @@ def slow_square(x, delay_s=0.0):
 def boom(seed):
     """Always raises — error-propagation tests."""
     raise ValueError(f"boom({seed})")
+
+
+def instrumented(n, seed):
+    """Opens spans and reports metrics — telemetry determinism tests.
+
+    The span structure and metric values depend only on (n, seed), so
+    serial and process-pool runs must agree on everything but timing.
+    """
+    from repro.obs import metrics, tracing
+
+    rng = np.random.default_rng(seed)
+    with tracing.span("test.task", n=n):
+        with tracing.span("test.draw"):
+            values = rng.normal(size=n)
+        metrics.count("test.draws", n)
+        metrics.set_gauge("test.last_n", n)
+        with tracing.span("test.reduce"):
+            total = float(values.sum())
+        metrics.observe("test.total", total)
+    return total

@@ -17,6 +17,8 @@ import tempfile
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.obs.observers import MetricsObserver, TraceObserver
+from repro.obs.tracing import Span
 from repro.runtime import (
     ResultCache,
     RuntimeConfig,
@@ -63,6 +65,41 @@ def test_serial_and_parallel_manifests_identical(task_set):
     assert serial.manifest.fingerprint() == parallel.manifest.fingerprint()
     for a, b in zip(serial.results, parallel.results):
         assert _payload_bytes(a) == _payload_bytes(b)
+
+
+@settings(max_examples=5)
+@given(task_sets)
+def test_serial_and_parallel_telemetry_identical(task_set):
+    # The observability satellite: both backends must record the same
+    # span *structure* (names, attrs, parent edges — not timings) for
+    # every task, and merge to the same metric counter values.
+    tasks = [
+        SweepTask.make(sweep_fns.instrumented, params={"n": n}, seed=seed)
+        for _, n, seed in task_set
+    ]
+
+    def _run(config):
+        trace, metrics = TraceObserver(), MetricsObserver()
+        result = run_sweep(tasks, config, name="prop_obs", observers=[trace, metrics])
+        structures = [
+            tuple(Span.from_dict(d).structure() for d in record.spans or [])
+            for record in result.manifest.tasks
+        ]
+        return structures, metrics.registry
+
+    serial_structures, serial_registry = _run(RuntimeConfig(backend="serial"))
+    parallel_structures, parallel_registry = _run(
+        RuntimeConfig(backend="process", max_workers=2)
+    )
+    assert serial_structures == parallel_structures
+    assert serial_registry.counters == parallel_registry.counters
+    assert {
+        name: state.to_dict()
+        for name, state in serial_registry.histograms.items()
+    } == {
+        name: state.to_dict()
+        for name, state in parallel_registry.histograms.items()
+    }
 
 
 @settings(max_examples=25)

@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro`` experiment CLI."""
 
+import json
+
 import pytest
 
 from repro.__main__ import EXPERIMENTS, main
@@ -13,6 +15,20 @@ def test_list_prints_all_experiments(capsys):
     assert "ablations" in out
 
 
+def test_list_subcommand_matches_flag(capsys):
+    assert main(["list"]) == 0
+    subcommand_out = capsys.readouterr().out
+    assert main(["--list"]) == 0
+    assert capsys.readouterr().out == subcommand_out
+    assert "fig12" in subcommand_out
+
+
+def test_list_subcommand_rejects_extra_arguments(capsys):
+    with pytest.raises(SystemExit):
+        main(["list", "fig6"])
+    assert "no further arguments" in capsys.readouterr().err
+
+
 def test_single_experiment_runs(capsys):
     assert main(["fig6"]) == 0
     out = capsys.readouterr().out
@@ -21,7 +37,61 @@ def test_single_experiment_runs(capsys):
     assert "regenerated in" in out
 
 
+def test_run_subcommand_runs_named_experiment(capsys):
+    assert main(["run", "fig6"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig. 6" in out
+    assert "regenerated in" in out
+
+
+def test_canonical_names_accepted(capsys):
+    assert main(["run", "fig6_heatmap"]) == 0
+    assert "Fig. 6" in capsys.readouterr().out
+
+
 def test_unknown_experiment_rejected(capsys):
     with pytest.raises(SystemExit):
         main(["fig99"])
     assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_run_subcommand_rejects_unknown_name(capsys):
+    with pytest.raises(SystemExit):
+        main(["run", "fig99"])
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_trace_and_metrics_flags_print_reports(capsys, tmp_path):
+    assert (
+        main(
+            [
+                "run",
+                "fig13",
+                "--smoke",
+                "--trace",
+                "--metrics",
+                "--obs-dir",
+                str(tmp_path),
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "span tree:" in out
+    assert "sweep.run" in out
+    assert "metrics:" in out
+    assert "runtime.tasks.dispatched" in out
+    trace_path = tmp_path / "fig13_aperture.trace.jsonl"
+    metrics_path = tmp_path / "fig13_aperture.metrics.json"
+    assert trace_path.exists() and metrics_path.exists()
+    data = json.loads(metrics_path.read_text())
+    assert data["counters"]["runtime.sweeps"] == 1.0
+
+
+def test_trace_memory_alias_maps_to_trace_malloc(capsys, recwarn):
+    assert main(["run", "fig13", "--smoke", "--trace-memory"]) == 0
+    assert "regenerated in" in capsys.readouterr().out
+    # The alias routes to the observer, not the deprecated config flag.
+    assert not [
+        w for w in recwarn if issubclass(w.category, DeprecationWarning)
+    ]
