@@ -5,6 +5,11 @@ manifests, and :func:`repro.obs.tracing.wall_clock_s` is the sanctioned
 raw clock. Ad-hoc ``time.perf_counter()`` stopwatches scattered through
 library code bypass that surface — their measurements never reach a
 manifest, a trace file, or the metrics registry.
+
+Buffering belongs to the serving layer for the same reason: an
+unbounded ``deque``/``queue.Queue`` hides backlog growth that
+``repro.serve``'s bounded queues would expose as gauges and shed
+counters.
 """
 
 from __future__ import annotations
@@ -35,9 +40,23 @@ CLOCK_FUNCTIONS = frozenset(
 )
 
 
+#: Path fragments allowed to build raw deques/queues: the serving layer
+#: owns admission control (``BoundedBuffer`` checks capacity explicitly
+#: because ``maxlen`` would silently drop the wrong end).
+QUEUE_EXEMPT_FRAGMENTS = ("repro/serve/",)
+
+#: ``queue`` module classes whose default construction is unbounded.
+QUEUE_CLASSES = frozenset({"Queue", "LifoQueue", "PriorityQueue"})
+
+
 def _is_exempt(ctx: ModuleContext) -> bool:
     path = ctx.path.replace("\\", "/")
     return any(fragment in path for fragment in CLOCK_EXEMPT_FRAGMENTS)
+
+
+def _is_queue_exempt(ctx: ModuleContext) -> bool:
+    path = ctx.path.replace("\\", "/")
+    return any(fragment in path for fragment in QUEUE_EXEMPT_FRAGMENTS)
 
 
 @register
@@ -84,3 +103,92 @@ class AdHocTiming(Rule):
                                 "timing; use a repro.obs.tracing span (or "
                                 "repro.obs.wall_clock_s)",
                             )
+
+
+def _has_bound_argument(node: ast.Call, keyword: str) -> bool:
+    """Whether a deque/queue constructor call passes a real bound.
+
+    ``deque(items)`` and ``Queue()`` are unbounded; so are the explicit
+    ``maxlen=None`` / ``maxsize=0`` spellings. A non-``None``/non-zero
+    keyword, a second positional argument (``deque``'s ``maxlen``), or
+    anything dynamic (``*args`` / ``**kwargs``) counts as bounded.
+    """
+    if keyword == "maxlen" and len(node.args) >= 2:
+        return not (
+            isinstance(node.args[1], ast.Constant)
+            and node.args[1].value is None
+        )
+    if keyword == "maxsize" and len(node.args) >= 1:
+        return not (
+            isinstance(node.args[0], ast.Constant)
+            and node.args[0].value in (0, None)
+        )
+    for kw in node.keywords:
+        if kw.arg is None:  # **kwargs — assume the caller bounds it
+            return True
+        if kw.arg == keyword:
+            if isinstance(kw.value, ast.Constant):
+                return kw.value.value not in (0, None)
+            return True
+    return False
+
+
+@register
+class UnboundedQueue(Rule):
+    """O502: unbounded ``deque``/``queue.Queue`` growth outside serving.
+
+    A queue without a capacity is a latent memory leak under sustained
+    load: nothing sheds when the producer outruns the consumer. Library
+    code should pass ``deque(maxlen=...)`` / ``Queue(maxsize=...)`` or
+    route buffering through ``repro.serve``'s admission-controlled
+    :class:`~repro.serve.queueing.BoundedBuffer`, which is why only the
+    ``repro.serve`` package is exempt.
+    """
+
+    code = "O502"
+    name = "unbounded-queue"
+    severity = "error"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if _is_queue_exempt(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = None
+            if isinstance(func, ast.Name):
+                name = func.id
+            elif isinstance(func, ast.Attribute) and isinstance(
+                func.value, ast.Name
+            ):
+                owner = func.value.id
+                if (owner, func.attr) == ("collections", "deque"):
+                    name = "deque"
+                elif owner == "queue" and (
+                    func.attr in QUEUE_CLASSES or func.attr == "SimpleQueue"
+                ):
+                    name = func.attr
+            if name == "deque":
+                if not _has_bound_argument(node, "maxlen"):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "unbounded deque(); pass maxlen=... or use "
+                        "repro.serve's admission-controlled BoundedBuffer",
+                    )
+            elif name in QUEUE_CLASSES:
+                if not _has_bound_argument(node, "maxsize"):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"unbounded queue.{name}(); pass a positive "
+                        "maxsize=... so producers back-pressure",
+                    )
+            elif name == "SimpleQueue":
+                yield self.finding(
+                    ctx,
+                    node,
+                    "queue.SimpleQueue cannot be bounded; use "
+                    "queue.Queue(maxsize=...) instead",
+                )

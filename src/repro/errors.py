@@ -64,6 +64,14 @@ class InsufficientMeasurementsError(LocalizationError):
     """Too few through-relay channel measurements to run the SAR solver."""
 
 
+class ServeError(RFlyError):
+    """The online localization service could not honor a request."""
+
+
+class SessionNotFoundError(ServeError):
+    """No live (or restorable) session exists under the requested id."""
+
+
 class GeometryError(RFlyError):
     """Invalid geometric input (degenerate segment, point outside room...)."""
 

@@ -50,6 +50,7 @@ from repro.experiments import (
     fig12_localization,
     fig13_aperture,
     fig14_distance,
+    serve_bench,
 )
 from repro.experiments.runner import ExperimentOutput
 from repro.obs.observers import SweepObserver
@@ -177,6 +178,26 @@ REGISTRY: Tuple[ExperimentSpec, ...] = (
             "seed": 0,
         },
         smoke_overrides={"trials_per_point": 2},
+    ),
+    ExperimentSpec(
+        name="serve_bench",
+        alias="serve",
+        description="online serving throughput/latency vs offered load",
+        build_tasks=serve_bench.build_tasks,
+        reduce=serve_bench.reduce,
+        render=lambda result: [serve_bench.format_result(result)],
+        defaults={
+            "loads": serve_bench.DEFAULT_LOADS,
+            "n_tags": 4,
+            "grid_resolution": 0.10,
+            "latency_slo_s": 0.25,
+            "seed": 0,
+        },
+        smoke_overrides={
+            "loads": (1.0, 64.0),
+            "n_tags": 3,
+            "grid_resolution": 0.15,
+        },
     ),
     ExperimentSpec(
         name="ablations",

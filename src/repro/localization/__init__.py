@@ -36,6 +36,7 @@ from repro.localization.peaks import Peak, find_peaks, select_nearest_to_traject
 from repro.localization.multires import multires_locate
 from repro.localization.rssi import rssi_distances, rssi_locate
 from repro.localization.pipeline import Localizer, LocalizationResult
+from repro.localization.incremental import IncrementalSar
 from repro.localization.grid3d import Grid3D, Volume, locate_3d, sar_volume
 from repro.localization.self_localization import (
     self_localize,
@@ -62,6 +63,7 @@ __all__ = [
     "rssi_locate",
     "Localizer",
     "LocalizationResult",
+    "IncrementalSar",
     "Grid3D",
     "Volume",
     "sar_volume",

@@ -1,0 +1,34 @@
+"""The service's virtual clock.
+
+Serving is simulated on a deterministic clock: arrivals carry their own
+timestamps (from the traffic generator or the caller) and service time
+is charged by the cost model in :class:`repro.serve.config.ServeConfig`.
+No wall clock is ever read on the data path — ``repro.obs`` spans keep
+their own wall times for profiling, but every latency the service
+*reports* is virtual, which is what makes the serve tables reproduce
+bit-for-bit under a fixed seed.
+"""
+
+from __future__ import annotations
+
+
+class VirtualClock:
+    """A monotonic, manually-advanced clock (seconds)."""
+
+    def __init__(self, start_s: float = 0.0) -> None:
+        self._now_s = float(start_s)
+
+    @property
+    def now_s(self) -> float:
+        """The current virtual time."""
+        return self._now_s
+
+    def advance_to(self, time_s: float) -> float:
+        """Move forward to ``time_s`` (late timestamps clamp: no rewind).
+
+        Out-of-order arrivals are legal — an event stamped earlier than
+        the clock is processed *now* rather than rewriting history —
+        so the clock only ever moves forward.
+        """
+        self._now_s = max(self._now_s, float(time_s))
+        return self._now_s

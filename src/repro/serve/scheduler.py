@@ -1,0 +1,109 @@
+"""The micro-batch scheduler and the degradation decision.
+
+One scheduling *round* coalesces every session's pending updates into
+per-session micro-batches (each a single vectorized grid projection
+through the chunked ``SarGeometry`` fast path) and orders them
+deterministically: oldest queued work first, session id as the
+tie-break. The scheduler plans against the virtual cost model, keeping
+a running projection of the server's backlog as it lays batches out —
+so when the projected queueing delay of a batch crosses
+``degrade_threshold_s``, that batch (and the rest of an overloaded
+round) drops to the degraded grid, which is roughly
+``degraded_resolution_factor ** 2`` cheaper per pose. Catch-up of
+deferred full-resolution work rides along only while the server is
+ahead of the SLO.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.serve.config import ServeConfig
+from repro.serve.queueing import PendingUpdate
+from repro.serve.session import TagSession
+
+
+@dataclass(frozen=True)
+class BatchPlan:
+    """One planned micro-batch for one session."""
+
+    session_id: str
+    updates: Tuple[PendingUpdate, ...]
+    degraded: bool
+    catchup_poses: int
+    projected_nodes: int
+    cost_s: float
+
+
+def _batch_nodes(
+    session: TagSession,
+    n_updates: int,
+    degraded: bool,
+    catchup_poses: int,
+) -> int:
+    """Grid nodes one planned batch will project."""
+    nodes = n_updates * session.degraded_nodes
+    if not degraded:
+        nodes += n_updates * session.full_nodes
+    nodes += catchup_poses * session.full_nodes
+    return nodes
+
+
+class MicroBatchScheduler:
+    """Plans deterministic micro-batch rounds under the latency SLO."""
+
+    def __init__(self, config: ServeConfig) -> None:
+        self.config = config
+
+    def plan_round(
+        self,
+        sessions: Dict[str, TagSession],
+        now_s: float,
+        backlog_s: float,
+    ) -> List[BatchPlan]:
+        """Lay out one round of micro-batches over the pending work.
+
+        ``backlog_s`` is how far the server already runs behind the
+        clock (virtual busy time minus now). Sessions are visited
+        oldest-head-first; each batch's degradation mode is decided
+        from the delay its *first* update would see — queue wait so
+        far plus the projected backlog including the batches already
+        planned this round.
+        """
+        config = self.config
+        ready = [
+            (buffer_oldest_s, session_id)
+            for session_id, session in sessions.items()
+            for buffer_oldest_s in [session.pending.oldest_arrival_s]
+            if buffer_oldest_s is not None
+        ]
+        ready.sort()
+        plans: List[BatchPlan] = []
+        projected_backlog_s = max(0.0, float(backlog_s))
+        for oldest_arrival_s, session_id in ready:
+            session = sessions[session_id]
+            updates = session.pending.take(config.max_batch_poses)
+            if not updates:
+                continue
+            wait_s = (now_s - oldest_arrival_s) + projected_backlog_s
+            degraded = wait_s > config.degrade_threshold_s
+            catchup_poses = 0
+            if not degraded and session.lag_poses > 0:
+                catchup_poses = min(session.lag_poses, config.catchup_poses)
+            nodes = _batch_nodes(
+                session, len(updates), degraded, catchup_poses
+            )
+            cost_s = config.batch_cost_s(nodes)
+            plans.append(
+                BatchPlan(
+                    session_id=session_id,
+                    updates=tuple(updates),
+                    degraded=degraded,
+                    catchup_poses=catchup_poses,
+                    projected_nodes=nodes,
+                    cost_s=cost_s,
+                )
+            )
+            projected_backlog_s += cost_s
+        return plans

@@ -1,0 +1,282 @@
+"""The online localization service.
+
+Event-driven facade over the session store, the bounded queues, and the
+micro-batch scheduler: callers ``submit`` per-pose measurements into
+tag sessions and call ``step`` to run scheduling rounds; estimates
+refine continuously and ``finalize`` returns the batch-equivalent
+coarse-to-fine fix. Time is virtual throughout (see
+:mod:`repro.serve.clock`), so identical inputs produce identical
+latency tables.
+
+Instrumentation (``repro.obs``): queue-depth and backlog gauges,
+batch-size and latency histograms, per-round and per-batch spans, and
+ingest/shed/degrade counters — activate a tracer/registry (as
+``python -m repro.serve`` does) to capture them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import ServeError
+from repro.localization.disentangle import disentangle
+from repro.localization.grid import Grid2D
+from repro.localization.measurement import ThroughRelayMeasurement
+from repro.localization.pipeline import LocalizationResult
+from repro.obs import metrics, tracing
+from repro.runtime.cache import ResultCache
+from repro.serve.clock import VirtualClock
+from repro.serve.config import ServeConfig
+from repro.serve.queueing import Admission, PendingUpdate
+from repro.serve.scheduler import MicroBatchScheduler
+from repro.serve.session import SessionStore, TagSession
+
+
+@dataclass(frozen=True)
+class StepReport:
+    """What one scheduling round did."""
+
+    now_s: float
+    busy_until_s: float
+    batches: int
+    degraded_batches: int
+    updates_applied: int
+    catchup_poses: int
+
+
+@dataclass(frozen=True)
+class ServiceReport:
+    """Cumulative service-level numbers (virtual-time latencies)."""
+
+    updates_accepted: int
+    updates_applied: int
+    updates_degraded: int
+    updates_shed: int
+    full_batches: int
+    degraded_batches: int
+    catchup_poses: int
+    p50_latency_s: float
+    p99_latency_s: float
+    max_latency_s: float
+    busy_s: float
+
+
+def _percentile_s(latencies_s: List[float], q: float) -> float:
+    """A percentile of the recorded latencies (0 when none yet)."""
+    if not latencies_s:
+        return 0.0
+    return float(np.percentile(np.asarray(latencies_s, dtype=float), q))
+
+
+class LocalizationService:
+    """Streaming through-relay localization for many concurrent tags."""
+
+    def __init__(
+        self, config: ServeConfig, cache: Optional[ResultCache] = None
+    ) -> None:
+        self.config = config
+        self.store = SessionStore(config, cache)
+        self.scheduler = MicroBatchScheduler(config)
+        self.clock = VirtualClock()
+        self._busy_until_s = 0.0
+        self._seq = 0
+        self._latencies_s: List[float] = []
+        self._applied = 0
+        self._degraded_updates = 0
+        self._accepted = 0
+        self._shed = 0
+        self._full_batches = 0
+        self._degraded_batches = 0
+        self._catchup_poses = 0
+
+    # -- session lifecycle -------------------------------------------------------
+
+    def open_session(
+        self, session_id: str, grid: Grid2D, now_s: float = 0.0
+    ) -> TagSession:
+        """Open a streaming session searching over ``grid``."""
+        self.clock.advance_to(now_s)
+        metrics.count("serve.sessions.opened")
+        return self.store.open(session_id, grid, now_s=self.clock.now_s)
+
+    def finalize(
+        self, session_id: str, now_s: Optional[float] = None
+    ) -> LocalizationResult:
+        """Drain the session's queue, catch up, and close with a fix.
+
+        The full-resolution catch-up and fine stage are charged to the
+        virtual server like any other work, so a finalize under load
+        takes its fair place in the backlog.
+        """
+        if now_s is not None:
+            self.clock.advance_to(now_s)
+        session = self.store.get_or_restore(session_id, self.clock.now_s)
+        while len(session.pending):
+            self.step()
+        catchup = session.lag_poses
+        cost_s = self.config.batch_cost_s(catchup * session.full_nodes)
+        self._busy_until_s = (
+            max(self._busy_until_s, self.clock.now_s) + cost_s
+        )
+        self._catchup_poses += catchup
+        with tracing.span(
+            "serve.finalize", session=session_id, catchup=catchup
+        ):
+            result = session.finalize()
+        self.store.close(session_id)
+        metrics.count("serve.sessions.finalized")
+        return result
+
+    # -- ingest ------------------------------------------------------------------
+
+    def submit(
+        self,
+        session_id: str,
+        measurement: ThroughRelayMeasurement,
+        now_s: Optional[float] = None,
+    ) -> Admission:
+        """Ingest one per-pose measurement into a session's queue.
+
+        Disentanglement (Eq. 10) happens here, so shedding costs almost
+        nothing and an admitted update is ready for pure vectorized
+        accumulation. Expired-but-checkpointed sessions restore
+        transparently.
+        """
+        arrival_s = self.clock.advance_to(
+            now_s if now_s is not None else self.clock.now_s
+        )
+        self.store.evict_expired(arrival_s)
+        session = self.store.get_or_restore(session_id, arrival_s)
+        channel = disentangle(measurement.h_target, measurement.h_reference)
+        update = PendingUpdate(
+            position=np.asarray(measurement.position, dtype=float),
+            channel=channel,
+            arrival_s=arrival_s,
+            seq=self._seq,
+        )
+        self._seq += 1
+        admission = session.offer(update, arrival_s)
+        if admission is Admission.ACCEPTED:
+            self._accepted += 1
+            metrics.count("serve.updates.accepted")
+        else:
+            self._shed += 1
+            metrics.count("serve.updates.shed")
+        metrics.set_gauge("serve.queue_depth", float(self.queue_depth))
+        return admission
+
+    # -- scheduling --------------------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        """Total pending updates across live sessions."""
+        return sum(
+            len(s.pending) for s in self.store.sessions().values()
+        )
+
+    @property
+    def backlog_s(self) -> float:
+        """How far the virtual server runs behind the clock."""
+        return max(0.0, self._busy_until_s - self.clock.now_s)
+
+    def step(self, now_s: Optional[float] = None) -> StepReport:
+        """Run one scheduling round over everything pending."""
+        if now_s is not None:
+            self.clock.advance_to(now_s)
+        now = self.clock.now_s
+        self.store.evict_expired(now)
+        with tracing.span("serve.step", queue_depth=self.queue_depth):
+            plans = self.scheduler.plan_round(
+                self.store.sessions(), now, self.backlog_s
+            )
+            busy_until_s = max(self._busy_until_s, now)
+            applied = 0
+            degraded_batches = 0
+            catchup_total = 0
+            for plan in plans:
+                session = self.store.get(plan.session_id)
+                with tracing.span(
+                    "serve.batch",
+                    session=plan.session_id,
+                    poses=len(plan.updates),
+                    degraded=plan.degraded,
+                ):
+                    session.apply_batch(plan.updates, plan.degraded)
+                    if plan.catchup_poses:
+                        session.catch_up(plan.catchup_poses)
+                busy_until_s += plan.cost_s
+                for update in plan.updates:
+                    latency_s = busy_until_s - update.arrival_s
+                    self._latencies_s.append(latency_s)
+                    metrics.observe("serve.latency_s", latency_s)
+                applied += len(plan.updates)
+                catchup_total += plan.catchup_poses
+                if plan.degraded:
+                    degraded_batches += 1
+                    self._degraded_batches += 1
+                    self._degraded_updates += len(plan.updates)
+                    metrics.count("serve.batches.degraded")
+                else:
+                    self._full_batches += 1
+                    metrics.count("serve.batches.full")
+                metrics.observe("serve.batch_poses", float(len(plan.updates)))
+            self._busy_until_s = busy_until_s
+            self._applied += applied
+            self._catchup_poses += catchup_total
+        metrics.set_gauge("serve.queue_depth", float(self.queue_depth))
+        metrics.set_gauge("serve.backlog_s", self.backlog_s)
+        return StepReport(
+            now_s=now,
+            busy_until_s=busy_until_s,
+            batches=len(plans),
+            degraded_batches=degraded_batches,
+            updates_applied=applied,
+            catchup_poses=catchup_total,
+        )
+
+    def drain(self, max_rounds: int = 10_000) -> int:
+        """Step until no update is pending; returns rounds taken."""
+        rounds = 0
+        while self.queue_depth:
+            if rounds >= max_rounds:
+                raise ServeError(
+                    f"drain did not converge within {max_rounds} rounds"
+                )
+            self.step()
+            rounds += 1
+        return rounds
+
+    # -- readout -----------------------------------------------------------------
+
+    def estimate(self, session_id: str) -> np.ndarray:
+        """The freshest complete coarse estimate for one session."""
+        return self.store.get(session_id).estimate()
+
+    def estimates(self) -> Dict[str, np.ndarray]:
+        """Current estimates for every live session with data."""
+        out: Dict[str, np.ndarray] = {}
+        for session_id, session in self.store.sessions().items():
+            if session.degraded.n_poses > 0:
+                out[session_id] = session.estimate()
+        return out
+
+    def report(self) -> ServiceReport:
+        """Cumulative virtual-time service report."""
+        return ServiceReport(
+            updates_accepted=self._accepted,
+            updates_applied=self._applied,
+            updates_degraded=self._degraded_updates,
+            updates_shed=self._shed,
+            full_batches=self._full_batches,
+            degraded_batches=self._degraded_batches,
+            catchup_poses=self._catchup_poses,
+            p50_latency_s=_percentile_s(self._latencies_s, 50.0),
+            p99_latency_s=_percentile_s(self._latencies_s, 99.0),
+            max_latency_s=(
+                max(self._latencies_s) if self._latencies_s else 0.0
+            ),
+            busy_s=self._busy_until_s,
+        )

@@ -1,0 +1,373 @@
+"""Per-tag sessions and the TTL/checkpoint session store.
+
+A :class:`TagSession` owns two incremental accumulators over the same
+extent: the *full* session grid and a *degraded* grid
+``degraded_resolution_factor`` times coarser. Every update always lands
+in the degraded accumulator (it is cheap and keeps the quick estimate
+complete); FULL-mode batches also land in the full accumulator, while
+DEGRADED-mode batches defer that fold-in to a lag list. Because the
+coherent sum is linear, catching up later is *exact* — degradation
+trades estimate resolution now for zero accuracy loss at finalize.
+
+The :class:`SessionStore` bounds live sessions, evicts quiesced ones
+after a TTL, and (when given a :class:`repro.runtime.ResultCache`)
+checkpoints evicted state so a later submit transparently restores the
+session — the same content-addressed atomic-write cache the sweep
+engine uses for task payloads.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ServeError, SessionNotFoundError
+from repro.localization.grid import Grid2D
+from repro.localization.incremental import IncrementalSar
+from repro.localization.pipeline import LocalizationResult
+from repro.obs import metrics
+from repro.runtime.cache import ResultCache
+from repro.serve.config import ServeConfig
+from repro.serve.queueing import Admission, BoundedBuffer, PendingUpdate
+
+
+def _checkpoint_key(session_id: str) -> str:
+    """Content address of one session's checkpoint payload."""
+    material = f"serve-session:{session_id}".encode("utf-8")
+    return hashlib.sha256(material).hexdigest()
+
+
+@dataclass
+class SessionStats:
+    """Ingest/apply counters for one session."""
+
+    accepted: int = 0
+    shed: int = 0
+    applied_full: int = 0
+    applied_degraded: int = 0
+    caught_up: int = 0
+
+
+def _degraded_grid(grid: Grid2D, factor: float) -> Grid2D:
+    """The coarse fallback grid: same extent, ``factor`` x resolution."""
+    resolution = min(
+        grid.resolution * factor,
+        (grid.x_max - grid.x_min) / 2.0,
+        (grid.y_max - grid.y_min) / 2.0,
+    )
+    return Grid2D(
+        x_min=grid.x_min,
+        x_max=grid.x_max,
+        y_min=grid.y_min,
+        y_max=grid.y_max,
+        resolution=resolution,
+    )
+
+
+class TagSession:
+    """Streaming localization state for one tag."""
+
+    def __init__(
+        self,
+        session_id: str,
+        config: ServeConfig,
+        grid: Grid2D,
+        opened_s: float = 0.0,
+    ) -> None:
+        self.session_id = str(session_id)
+        self.config = config
+        self.grid = grid
+        self.opened_s = float(opened_s)
+        self.last_seen_s = float(opened_s)
+        self.pending = BoundedBuffer(config.queue_capacity)
+        self.stats = SessionStats()
+        self.full = IncrementalSar(
+            config.frequency_hz,
+            grid,
+            chunk_nodes=config.chunk_nodes,
+            fine_resolution=config.fine_resolution,
+            fine_span=config.fine_span,
+            relative_threshold=config.relative_threshold,
+            use_nearest_peak_rule=config.use_nearest_peak_rule,
+        )
+        self.degraded = IncrementalSar(
+            config.frequency_hz,
+            _degraded_grid(grid, config.degraded_resolution_factor),
+            chunk_nodes=config.chunk_nodes,
+            fine_resolution=min(
+                config.fine_resolution, grid.resolution
+            ),
+            fine_span=config.fine_span,
+            relative_threshold=config.relative_threshold,
+            use_nearest_peak_rule=config.use_nearest_peak_rule,
+        )
+        self._lag: List[Tuple[np.ndarray, np.ndarray]] = []
+        self._lag_poses = 0
+
+    # -- ingest ------------------------------------------------------------------
+
+    def offer(self, update: PendingUpdate, now_s: float) -> Admission:
+        """Admit or shed one arrival; touches the TTL clock either way."""
+        self.last_seen_s = max(self.last_seen_s, float(now_s))
+        admission = self.pending.offer(update)
+        if admission is Admission.ACCEPTED:
+            self.stats.accepted += 1
+        else:
+            self.stats.shed += 1
+        return admission
+
+    # -- scheduler-facing state --------------------------------------------------
+
+    @property
+    def lag_poses(self) -> int:
+        """Deferred full-resolution poses awaiting catch-up."""
+        return self._lag_poses
+
+    @property
+    def full_nodes(self) -> int:
+        """Projection cost (nodes) of one pose on the full grid."""
+        return self.full.n_nodes
+
+    @property
+    def degraded_nodes(self) -> int:
+        """Projection cost (nodes) of one pose on the degraded grid."""
+        return self.degraded.n_nodes
+
+    # -- applying work -----------------------------------------------------------
+
+    def apply_batch(
+        self, updates: Sequence[PendingUpdate], degraded: bool
+    ) -> int:
+        """Fold one micro-batch in; returns grid nodes projected.
+
+        FULL mode feeds both accumulators; DEGRADED mode feeds only the
+        cheap one and defers the full-resolution fold-in to the lag
+        list (caught up by :meth:`catch_up` or :meth:`finalize`).
+        """
+        if not updates:
+            return 0
+        positions = np.stack([u.position for u in updates])
+        channels = np.array([u.channel for u in updates], dtype=complex)
+        projected = self.degraded.update(positions, channels)
+        if degraded:
+            self._lag.append((positions, channels))
+            self._lag_poses += len(updates)
+            self.stats.applied_degraded += len(updates)
+        else:
+            projected += self.full.update(positions, channels)
+            self.stats.applied_full += len(updates)
+        return projected
+
+    def catch_up(self, max_poses: Optional[int] = None) -> int:
+        """Fold deferred poses into the full accumulator; returns nodes.
+
+        ``max_poses`` bounds the work (scheduler budget); ``None``
+        drains the whole lag (finalize / idle).
+        """
+        projected = 0
+        caught = 0
+        while self._lag and (max_poses is None or caught < max_poses):
+            positions, channels = self._lag[0]
+            budget = len(positions)
+            if max_poses is not None:
+                budget = min(budget, max_poses - caught)
+            if budget < len(positions):
+                head_positions, head_channels = (
+                    positions[:budget],
+                    channels[:budget],
+                )
+                self._lag[0] = (positions[budget:], channels[budget:])
+            else:
+                head_positions, head_channels = positions, channels
+                self._lag.pop(0)
+            projected += self.full.update(head_positions, head_channels)
+            caught += len(head_positions)
+        self._lag_poses -= caught
+        self.stats.caught_up += caught
+        return projected
+
+    # -- readout -----------------------------------------------------------------
+
+    def estimate(self) -> np.ndarray:
+        """The freshest complete estimate (coarse argmax, no fine stage).
+
+        The full accumulator wins when it has seen everything; while it
+        lags (degraded mode), the degraded accumulator — which always
+        sees every pose — answers instead.
+        """
+        if self._lag_poses == 0 and self.full.n_poses > 0:
+            return self.full.estimate()
+        return self.degraded.estimate()
+
+    def finalize(self) -> LocalizationResult:
+        """Catch up in full and run the batch-equivalent fine stage."""
+        self.catch_up(None)
+        return self.full.finalize()
+
+    # -- checkpointing -----------------------------------------------------------
+
+    def checkpoint_payload(self) -> Dict[str, Any]:
+        """A picklable snapshot of everything but the pending queue.
+
+        Only quiesced sessions (empty queue) are checkpointed, so the
+        queue is deliberately absent from the payload.
+        """
+        return {
+            "session_id": self.session_id,
+            "opened_s": self.opened_s,
+            "last_seen_s": self.last_seen_s,
+            "full": self.full.to_payload(),
+            "degraded": self.degraded.to_payload(),
+            "lag": [(p.copy(), c.copy()) for p, c in self._lag],
+            "stats": {
+                "accepted": self.stats.accepted,
+                "shed": self.stats.shed,
+                "applied_full": self.stats.applied_full,
+                "applied_degraded": self.stats.applied_degraded,
+                "caught_up": self.stats.caught_up,
+            },
+        }
+
+    @classmethod
+    def from_payload(
+        cls, payload: Dict[str, Any], config: ServeConfig
+    ) -> "TagSession":
+        """Rebuild a session from :meth:`checkpoint_payload` output."""
+        full = IncrementalSar.from_payload(payload["full"])
+        session = cls(
+            payload["session_id"],
+            config,
+            full.grid,
+            opened_s=payload["opened_s"],
+        )
+        session.full = full
+        session.degraded = IncrementalSar.from_payload(payload["degraded"])
+        session.last_seen_s = float(payload["last_seen_s"])
+        session._lag = [
+            (np.asarray(p, dtype=float), np.asarray(c, dtype=complex))
+            for p, c in payload["lag"]
+        ]
+        session._lag_poses = sum(len(p) for p, _ in session._lag)
+        session.stats = SessionStats(**payload["stats"])
+        return session
+
+
+class SessionStore:
+    """Live sessions with TTL eviction and checkpoint/restore."""
+
+    def __init__(
+        self, config: ServeConfig, cache: Optional[ResultCache] = None
+    ) -> None:
+        self.config = config
+        self.cache = cache
+        self._sessions: Dict[str, TagSession] = {}
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def ids(self) -> List[str]:
+        """Live session ids (insertion order)."""
+        return list(self._sessions)
+
+    def sessions(self) -> Dict[str, TagSession]:
+        """The live session mapping (shared, not a copy)."""
+        return self._sessions
+
+    def open(
+        self, session_id: str, grid: Grid2D, now_s: float = 0.0
+    ) -> TagSession:
+        """Create a fresh session under ``session_id``."""
+        if session_id in self._sessions:
+            raise ServeError(f"session {session_id!r} is already open")
+        if len(self._sessions) >= self.config.max_sessions:
+            raise ServeError(
+                f"session limit reached ({self.config.max_sessions}); "
+                "finalize or wait for TTL eviction"
+            )
+        session = TagSession(session_id, self.config, grid, opened_s=now_s)
+        self._sessions[session_id] = session
+        metrics.set_gauge("serve.sessions.active", len(self._sessions))
+        return session
+
+    def get(self, session_id: str) -> TagSession:
+        """The live session, or :class:`SessionNotFoundError`."""
+        session = self._sessions.get(session_id)
+        if session is None:
+            raise SessionNotFoundError(
+                f"no live session {session_id!r} (expired or never opened)"
+            )
+        return session
+
+    def get_or_restore(self, session_id: str, now_s: float) -> TagSession:
+        """The live session, transparently restoring a checkpoint."""
+        session = self._sessions.get(session_id)
+        if session is not None:
+            return session
+        restored = self.restore(session_id, now_s)
+        if restored is None:
+            raise SessionNotFoundError(
+                f"no live session {session_id!r} and no checkpoint to "
+                "restore it from"
+            )
+        return restored
+
+    def close(self, session_id: str) -> None:
+        """Drop a session and forget any checkpoint of it."""
+        self._sessions.pop(session_id, None)
+        if self.cache is not None:
+            path = self.cache.path_for(_checkpoint_key(session_id))
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        metrics.set_gauge("serve.sessions.active", len(self._sessions))
+
+    # -- TTL / checkpointing -----------------------------------------------------
+
+    def evict_expired(self, now_s: float) -> List[str]:
+        """Evict quiesced sessions idle past the TTL; returns their ids.
+
+        Sessions with queued work are never evicted — shedding accepted
+        updates silently would break the admission contract.
+        """
+        expired = [
+            session_id
+            for session_id, session in self._sessions.items()
+            if len(session.pending) == 0
+            and (now_s - session.last_seen_s) > self.config.session_ttl_s
+        ]
+        for session_id in expired:
+            session = self._sessions.pop(session_id)
+            if self.cache is not None:
+                self.cache.store(
+                    _checkpoint_key(session_id),
+                    session.checkpoint_payload(),
+                )
+            metrics.count("serve.sessions.evicted")
+        if expired:
+            metrics.set_gauge("serve.sessions.active", len(self._sessions))
+        return expired
+
+    def restore(
+        self, session_id: str, now_s: float
+    ) -> Optional[TagSession]:
+        """Resurrect an evicted session from its checkpoint, if any."""
+        if self.cache is None:
+            return None
+        if len(self._sessions) >= self.config.max_sessions:
+            raise ServeError(
+                f"session limit reached ({self.config.max_sessions}); "
+                f"cannot restore {session_id!r}"
+            )
+        hit, payload = self.cache.load(_checkpoint_key(session_id))
+        if not hit:
+            return None
+        session = TagSession.from_payload(payload, self.config)
+        session.last_seen_s = max(session.last_seen_s, float(now_s))
+        self._sessions[session_id] = session
+        metrics.count("serve.sessions.restored")
+        metrics.set_gauge("serve.sessions.active", len(self._sessions))
+        return session

@@ -1,0 +1,211 @@
+"""Gen2-inventory-driven traffic generation and workload replay.
+
+The generator flies the standard line trajectory past a seeded tag
+population and, at every pose, runs the *actual* Gen2 anti-collision
+MAC of :func:`repro.sim.events.inventory_at_pose` to decide which tags
+the relay reads — so arrival patterns inherit the MAC's contention
+(slow poses read fewer tags, singulation order varies with the seed)
+instead of an idealized Poisson stream. Each successful read becomes a
+timestamped :class:`UpdateEvent` for that tag's session.
+
+``load`` compresses the arrival timeline: the drone's physical flight
+produces events over ``duration_s / load`` seconds, so ``load`` beyond
+the service's capacity drives the backlog up and walks the service down
+the degradation ladder — the axis the `serve` experiment sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.constants import UHF_CENTER_FREQUENCY
+from repro.errors import ConfigurationError
+from repro.hardware.tag import PassiveTag
+from repro.localization.grid import Grid2D
+from repro.localization.measurement import (
+    MeasurementModel,
+    ThroughRelayMeasurement,
+)
+from repro.mobility.trajectory import LineTrajectory
+from repro.obs import tracing
+from repro.runtime.cache import ResultCache
+from repro.serve.config import ServeConfig
+from repro.serve.service import LocalizationService, ServiceReport
+from repro.sim.events import inventory_at_pose
+
+
+@dataclass(frozen=True)
+class UpdateEvent:
+    """One timestamped per-pose read destined for one session."""
+
+    time_s: float
+    session_id: str
+    measurement: ThroughRelayMeasurement
+
+
+@dataclass(frozen=True)
+class TrafficWorkload:
+    """A replayable stream of update events plus per-session context."""
+
+    events: Tuple[UpdateEvent, ...]
+    grids: Dict[str, Grid2D]
+    tag_positions: Dict[str, np.ndarray]
+    duration_s: float
+
+
+@dataclass(frozen=True)
+class ServeRunReport:
+    """One workload replayed through the service, summarized."""
+
+    service: ServiceReport
+    offered: int
+    duration_s: float
+    throughput_per_s: float
+    shed_fraction: float
+    degraded_fraction: float
+    estimates: Dict[str, np.ndarray]
+    errors_m: Dict[str, float]
+
+
+def generate_workload(
+    n_tags: int = 4,
+    seed: int = 0,
+    load: float = 1.0,
+    pose_spacing_m: float = 0.05,
+    snr_db: float = 25.0,
+    grid_resolution: float = 0.10,
+    use_gen2_mac: bool = True,
+    powering_range_m: float = 3.5,
+) -> TrafficWorkload:
+    """Fly one line scan over ``n_tags`` tags and emit the read stream.
+
+    All randomness (tag placement, channel noise, MAC slot draws) comes
+    from the single ``seed``, so the event stream — timestamps, order,
+    and payloads — is a pure function of the arguments.
+    """
+    if n_tags < 1:
+        raise ConfigurationError("need at least one tag")
+    if load <= 0:
+        raise ConfigurationError("load factor must be positive")
+    rng = np.random.default_rng(seed)
+    model = MeasurementModel(
+        reader_position=(-8.0, 0.0),
+        reader_frequency_hz=UHF_CENTER_FREQUENCY,
+    )
+    trajectory = LineTrajectory((0.0, 0.0), (3.5, 0.0))
+    samples = trajectory.sample_every(pose_spacing_m)
+    tags = [
+        PassiveTag(
+            epc=index + 1,
+            position=(
+                float(rng.uniform(0.3, 3.2)),
+                float(rng.uniform(0.8, 2.4)),
+            ),
+            rng=rng,
+        )
+        for index in range(n_tags)
+    ]
+    session_ids = {tag.epc_int: f"tag-{tag.epc_int:04d}" for tag in tags}
+    grid = Grid2D(-0.5, 4.0, 0.2, 3.0, grid_resolution)
+    events: List[UpdateEvent] = []
+    with tracing.span("serve.traffic", n_tags=n_tags, poses=len(samples)):
+        for sample in samples:
+            powered = {
+                tag.epc_int: (
+                    float(
+                        np.linalg.norm(
+                            np.asarray(tag.position) - sample.position
+                        )
+                    )
+                    <= powering_range_m
+                )
+                for tag in tags
+            }
+            if use_gen2_mac:
+                read_epcs = inventory_at_pose(
+                    tags, lambda t: powered[t.epc_int], rng
+                )
+            else:
+                read_epcs = {epc for epc, on in powered.items() if on}
+            for tag in tags:
+                if tag.epc_int not in read_epcs:
+                    continue
+                measurement = model.measure(
+                    sample.position,
+                    tag.position,
+                    rng=rng,
+                    snr_db=snr_db,
+                    time=sample.time,
+                )
+                events.append(
+                    UpdateEvent(
+                        time_s=sample.time / load,
+                        session_id=session_ids[tag.epc_int],
+                        measurement=measurement,
+                    )
+                )
+    events.sort(key=lambda e: (e.time_s, e.session_id))
+    return TrafficWorkload(
+        events=tuple(events),
+        grids={sid: grid for sid in session_ids.values()},
+        tag_positions={
+            session_ids[tag.epc_int]: np.asarray(tag.position, dtype=float)
+            for tag in tags
+        },
+        duration_s=samples[-1].time / load,
+    )
+
+
+def run_workload(
+    workload: TrafficWorkload,
+    config: ServeConfig,
+    cache: Optional[ResultCache] = None,
+) -> ServeRunReport:
+    """Replay a workload through a fresh service, then finalize all.
+
+    Every event submits at its own virtual timestamp and is followed by
+    one scheduling round — the event-driven serving loop. After the
+    stream ends the service drains, every session finalizes (the
+    batch-equivalent fine stage), and the virtual-time numbers are
+    summarized.
+    """
+    service = LocalizationService(config, cache=cache)
+    for session_id, grid in workload.grids.items():
+        service.open_session(session_id, grid, now_s=0.0)
+    with tracing.span("serve.run", events=len(workload.events)):
+        for event in workload.events:
+            service.submit(
+                event.session_id, event.measurement, now_s=event.time_s
+            )
+            service.step()
+        service.drain()
+        estimates: Dict[str, np.ndarray] = {}
+        errors_m: Dict[str, float] = {}
+        for session_id in sorted(workload.grids):
+            session = service.store.sessions().get(session_id)
+            if session is None or session.degraded.n_poses < 2:
+                continue
+            result = service.finalize(session_id)
+            estimates[session_id] = result.position
+            errors_m[session_id] = float(
+                np.linalg.norm(
+                    result.position - workload.tag_positions[session_id]
+                )
+            )
+    report = service.report()
+    busy_s = max(report.busy_s, 1e-12)
+    applied = report.updates_applied
+    offered = len(workload.events)
+    return ServeRunReport(
+        service=report,
+        offered=offered,
+        duration_s=workload.duration_s,
+        throughput_per_s=applied / busy_s,
+        shed_fraction=report.updates_shed / max(1, offered),
+        degraded_fraction=report.updates_degraded / max(1, applied),
+        estimates=estimates,
+        errors_m=errors_m,
+    )

@@ -77,6 +77,74 @@ class TestNonClockTimeUsagePasses:
         assert codes("signal.time_stretch()") == []
 
 
+class TestUnboundedQueue:
+    def test_bare_deque_is_flagged(self):
+        assert "O502" in codes("from collections import deque\nq = deque()")
+
+    def test_deque_seeded_without_maxlen_is_flagged(self):
+        assert "O502" in codes(
+            "from collections import deque\nq = deque([1, 2, 3])"
+        )
+
+    def test_collections_attribute_deque_is_flagged(self):
+        assert "O502" in codes("import collections\nq = collections.deque()")
+
+    def test_deque_maxlen_none_is_flagged(self):
+        assert "O502" in codes(
+            "from collections import deque\nq = deque([], maxlen=None)"
+        )
+
+    def test_deque_with_maxlen_keyword_passes(self):
+        assert codes(
+            "from collections import deque\nq = deque(maxlen=128)"
+        ) == []
+
+    def test_deque_with_positional_maxlen_passes(self):
+        assert codes(
+            "from collections import deque\nq = deque([], 128)"
+        ) == []
+
+    def test_deque_with_dynamic_maxlen_passes(self):
+        assert codes(
+            "from collections import deque\nq = deque(maxlen=capacity)"
+        ) == []
+
+    def test_queue_without_maxsize_is_flagged(self):
+        assert "O502" in codes("import queue\nq = queue.Queue()")
+
+    def test_queue_maxsize_zero_is_flagged(self):
+        # maxsize=0 is queue.Queue's spelling of "infinite".
+        assert "O502" in codes("import queue\nq = queue.Queue(maxsize=0)")
+
+    def test_queue_positional_zero_is_flagged(self):
+        assert "O502" in codes("import queue\nq = queue.Queue(0)")
+
+    def test_lifo_and_priority_queues_are_covered(self):
+        assert codes(
+            "import queue\na = queue.LifoQueue()\nb = queue.PriorityQueue()"
+        ) == ["O502", "O502"]
+
+    def test_queue_with_maxsize_passes(self):
+        assert codes("import queue\nq = queue.Queue(maxsize=64)") == []
+
+    def test_bare_name_queue_import_is_flagged(self):
+        assert "O502" in codes("from queue import Queue\nq = Queue()")
+
+    def test_simple_queue_is_always_flagged(self):
+        assert "O502" in codes("import queue\nq = queue.SimpleQueue()")
+
+    def test_serve_package_is_exempt(self):
+        src = "from collections import deque\nq = deque()"
+        assert codes_at(src, "src/repro/serve/queueing.py") == []
+
+    def test_other_packages_are_not_exempt(self):
+        src = "from collections import deque\nq = deque()"
+        assert "O502" in codes_at(src, "src/repro/runtime/engine.py")
+
+    def test_unrelated_calls_pass(self):
+        assert codes("make_queue(), dequeue()") == []
+
+
 class TestExemptPaths:
     def test_obs_tracing_module_is_exempt(self):
         src = "import time\nstart = time.perf_counter()"

@@ -1,0 +1,79 @@
+"""The deprecated ``run()`` shims must blame their *caller*.
+
+Every figure module keeps a module-level ``run(...)`` shim that warns
+and delegates to the registry. ``stacklevel=2`` is what makes the
+DeprecationWarning point at the user's call site instead of the shim
+body — this suite pins that, so a refactor can't silently regress the
+warning back to "somewhere inside repro".
+"""
+
+import warnings
+from types import SimpleNamespace
+
+import pytest
+
+from repro.experiments import (
+    ablations,
+    fig4_spectrum,
+    fig6_heatmap,
+    fig9_isolation,
+    fig10_phase,
+    fig11_range,
+    fig12_localization,
+    fig13_aperture,
+    fig14_distance,
+    registry,
+)
+
+SHIMS = {
+    "fig4_spectrum": fig4_spectrum.run,
+    "fig6_heatmap": fig6_heatmap.run,
+    "fig9_isolation": fig9_isolation.run,
+    "fig10_phase": fig10_phase.run,
+    "fig11_range": fig11_range.run,
+    "fig12_localization": fig12_localization.run,
+    "fig13_aperture": fig13_aperture.run,
+    "fig14_distance": fig14_distance.run,
+    "ablations": ablations.run_all,
+}
+
+
+@pytest.fixture
+def stub_registry(monkeypatch):
+    """Replace the real sweep with a sentinel so shims stay cheap."""
+    calls = []
+
+    def fake_run_experiment(name, **kwargs):
+        calls.append((name, kwargs))
+        return SimpleNamespace(result="sentinel-result")
+
+    monkeypatch.setattr(registry, "run_experiment", fake_run_experiment)
+    return calls
+
+
+@pytest.mark.parametrize("name", sorted(SHIMS))
+def test_shim_warns_deprecation_at_the_call_site(name, stub_registry):
+    shim = SHIMS[name]
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        result = shim()
+    deprecations = [
+        w for w in caught if issubclass(w.category, DeprecationWarning)
+    ]
+    assert len(deprecations) == 1
+    warning = deprecations[0]
+    # stacklevel=2: the warning is attributed to this test file (the
+    # caller), not to the shim module that raised it.
+    assert warning.filename == __file__
+    assert "registry" in str(warning.message)
+    assert result == "sentinel-result"
+    assert stub_registry, "shim never delegated to the registry"
+
+
+@pytest.mark.parametrize("name", sorted(SHIMS))
+def test_shim_delegates_its_own_experiment(name, stub_registry):
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        SHIMS[name]()
+    delegated_name, _ = stub_registry[0]
+    assert delegated_name == name

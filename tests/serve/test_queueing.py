@@ -1,0 +1,68 @@
+"""Bounded buffers: the admission-control contract."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve import Admission, BoundedBuffer, PendingUpdate
+
+
+def update(seq, arrival_s=0.0):
+    return PendingUpdate(
+        position=np.array([float(seq), 0.0]),
+        channel=1.0 + 0.0j,
+        arrival_s=arrival_s,
+        seq=seq,
+    )
+
+
+class TestBoundedBuffer:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            BoundedBuffer(0)
+
+    def test_accepts_until_capacity_then_sheds(self):
+        buffer = BoundedBuffer(2)
+        assert buffer.offer(update(0)) is Admission.ACCEPTED
+        assert buffer.offer(update(1)) is Admission.ACCEPTED
+        assert buffer.offer(update(2)) is Admission.SHED
+        assert len(buffer) == 2
+
+    def test_shed_drops_the_new_arrival_not_the_head(self):
+        # The paper-side contract: an accepted update is never silently
+        # replaced later (a maxlen deque would evict the oldest).
+        buffer = BoundedBuffer(1)
+        buffer.offer(update(0, arrival_s=1.0))
+        buffer.offer(update(1, arrival_s=2.0))
+        assert [u.seq for u in buffer.take(10)] == [0]
+
+    def test_take_preserves_fifo_order(self):
+        buffer = BoundedBuffer(8)
+        for seq in range(5):
+            buffer.offer(update(seq, arrival_s=float(seq)))
+        assert [u.seq for u in buffer.take(3)] == [0, 1, 2]
+        assert [u.seq for u in buffer.take(3)] == [3, 4]
+        assert buffer.take(3) == []
+
+    def test_take_nonpositive_limit_is_empty(self):
+        buffer = BoundedBuffer(2)
+        buffer.offer(update(0))
+        assert buffer.take(0) == []
+        assert len(buffer) == 1
+
+    def test_oldest_arrival_tracks_the_head(self):
+        buffer = BoundedBuffer(4)
+        assert buffer.oldest_arrival_s is None
+        buffer.offer(update(0, arrival_s=1.5))
+        buffer.offer(update(1, arrival_s=2.5))
+        assert buffer.oldest_arrival_s == 1.5
+        buffer.take(1)
+        assert buffer.oldest_arrival_s == 2.5
+
+    def test_shedding_frees_no_slot(self):
+        buffer = BoundedBuffer(1)
+        buffer.offer(update(0))
+        for seq in range(1, 4):
+            assert buffer.offer(update(seq)) is Admission.SHED
+        buffer.take(1)
+        assert buffer.offer(update(9)) is Admission.ACCEPTED

@@ -1,0 +1,115 @@
+"""Traffic generation and workload replay: determinism and the CLI."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.constants import UHF_CENTER_FREQUENCY
+from repro.errors import ConfigurationError
+from repro.serve import ServeConfig, generate_workload, run_workload
+from repro.serve.__main__ import main
+
+F = UHF_CENTER_FREQUENCY
+
+
+def small_workload(seed=0, load=1.0):
+    return generate_workload(
+        n_tags=2, seed=seed, load=load, grid_resolution=0.2
+    )
+
+
+class TestGenerateWorkload:
+    def test_parameters_are_validated(self):
+        with pytest.raises(ConfigurationError):
+            generate_workload(n_tags=0)
+        with pytest.raises(ConfigurationError):
+            generate_workload(load=0.0)
+
+    def test_same_seed_same_stream(self):
+        a = small_workload(seed=7)
+        b = small_workload(seed=7)
+        assert len(a.events) == len(b.events)
+        for ea, eb in zip(a.events, b.events):
+            assert ea.time_s == eb.time_s
+            assert ea.session_id == eb.session_id
+            np.testing.assert_array_equal(
+                ea.measurement.h_target, eb.measurement.h_target
+            )
+
+    def test_different_seeds_differ(self):
+        a = small_workload(seed=0)
+        b = small_workload(seed=1)
+        assert not np.allclose(
+            a.tag_positions["tag-0001"], b.tag_positions["tag-0001"]
+        )
+
+    def test_load_compresses_the_timeline(self):
+        slow = small_workload(load=1.0)
+        fast = small_workload(load=4.0)
+        assert fast.duration_s == pytest.approx(slow.duration_s / 4.0)
+        assert fast.events[-1].time_s == pytest.approx(
+            slow.events[-1].time_s / 4.0
+        )
+
+    def test_events_are_time_ordered(self):
+        workload = small_workload()
+        times = [e.time_s for e in workload.events]
+        assert times == sorted(times)
+
+    def test_gen2_mac_never_reads_more_than_the_powered_set(self):
+        with_mac = generate_workload(
+            n_tags=3, seed=0, grid_resolution=0.2, use_gen2_mac=True
+        )
+        without = generate_workload(
+            n_tags=3, seed=0, grid_resolution=0.2, use_gen2_mac=False
+        )
+        # The MAC singulates from the powered set, so it can only thin
+        # the stream (with few tags and many slots it reads them all).
+        assert len(with_mac.events) <= len(without.events)
+
+    def test_powering_range_gates_reads(self):
+        near = generate_workload(
+            n_tags=3, seed=0, grid_resolution=0.2, powering_range_m=10.0
+        )
+        far = generate_workload(
+            n_tags=3, seed=0, grid_resolution=0.2, powering_range_m=0.5
+        )
+        assert len(far.events) < len(near.events)
+
+
+class TestRunWorkload:
+    def test_replay_is_deterministic(self):
+        config = ServeConfig(frequency_hz=F)
+        a = run_workload(small_workload(), config)
+        b = run_workload(small_workload(), config)
+        assert a.service == b.service
+        assert a.throughput_per_s == b.throughput_per_s
+        for sid in a.estimates:
+            np.testing.assert_array_equal(a.estimates[sid], b.estimates[sid])
+
+    def test_light_load_localizes_every_tag(self):
+        report = run_workload(
+            small_workload(), ServeConfig(frequency_hz=F)
+        )
+        assert report.shed_fraction == 0.0
+        assert len(report.estimates) == 2
+        assert all(err < 0.5 for err in report.errors_m.values())
+
+
+class TestCli:
+    def test_smoke_run_writes_obs_artifacts(self, tmp_path, capsys):
+        obs_dir = tmp_path / "obs"
+        exit_code = main(["--smoke", "--obs-dir", str(obs_dir)])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "online localization service" in out
+        assert "p99 latency" in out
+        trace = obs_dir / "serve.trace.jsonl"
+        metrics = obs_dir / "serve.metrics.json"
+        assert trace.exists() and metrics.exists()
+        payload = json.loads(metrics.read_text())
+        names = json.dumps(payload)
+        assert "serve.updates.accepted" in names
+        first_span = json.loads(trace.read_text().splitlines()[0])
+        assert "name" in first_span
