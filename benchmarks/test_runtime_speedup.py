@@ -18,6 +18,8 @@ from repro.runtime import RuntimeConfig
 
 from benchmarks.conftest import MANIFESTS_DIR
 
+pytestmark = [pytest.mark.bench, pytest.mark.slow]
+
 #: Acceptance floor: warm regeneration must be at least this much
 #: faster than the serial cold pass.
 MIN_SPEEDUP = 3.0

@@ -19,6 +19,8 @@ from repro.constants import UHF_CENTER_FREQUENCY
 from repro.experiments import registry, serve_bench
 from repro.serve import ServeConfig, generate_workload, run_workload
 
+pytestmark = [pytest.mark.bench, pytest.mark.slow]
+
 #: Operating point the service must sustain at full resolution.
 SUSTAINED_LOAD = 4.0
 #: Acceptance floor on applied-update throughput there (virtual upd/s).

@@ -5,6 +5,7 @@ from __future__ import annotations
 from repro.analysis.rules import (  # noqa: F401  (registration)
     api,
     determinism,
+    faults,
     observability,
     units,
 )

@@ -14,6 +14,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import faults
 from repro.channel.geometry import Wall, as_point, segments_cross
 from repro.channel.multipath import Ray, one_way_channel, trace_rays
 from repro.errors import GeometryError
@@ -67,7 +68,15 @@ class Environment:
         return trace_rays(a, b, self.walls, max_reflections=self.max_reflections)
 
     def channel(self, a, b, frequency_hz: float) -> complex:
-        """One-way complex channel between two points."""
+        """One-way complex channel between two points.
+
+        An injected ``channel.link`` drop (interference burst, LoS
+        blockage) returns a dead channel — downstream this surfaces as
+        an unpowered tag or an undecodable reference, never as a
+        silently biased estimate.
+        """
+        if faults.dropped("channel.link"):
+            return 0j
         return one_way_channel(self.rays_between(a, b), frequency_hz)
 
     def has_line_of_sight(self, a, b) -> bool:

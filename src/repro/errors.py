@@ -48,6 +48,10 @@ class FrequencyLockError(RelayError):
     """Frequency discovery failed to lock onto a reader carrier."""
 
 
+class RelayRebootError(RelayError):
+    """The relay power-cycled mid-operation and lost the signal in flight."""
+
+
 class LinkBudgetError(RFlyError):
     """A link-budget computation was asked for an impossible configuration."""
 
@@ -70,6 +74,10 @@ class ServeError(RFlyError):
 
 class SessionNotFoundError(ServeError):
     """No live (or restorable) session exists under the requested id."""
+
+
+class ReferenceLostError(ServeError):
+    """The reference tag stayed undecodable past the reacquisition timeout."""
 
 
 class GeometryError(RFlyError):

@@ -55,7 +55,7 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
     spec.alias: spec for spec in registry.REGISTRY if spec.alias != spec.name
 }
 
-ALL_NAMES = (*EXPERIMENTS, "ablations")
+ALL_NAMES = tuple(spec.alias for spec in registry.REGISTRY)
 
 
 def build_parser() -> argparse.ArgumentParser:

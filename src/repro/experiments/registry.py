@@ -50,6 +50,7 @@ from repro.experiments import (
     fig12_localization,
     fig13_aperture,
     fig14_distance,
+    resilience,
     serve_bench,
 )
 from repro.experiments.runner import ExperimentOutput
@@ -195,6 +196,29 @@ REGISTRY: Tuple[ExperimentSpec, ...] = (
         },
         smoke_overrides={
             "loads": (1.0, 64.0),
+            "n_tags": 3,
+            "grid_resolution": 0.15,
+        },
+    ),
+    ExperimentSpec(
+        name="resilience",
+        alias="resilience",
+        description="fault injection: error/failure/recovery per fault class",
+        build_tasks=resilience.build_tasks,
+        reduce=resilience.reduce,
+        render=lambda result: [resilience.format_result(result)],
+        defaults={
+            "classes": resilience.FAULT_CLASSES,
+            "rates": resilience.DEFAULT_RATES,
+            "n_tags": 4,
+            "load": 8.0,
+            "grid_resolution": 0.10,
+            "latency_slo_s": 0.25,
+            "wrong_threshold_m": 0.75,
+            "seed": 0,
+        },
+        smoke_overrides={
+            "rates": (0.3,),
             "n_tags": 3,
             "grid_resolution": 0.15,
         },

@@ -1,0 +1,324 @@
+"""`resilience`: fault class x fault rate -> error / failures / recovery.
+
+Each task engages one :class:`~repro.faults.FaultPlan` (derived purely
+from the swept fault class and rate), generates the Gen2-MAC workload
+*under* that plan — so channel blackouts, pose dropouts, and corrupted
+frames shape the event stream itself — and replays it through a
+:class:`~repro.serve.service.LocalizationService` with its recovery
+policies armed (bounded-backoff ingest retry, reference reacquisition
+window, checkpoint-restore after injected kills).
+
+The table quantifies the paper's degrade-loudly-never-wrongly claim
+(§5.1) under each fault class: sessions either localize accurately,
+are explicitly *rejected/degraded* along the way, or fail with a typed
+error — the ``wrong`` column counts sessions that "succeeded" with an
+error beyond ``wrong_threshold_m`` and must stay zero. Because the
+engine is seeded through the runtime's ``SeedSequence`` discipline and
+the service runs on a virtual clock, every cell (including recovery
+latencies) is a pure function of the parameters: golden-testable, and
+bit-identical between serial and process-pool sweeps.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro import faults
+from repro.constants import UHF_CENTER_FREQUENCY
+from repro.errors import ConfigurationError, RFlyError
+from repro.experiments.runner import ExperimentOutput, fmt
+from repro.mobility.groundtruth import OptiTrack
+from repro.runtime import SweepTask
+from repro.runtime.cache import ResultCache
+from repro.serve.config import ServeConfig
+from repro.serve.service import LocalizationService
+from repro.serve.traffic import TrafficWorkload, generate_workload
+
+#: The swept fault classes, each mapping to one canned plan.
+FAULT_CLASSES: Tuple[str, ...] = (
+    "none",
+    "blockage",
+    "outage",
+    "pose_loss",
+    "bit_corruption",
+    "ingest_faults",
+    "service_kill",
+)
+
+DEFAULT_RATES: Tuple[float, ...] = (0.05, 0.3)
+
+#: Reference reacquisition window used by the swept service; short
+#: enough that a sustained injected blackout escalates to a typed
+#: ReferenceLostError instead of an endless rejected-update stream.
+_REFERENCE_TIMEOUT_S = 0.1
+
+#: Virtual stall charged per injected ingest stall, seconds.
+_STALL_S = 0.02
+
+#: Bits flipped per injected frame corruption.
+_CORRUPT_BITS = 2.0
+
+#: Shape of the `outage` class: a contiguous blackout of the radio
+#: link starting at this channel-query index, spanning ``rate`` times
+#: this many queries (~2 queries per delivered event).
+_OUTAGE_START_CALL = 150.0
+_OUTAGE_SPAN_CALLS = 600.0
+
+
+def plan_for(fault_class: str, rate: float) -> faults.FaultPlan:
+    """The canned fault plan of one swept (class, rate) cell."""
+    if fault_class == "none" or rate == 0.0:
+        return faults.FaultPlan()
+    if fault_class == "blockage":
+        return faults.FaultPlan.single("channel.link", "drop", rate=rate)
+    if fault_class == "outage":
+        # One sustained blackout (drone behind a metal obstruction)
+        # whose length scales with ``rate`` — long outages outlast the
+        # reference-reacquisition window and must fail *typed*.
+        window = faults.Trigger(
+            kind="call_window",
+            start=_OUTAGE_START_CALL,
+            stop=_OUTAGE_START_CALL + rate * _OUTAGE_SPAN_CALLS,
+        )
+        return faults.FaultPlan.single("channel.link", "drop", trigger=window)
+    if fault_class == "pose_loss":
+        return faults.FaultPlan.single("mobility.pose", "pose_loss", rate=rate)
+    if fault_class == "bit_corruption":
+        return faults.FaultPlan.single(
+            "gen2.frame", "corrupt_bits", rate=rate, magnitude=_CORRUPT_BITS
+        )
+    if fault_class == "ingest_faults":
+        return faults.FaultPlan(
+            (
+                faults.FaultSpec(
+                    "serve.ingest", "stall", rate=rate, magnitude=_STALL_S
+                ),
+                faults.FaultSpec("serve.ingest", "drop", rate=rate),
+            )
+        )
+    if fault_class == "service_kill":
+        return faults.FaultPlan.single("serve.session", "reboot", rate=rate)
+    known = ", ".join(FAULT_CLASSES)
+    raise ConfigurationError(
+        f"unknown fault class {fault_class!r}; choices: {known}"
+    )
+
+
+@dataclass
+class ResilienceResult:
+    """One summary row per swept (fault class, rate) cell."""
+
+    rows: List[Dict[str, Any]]
+
+
+def _replay_tolerant(
+    workload: TrafficWorkload,
+    config: ServeConfig,
+    cache: ResultCache,
+) -> Tuple[Dict[str, str], Dict[str, float], Dict[str, bool], Any]:
+    """Replay a workload, containing typed failures per session.
+
+    Returns ``(failures, errors_m, flagged, service_report)``:
+    ``failures`` maps a session id to the *typed* error class that took
+    it down, ``errors_m`` holds localization errors of the sessions
+    that made it to finalize, and ``flagged`` marks which of those the
+    service loudly declared degraded (nonzero
+    :meth:`~repro.serve.service.LocalizationService.session_data_loss`)
+    — only an *unflagged* bad fix counts as silently wrong.
+    """
+    service = LocalizationService(config, cache=cache)
+    for session_id, grid in workload.grids.items():
+        service.open_session(session_id, grid, now_s=0.0)
+    failures: Dict[str, str] = {}
+    for event in workload.events:
+        if event.session_id in failures:
+            continue
+        try:
+            service.submit(
+                event.session_id, event.measurement, now_s=event.time_s
+            )
+            service.step()
+        except RFlyError as error:
+            failures[event.session_id] = type(error).__name__
+    try:
+        service.drain()
+    except RFlyError:
+        pass
+    errors_m: Dict[str, float] = {}
+    flagged: Dict[str, bool] = {}
+    for session_id in sorted(workload.grids):
+        if session_id in failures:
+            continue
+        try:
+            result = service.finalize(session_id)
+        except RFlyError as error:
+            failures[session_id] = type(error).__name__
+            continue
+        errors_m[session_id] = float(
+            np.linalg.norm(
+                result.position - workload.tag_positions[session_id]
+            )
+        )
+        flagged[session_id] = service.session_data_loss(session_id) > 0
+    return failures, errors_m, flagged, service.report()
+
+
+def _resilience_point(
+    fault_class: str,
+    rate: float,
+    n_tags: int,
+    load: float,
+    grid_resolution: float,
+    latency_slo_s: float,
+    wrong_threshold_m: float,
+    seed: int,
+) -> Dict[str, Any]:
+    """One swept cell: engage the plan, generate, replay, summarize."""
+    plan = plan_for(fault_class, rate)
+    with tempfile.TemporaryDirectory(prefix="resilience-ckpt-") as tmp_dir:
+        cache = ResultCache(tmp_dir)
+        with faults.engaged(plan, seed=seed) as engine:
+            workload = generate_workload(
+                n_tags=n_tags,
+                seed=seed,
+                load=load,
+                grid_resolution=grid_resolution,
+                tracker=OptiTrack(),
+            )
+            config = ServeConfig(
+                frequency_hz=UHF_CENTER_FREQUENCY,
+                latency_slo_s=latency_slo_s,
+                reference_timeout_s=_REFERENCE_TIMEOUT_S,
+            )
+            failures, errors_m, flagged, report = _replay_tolerant(
+                workload, config, cache
+            )
+        injected = len(engine.injections)
+    errors = np.asarray(sorted(errors_m.values()), dtype=float)
+    wrong = sum(
+        1
+        for session_id, error_m in errors_m.items()
+        if error_m > wrong_threshold_m and not flagged[session_id]
+    )
+    return {
+        "fault_class": fault_class,
+        "rate": float(rate),
+        "events": len(workload.events),
+        "injected": injected,
+        "rejected": report.updates_rejected,
+        "sessions": len(workload.grids),
+        "failed": len(failures),
+        "flagged": sum(1 for is_flagged in flagged.values() if is_flagged),
+        "failure_kinds": ",".join(sorted(set(failures.values()))),
+        "recoveries": report.recoveries,
+        "recovery_latency_s": report.mean_recovery_latency_s,
+        "mean_error_m": float(errors.mean()) if errors.size else float("nan"),
+        "max_error_m": float(errors.max()) if errors.size else float("nan"),
+        "wrong": wrong,
+    }
+
+
+def build_tasks(
+    classes: Sequence[str] = FAULT_CLASSES,
+    rates: Sequence[float] = DEFAULT_RATES,
+    n_tags: int = 4,
+    load: float = 8.0,
+    grid_resolution: float = 0.10,
+    latency_slo_s: float = 0.25,
+    wrong_threshold_m: float = 0.75,
+    seed: int = 0,
+) -> List[SweepTask]:
+    """One task per (fault class, rate) cell; `none` runs once."""
+    tasks: List[SweepTask] = []
+    for fault_class in classes:
+        cell_rates = rates if fault_class != "none" else rates[:1]
+        for rate in cell_rates:
+            tasks.append(
+                SweepTask.make(
+                    _resilience_point,
+                    params={
+                        "fault_class": str(fault_class),
+                        "rate": float(rate),
+                        "n_tags": n_tags,
+                        "load": float(load),
+                        "grid_resolution": grid_resolution,
+                        "latency_slo_s": latency_slo_s,
+                        "wrong_threshold_m": wrong_threshold_m,
+                    },
+                    seed=seed,
+                    label=f"resilience/{fault_class}@{rate:g}",
+                )
+            )
+    return tasks
+
+
+def reduce(
+    payloads: Sequence[Dict[str, Any]], params: Mapping[str, Any]
+) -> ResilienceResult:
+    """Per-cell rows in task order -> the resilience result."""
+    return ResilienceResult(rows=[dict(row) for row in payloads])
+
+
+def format_result(result: ResilienceResult) -> ExperimentOutput:
+    """Render the fault-class x rate resilience table."""
+    rows = [
+        [
+            str(row["fault_class"]),
+            f"{row['rate']:.2f}",
+            str(int(row["events"])),
+            str(int(row["injected"])),
+            str(int(row["rejected"])),
+            f"{int(row['failed'])}/{int(row['sessions'])}",
+            str(int(row["flagged"])),
+            str(int(row["recoveries"])),
+            f"{row['recovery_latency_s'] * 1e3:.2f}",
+            fmt(row["mean_error_m"]),
+            str(int(row["wrong"])),
+        ]
+        for row in result.rows
+    ]
+    total_wrong = sum(int(row["wrong"]) for row in result.rows)
+    total_failed = sum(int(row["failed"]) for row in result.rows)
+    total_recoveries = sum(int(row["recoveries"]) for row in result.rows)
+    measured = {
+        "silently wrong fixes": str(total_wrong),
+        "explicit failures": str(total_failed),
+        "recoveries": str(total_recoveries),
+    }
+    return ExperimentOutput(
+        name="resilience — fault injection vs the degradation ladder",
+        headers=[
+            "class",
+            "rate",
+            "events",
+            "injected",
+            "rejected",
+            "failed",
+            "flagged",
+            "recov",
+            "rec (ms)",
+            "err (m)",
+            "wrong",
+        ],
+        rows=rows,
+        paper_claims={"silently wrong fixes": "0 (degrade loudly, §5.1)"},
+        measured=measured,
+        notes=(
+            "Every fault either recovers (bounded retry, reference "
+            "reacquisition, checkpoint-restore), is rejected loudly, or "
+            "fails the session with a typed error; `flagged` fixes were "
+            "declared degraded by the service (known data loss), and "
+            "`wrong` counts *unflagged* fixes beyond the error "
+            "threshold — it must be 0."
+        ),
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - manual regeneration
+    from repro.experiments import registry
+
+    print(registry.run_experiment("resilience").outputs[0].report())

@@ -1,0 +1,72 @@
+"""Seed-deterministic fault injection (tentpole of the robustness PR).
+
+The package splits into a declarative layer and an execution layer:
+
+:mod:`repro.faults.spec`
+    :class:`FaultPlan` / :class:`FaultSpec` / :class:`Trigger` — plain
+    scalar dataclasses, picklable and losslessly JSON-serializable, so
+    plans travel through sweep-task parameters unchanged.
+:mod:`repro.faults.engine`
+    :class:`FaultEngine` plus the module-level hook helpers the
+    production code calls at its injection sites. Hooks are no-ops
+    costing one global read until a plan is :func:`engaged`.
+
+Quickstart::
+
+    from repro import faults
+
+    plan = faults.FaultPlan.single("channel.link", "drop", rate=0.2)
+    with faults.engaged(plan, seed=7) as engine:
+        ...  # run any pipeline; 20% of channel queries go dark
+    print(engine.injections)  # exact, replayable injection log
+"""
+
+from __future__ import annotations
+
+from repro.faults.engine import (
+    FaultEngine,
+    InjectionRecord,
+    activate_engine,
+    active_engine,
+    cfo_step_hz,
+    corrupt_bits,
+    dropped,
+    engaged,
+    gain_collapse_db,
+    jitter_position,
+    phase_jump_rad,
+    pose_lost,
+    rebooted,
+    stall_s,
+    watching,
+)
+from repro.faults.spec import (
+    SITE_ACTIONS,
+    TRIGGER_KINDS,
+    FaultPlan,
+    FaultSpec,
+    Trigger,
+)
+
+__all__ = [
+    "SITE_ACTIONS",
+    "TRIGGER_KINDS",
+    "FaultEngine",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectionRecord",
+    "Trigger",
+    "activate_engine",
+    "active_engine",
+    "cfo_step_hz",
+    "corrupt_bits",
+    "dropped",
+    "engaged",
+    "gain_collapse_db",
+    "jitter_position",
+    "phase_jump_rad",
+    "pose_lost",
+    "rebooted",
+    "stall_s",
+    "watching",
+]

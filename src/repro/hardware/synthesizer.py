@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import faults
 from repro.dsp.oscillator import Oscillator
 from repro.errors import ConfigurationError
 
@@ -54,10 +55,15 @@ class Synthesizer:
         """Retune; CFO scales with frequency (same crystal, same ppm)."""
         if frequency_hz <= 0:
             raise ConfigurationError("synthesizer frequency must be positive")
+        cfo_hz = float(frequency_hz) * self.ppm_error * 1e-6
+        phase_offset_rad = self.phase_offset_rad
+        if faults.watching("hardware.synthesizer"):
+            cfo_hz += faults.cfo_step_hz("hardware.synthesizer")
+            phase_offset_rad += faults.phase_jump_rad("hardware.synthesizer")
         self._oscillator = Oscillator(
             nominal_frequency_hz=float(frequency_hz),
-            cfo_hz=float(frequency_hz) * self.ppm_error * 1e-6,
-            phase_offset_rad=self.phase_offset_rad,
+            cfo_hz=cfo_hz,
+            phase_offset_rad=phase_offset_rad,
             phase_jitter_std_rad=self.phase_jitter_std_rad,
             rng=self.rng,
         )

@@ -14,6 +14,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import faults
 from repro.constants import OPTITRACK_ACCURACY_M
 from repro.errors import MobilityError
 from repro.mobility.trajectory import TrajectorySample
@@ -67,8 +68,20 @@ class OptiTrack:
         samples: Sequence[TrajectorySample],
         rng: Optional[np.random.Generator] = None,
     ) -> List[TrajectorySample]:
-        """Observe every pose of a flight (the SAR position input)."""
-        return [
-            TrajectorySample(self.observe(s.position, rng), s.time)
-            for s in samples
-        ]
+        """Observe every pose of a flight (the SAR position input).
+
+        Injected ``mobility.pose`` faults act here: ``pose_loss`` drops
+        an observation entirely (marker occluded for a frame) and
+        ``jitter`` perturbs it — both indexed by pose so triggers can
+        target a window of the flight.
+        """
+        observed: List[TrajectorySample] = []
+        for index, sample in enumerate(samples):
+            if faults.pose_lost("mobility.pose", index=index):
+                continue
+            position = self.observe(sample.position, rng)
+            position = faults.jitter_position(
+                "mobility.pose", position, index=index
+            )
+            observed.append(TrajectorySample(position, sample.time))
+        return observed

@@ -16,6 +16,7 @@ from typing import Dict
 
 import numpy as np
 
+from repro import faults
 from repro.dsp.measurements import peak_tone_power_dbm, tone
 from repro.dsp.units import amplitude_for_power_dbm
 from repro.errors import RelayError
@@ -98,7 +99,12 @@ def _measure(
     leak_dbm = peak_tone_power_dbm(steady, leak_offset)
     attenuation_db = input_power_dbm - leak_dbm
     conducted_isolation = attenuation_db + gain_db
-    return conducted_isolation + relay.coupling.of(path)
+    isolation_db = conducted_isolation + relay.coupling.of(path)
+    if faults.watching("relay.isolation"):
+        # Degraded shielding/filtering: the leak gets stronger, so the
+        # measured isolation drops — plan_gains() then refuses loudly.
+        isolation_db -= faults.gain_collapse_db("relay.isolation")
+    return isolation_db
 
 
 def measure_isolation_db(

@@ -18,13 +18,14 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro import faults
 from repro.dsp.amplifier import AmplifierChain
 from repro.dsp.filters import Filter
 from repro.dsp.mixer import downconvert, retune, upconvert
 from repro.dsp.oscillator import Oscillator
 from repro.dsp.signal import Signal
 from repro.dsp.units import db_to_linear
-from repro.errors import ConfigurationError, RelayError
+from repro.errors import ConfigurationError, RelayError, RelayRebootError
 from repro.obs import metrics
 
 
@@ -103,9 +104,24 @@ class ForwardingPath:
                 f"signal is centered at {sig.center_frequency_hz / 1e6:.3f} MHz"
             )
         metrics.count("relay.signals_forwarded")
+        collapse_db = 0.0
+        if faults.watching("relay.forward"):
+            if faults.rebooted("relay.forward"):
+                raise RelayRebootError(
+                    "relay power-cycled mid-forward; signal lost in flight"
+                )
+            if faults.dropped("relay.forward"):
+                raise RelayError(
+                    "forwarding path dropped the signal (injected fault)"
+                )
+            collapse_db = faults.gain_collapse_db("relay.forward")
         baseband = downconvert(sig, self.lo_in)
         filtered = self.baseband_filter.apply(baseband)
         amplified = self.amplifiers.apply(filtered)
+        if collapse_db:
+            amplified = amplified.scaled(
+                float(np.sqrt(db_to_linear(-collapse_db)))
+            )
         out = upconvert(amplified, self.lo_out)
         if sig.center_frequency_hz != out.center_frequency_hz:
             leak_amp = np.sqrt(db_to_linear(-self.config.feedthrough_db))

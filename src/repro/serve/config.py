@@ -65,6 +65,16 @@ class ServeConfig:
         checkpointed when a cache is attached).
     max_sessions:
         Hard bound on concurrently live sessions.
+    ingest_retries:
+        Bounded retry budget against transient ingest faults (injected
+        relay instability); past it the update is rejected loudly.
+    retry_backoff_s, retry_backoff_factor:
+        Deterministic exponential backoff charged in virtual time:
+        retry ``k`` waits ``retry_backoff_s * retry_backoff_factor**k``.
+    reference_timeout_s:
+        How long a session's reference tag may stay undecodable (each
+        such update is REJECTED, a flagged degradation) before the
+        service escalates to :class:`~repro.errors.ReferenceLostError`.
     fine_resolution, fine_span, relative_threshold,
     use_nearest_peak_rule:
         Finalize-stage parameters, matching the batch ``Localizer``.
@@ -83,6 +93,10 @@ class ServeConfig:
     degraded_resolution_factor: float = 3.0
     session_ttl_s: float = 30.0
     max_sessions: int = 512
+    ingest_retries: int = 2
+    retry_backoff_s: float = 0.005
+    retry_backoff_factor: float = 2.0
+    reference_timeout_s: float = 1.0
     fine_resolution: float = SAR_DEFAULT_GRID_RESOLUTION_M
     fine_span: float = 1.0
     relative_threshold: float = 0.7
@@ -118,6 +132,16 @@ class ServeConfig:
             raise ConfigurationError("session TTL must be positive")
         if self.max_sessions < 1:
             raise ConfigurationError("max sessions must be >= 1")
+        if self.ingest_retries < 0:
+            raise ConfigurationError("ingest retry budget must be >= 0")
+        if self.retry_backoff_s <= 0:
+            raise ConfigurationError("retry backoff must be positive")
+        if self.retry_backoff_factor < 1.0:
+            raise ConfigurationError("retry backoff factor must be >= 1")
+        if self.reference_timeout_s <= 0:
+            raise ConfigurationError(
+                "reference reacquisition timeout must be positive"
+            )
 
     @property
     def degrade_threshold_s(self) -> float:

@@ -27,6 +27,9 @@ class Admission(enum.Enum):
 
     ACCEPTED = "accepted"
     SHED = "shed"
+    REJECTED = "rejected"
+    """Refused by a recovery policy (retries exhausted, reference lost)
+    rather than by queue capacity — always counted, never silent."""
 
 
 @dataclass(frozen=True)

@@ -21,7 +21,8 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.errors import ServeError
+from repro import faults
+from repro.errors import LocalizationError, ReferenceLostError, ServeError
 from repro.localization.disentangle import disentangle
 from repro.localization.grid import Grid2D
 from repro.localization.measurement import ThroughRelayMeasurement
@@ -33,6 +34,10 @@ from repro.serve.config import ServeConfig
 from repro.serve.queueing import Admission, PendingUpdate
 from repro.serve.scheduler import MicroBatchScheduler
 from repro.serve.session import SessionStore, TagSession
+
+#: Below this, a disentangled tag half-link is "tag not decoded" — the
+#: update is rejected rather than folded in as a spurious zero channel.
+_MIN_TAG_MAGNITUDE = 1e-30
 
 
 @dataclass(frozen=True)
@@ -62,6 +67,10 @@ class ServiceReport:
     p99_latency_s: float
     max_latency_s: float
     busy_s: float
+    updates_rejected: int = 0
+    updates_lost: int = 0
+    recoveries: int = 0
+    mean_recovery_latency_s: float = 0.0
 
 
 def _percentile_s(latencies_s: List[float], q: float) -> float:
@@ -91,6 +100,114 @@ class LocalizationService:
         self._full_batches = 0
         self._degraded_batches = 0
         self._catchup_poses = 0
+        self._rejected = 0
+        self._lost_in_kill = 0
+        self._recoveries = 0
+        self._recovery_latencies_s: List[float] = []
+        self._killed_at_s: Dict[str, float] = {}
+        self._ref_lost_since_s: Dict[str, float] = {}
+        self._loss_by_session: Dict[str, int] = {}
+
+    # -- recovery policies -------------------------------------------------------
+
+    def _record_recovery(self, latency_s: float, kind: str) -> None:
+        """Account one successful recovery and its virtual latency."""
+        self._recoveries += 1
+        self._recovery_latencies_s.append(latency_s)
+        metrics.count(f"serve.recovery.{kind}")
+        metrics.observe("serve.recovery.latency_s", latency_s)
+
+    def _reject_update(self, session_id: str, reason: str) -> Admission:
+        """Refuse one update loudly (counted, typed, never silent)."""
+        self._rejected += 1
+        self._count_session_loss(session_id)
+        metrics.count("serve.updates.rejected")
+        metrics.count(f"serve.rejected.{reason}")
+        return Admission.REJECTED
+
+    def _count_session_loss(self, session_id: str, n: int = 1) -> None:
+        """Account ``n`` updates this session will never see applied."""
+        self._loss_by_session[session_id] = (
+            self._loss_by_session.get(session_id, 0) + n
+        )
+
+    def session_data_loss(self, session_id: str) -> int:
+        """Updates lost to this session (rejected at ingest or dropped
+        by an injected kill) — the degraded-fix flag: a session that
+        finalizes with a nonzero count produced its estimate from a
+        stream with known holes and must not be trusted silently."""
+        return self._loss_by_session.get(session_id, 0)
+
+    def _ride_out_ingest_faults(self, arrival_s: float) -> Optional[float]:
+        """Bounded deterministic-backoff retry against ingest faults.
+
+        Injected stalls charge the virtual server; injected transient
+        drops are retried up to ``config.ingest_retries`` times with
+        exponential backoff (``retry_backoff_s * factor**k``) advanced
+        on the virtual clock. Returns the possibly-delayed arrival
+        time, or ``None`` once the retry budget is exhausted.
+        """
+        stall_s = faults.stall_s("serve.ingest", now_s=arrival_s)
+        if stall_s > 0.0:
+            self._busy_until_s = max(self._busy_until_s, arrival_s) + stall_s
+            metrics.observe("serve.ingest.stall_s", stall_s)
+        first_arrival_s = arrival_s
+        attempt = 0
+        while faults.dropped("serve.ingest", now_s=arrival_s):
+            if attempt >= self.config.ingest_retries:
+                metrics.count("serve.ingest.retries_exhausted")
+                return None
+            backoff_s = self.config.retry_backoff_s * (
+                self.config.retry_backoff_factor**attempt
+            )
+            arrival_s = self.clock.advance_to(arrival_s + backoff_s)
+            attempt += 1
+            metrics.count("serve.ingest.retries")
+        if attempt:
+            self._record_recovery(arrival_s - first_arrival_s, "ingest")
+        return arrival_s
+
+    def _get_session(self, session_id: str, now_s: float) -> TagSession:
+        """Live-or-restored session, accounting recovery after a kill."""
+        killed_s = self._killed_at_s.pop(session_id, None)
+        was_live = session_id in self.store.sessions()
+        session = self.store.get_or_restore(session_id, now_s)
+        if killed_s is not None and not was_live:
+            self._record_recovery(now_s - killed_s, "restore")
+        return session
+
+    def _reference_lost(self, session_id: str, arrival_s: float) -> Admission:
+        """One undecodable reference: reject within the reacquisition
+        window, escalate to :class:`ReferenceLostError` past it."""
+        since_s = self._ref_lost_since_s.setdefault(session_id, arrival_s)
+        metrics.count("serve.reference.undecodable")
+        outage_s = arrival_s - since_s
+        if outage_s > self.config.reference_timeout_s:
+            raise ReferenceLostError(
+                f"session {session_id!r}: reference tag undecodable for "
+                f"{outage_s:.3f} s (timeout "
+                f"{self.config.reference_timeout_s:g} s) — relay out of "
+                "range or link blocked (paper §5.1)"
+            )
+        return self._reject_update(session_id, "reference")
+
+    def _reference_reacquired(
+        self, session_id: str, arrival_s: float
+    ) -> None:
+        """Close a reference outage, if one was open."""
+        since_s = self._ref_lost_since_s.pop(session_id, None)
+        if since_s is not None:
+            self._record_recovery(arrival_s - since_s, "reference")
+
+    def _service_kill(self, now_s: float) -> None:
+        """Injected service crash: checkpoint-and-drop every session."""
+        for session_id in self.store.ids():
+            lost = self.store.kill(session_id)
+            self._killed_at_s[session_id] = now_s
+            if lost:
+                self._lost_in_kill += lost
+                self._count_session_loss(session_id, lost)
+                metrics.count("serve.updates.lost_in_kill", lost)
 
     # -- session lifecycle -------------------------------------------------------
 
@@ -113,7 +230,7 @@ class LocalizationService:
         """
         if now_s is not None:
             self.clock.advance_to(now_s)
-        session = self.store.get_or_restore(session_id, self.clock.now_s)
+        session = self._get_session(session_id, self.clock.now_s)
         while len(session.pending):
             self.step()
         catchup = session.lag_poses
@@ -149,8 +266,24 @@ class LocalizationService:
             now_s if now_s is not None else self.clock.now_s
         )
         self.store.evict_expired(arrival_s)
-        session = self.store.get_or_restore(session_id, arrival_s)
-        channel = disentangle(measurement.h_target, measurement.h_reference)
+        if faults.watching("serve.ingest"):
+            delayed_s = self._ride_out_ingest_faults(arrival_s)
+            if delayed_s is None:
+                return self._reject_update(session_id, "retries_exhausted")
+            arrival_s = delayed_s
+        session = self._get_session(session_id, arrival_s)
+        try:
+            channel = disentangle(
+                measurement.h_target, measurement.h_reference
+            )
+        except LocalizationError:
+            return self._reference_lost(session_id, arrival_s)
+        self._reference_reacquired(session_id, arrival_s)
+        if abs(channel) < _MIN_TAG_MAGNITUDE:
+            # The reference decoded but the tag half-link is dead (link
+            # blocked mid-flight): folding a zero channel into the SAR
+            # sum would silently bias the fix, so refuse it loudly.
+            return self._reject_update(session_id, "tag_undecodable")
         update = PendingUpdate(
             position=np.asarray(measurement.position, dtype=float),
             channel=channel,
@@ -164,6 +297,7 @@ class LocalizationService:
             metrics.count("serve.updates.accepted")
         else:
             self._shed += 1
+            self._count_session_loss(session_id)
             metrics.count("serve.updates.shed")
         metrics.set_gauge("serve.queue_depth", float(self.queue_depth))
         return admission
@@ -188,6 +322,8 @@ class LocalizationService:
             self.clock.advance_to(now_s)
         now = self.clock.now_s
         self.store.evict_expired(now)
+        if faults.rebooted("serve.session", now_s=now):
+            self._service_kill(now)
         with tracing.span("serve.step", queue_depth=self.queue_depth):
             plans = self.scheduler.plan_round(
                 self.store.sessions(), now, self.backlog_s
@@ -279,4 +415,12 @@ class LocalizationService:
                 max(self._latencies_s) if self._latencies_s else 0.0
             ),
             busy_s=self._busy_until_s,
+            updates_rejected=self._rejected,
+            updates_lost=self._lost_in_kill,
+            recoveries=self._recoveries,
+            mean_recovery_latency_s=(
+                float(np.mean(self._recovery_latencies_s))
+                if self._recovery_latencies_s
+                else 0.0
+            ),
         )

@@ -325,6 +325,26 @@ class SessionStore:
                 pass
         metrics.set_gauge("serve.sessions.active", len(self._sessions))
 
+    def kill(self, session_id: str) -> int:
+        """Crash-drop one live session; returns pending updates lost.
+
+        Models an injected service kill: the session's accumulators are
+        checkpointed (what a crash-consistent store would have synced)
+        but its in-memory pending queue is *lost* — the caller counts
+        those loudly. With no cache attached nothing survives, and a
+        later submit fails with :class:`SessionNotFoundError`.
+        """
+        session = self.get(session_id)
+        lost = len(session.pending)
+        if self.cache is not None:
+            self.cache.store(
+                _checkpoint_key(session_id), session.checkpoint_payload()
+            )
+        del self._sessions[session_id]
+        metrics.count("serve.sessions.killed")
+        metrics.set_gauge("serve.sessions.active", len(self._sessions))
+        return lost
+
     # -- TTL / checkpointing -----------------------------------------------------
 
     def evict_expired(self, now_s: float) -> List[str]:

@@ -29,6 +29,7 @@ from repro.localization.measurement import (
     MeasurementModel,
     ThroughRelayMeasurement,
 )
+from repro.mobility.groundtruth import OptiTrack
 from repro.mobility.trajectory import LineTrajectory
 from repro.obs import tracing
 from repro.runtime.cache import ResultCache
@@ -79,12 +80,18 @@ def generate_workload(
     grid_resolution: float = 0.10,
     use_gen2_mac: bool = True,
     powering_range_m: float = 3.5,
+    tracker: Optional[OptiTrack] = None,
 ) -> TrafficWorkload:
     """Fly one line scan over ``n_tags`` tags and emit the read stream.
 
     All randomness (tag placement, channel noise, MAC slot draws) comes
     from the single ``seed``, so the event stream — timestamps, order,
     and payloads — is a pure function of the arguments.
+
+    ``tracker`` optionally routes the flight's poses through an
+    :class:`~repro.mobility.groundtruth.OptiTrack` observation pass
+    (noise-free without an rng), which is where ``mobility.pose``
+    faults — pose dropout and jitter — act on the stream.
     """
     if n_tags < 1:
         raise ConfigurationError("need at least one tag")
@@ -97,6 +104,8 @@ def generate_workload(
     )
     trajectory = LineTrajectory((0.0, 0.0), (3.5, 0.0))
     samples = trajectory.sample_every(pose_spacing_m)
+    if tracker is not None:
+        samples = tracker.observe_trajectory(samples)
     tags = [
         PassiveTag(
             epc=index + 1,

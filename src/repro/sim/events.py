@@ -14,9 +14,17 @@ from typing import Callable, Dict, Iterable, List, Sequence, Set
 
 import numpy as np
 
+from repro import faults
+from repro.errors import CRCError
+from repro.gen2.bitops import bits_from_int
+from repro.gen2.crc import append_crc16, check_crc16
 from repro.gen2.inventory import run_inventory
 from repro.hardware.tag import PassiveTag
 from repro.obs import metrics, tracing
+
+#: EPC length of the {PC, EPC} reply frames re-validated under injected
+#: bit corruption (the standard 96-bit EPC the tags in this sim carry).
+_EPC_BITS = 96
 
 
 def inventory_at_pose(
@@ -43,8 +51,31 @@ def inventory_at_pose(
                 hears=_wrap_powered(tags, powered),
             )
             read.update(result.epcs)
+        if faults.watching("gen2.frame"):
+            read = _filter_corrupted_reads(read)
         metrics.count("sim.tags_inventoried", len(read))
     return read
+
+
+def _filter_corrupted_reads(read: Set[int]) -> Set[int]:
+    """Re-validate each read's EPC frame under injected bit corruption.
+
+    With a ``gen2.frame`` fault engaged, every successful read replays
+    its {EPC, CRC-16} reply with the corruption hook flipping bits
+    *before* :func:`check_crc16` — a corrupted read is rejected by the
+    CRC (and counted), never delivered wrong.
+    """
+    surviving: Set[int] = set()
+    for epc in sorted(read):
+        frame = append_crc16(bits_from_int(epc, _EPC_BITS))
+        frame = faults.corrupt_bits("gen2.frame", frame)
+        try:
+            check_crc16(frame)
+        except CRCError:
+            metrics.count("sim.reads_rejected_crc")
+            continue
+        surviving.add(epc)
+    return surviving
 
 
 def _wrap_powered(tags: Sequence[PassiveTag], powered: Callable[[PassiveTag], bool]):

@@ -2,11 +2,12 @@
 
 The full-scale reproduction claims live in benchmarks/; here we check
 each runner executes, produces well-formed tables, and satisfies the
-coarsest sanity properties even at small n.
+coarsest sanity properties even at small n. Everything goes through
+the registry — the per-module ``run()`` shims are deprecated, and
+their parity with the registry is pinned in test_registry.py.
 """
 
 import numpy as np
-import pytest
 
 from repro.experiments import (
     ablations,
@@ -18,12 +19,18 @@ from repro.experiments import (
     fig13_aperture,
     fig14_distance,
 )
+from repro.experiments.registry import run_experiment
 from repro.relay.self_interference import LeakagePath
+from repro.runtime import RuntimeConfig
+
+
+def run(name, **overrides):
+    return run_experiment(name, RuntimeConfig(), **overrides).result
 
 
 class TestFig9:
     def test_small_run(self):
-        result = fig9_isolation.run(n_trials=5, seed=0)
+        result = run("fig9", n_trials=5, seed=0)
         for path in LeakagePath:
             assert len(result.rfly[path]) == 5
             assert np.all(result.rfly[path] > result.analog[path])
@@ -32,14 +39,14 @@ class TestFig9:
         assert "paper" in out.report()
 
     def test_cdf_access(self):
-        result = fig9_isolation.run(n_trials=4, seed=1)
+        result = run("fig9", n_trials=4, seed=1)
         values, probs = result.cdf(LeakagePath.INTER_UPLINK)
         assert len(values) == 4
 
 
 class TestFig10:
     def test_small_run(self):
-        result = fig10_phase.run(n_trials=4, seed=0)
+        result = run("fig10", n_trials=4, seed=0)
         assert len(result.mirrored_errors_deg) == 4
         assert np.median(result.mirrored_errors_deg) < np.median(
             result.no_mirror_errors_deg
@@ -50,8 +57,8 @@ class TestFig10:
 
 class TestFig11:
     def test_small_run(self):
-        result = fig11_range.run(
-            distances_m=(2.0, 10.0, 50.0), trials_per_point=40, seed=0
+        result = run(
+            "fig11", distances_m=(2.0, 10.0, 50.0), trials_per_point=40, seed=0
         )
         assert result.rates["no_relay"][0] > result.rates["no_relay"][1]
         assert result.rates["relay_los"][2] > 0.8
@@ -61,7 +68,7 @@ class TestFig11:
 
 class TestFig12:
     def test_small_run(self):
-        result = fig12_localization.run(n_trials=4, seed=0)
+        result = run("fig12", n_trials=4, seed=0)
         assert len(result.errors_m) == 4
         assert np.all(result.errors_m >= 0)
         out = fig12_localization.format_result(result)
@@ -70,9 +77,7 @@ class TestFig12:
 
 class TestFig13:
     def test_small_run(self):
-        result = fig13_aperture.run(
-            apertures_m=(0.5, 2.5), trials_per_point=3, seed=0
-        )
+        result = run("fig13", apertures_m=(0.5, 2.5), trials_per_point=3, seed=0)
         assert set(result.sar_errors) == {0.5, 2.5}
         out = fig13_aperture.format_result(result)
         assert "aperture" in out.table()
@@ -80,8 +85,8 @@ class TestFig13:
 
 class TestFig14:
     def test_small_run(self):
-        result = fig14_distance.run(
-            distances_m=(5.0, 40.0, 55.0), trials_per_point=3, seed=0
+        result = run(
+            "fig14", distances_m=(5.0, 40.0, 55.0), trials_per_point=3, seed=0
         )
         assert set(result.sar_errors) == {5.0, 40.0, 55.0}
         out = fig14_distance.format_result(result)
@@ -90,7 +95,7 @@ class TestFig14:
 
 class TestFig6:
     def test_run_and_render(self):
-        result = fig6_heatmap.run(seed=0)
+        result = run("fig6", seed=0)
         assert result.los_error_m < 0.2
         art = fig6_heatmap.ascii_heatmap(result.los_heatmap, width=32)
         assert len(art.splitlines()) > 4

@@ -1,0 +1,87 @@
+"""Module-level task functions for the fault-injection property suite.
+
+Worker processes pickle task functions by reference, so the sweep-based
+serial-vs-parallel bit-identity tests dispatch these importable
+functions. The plan rides through the task parameters as its canonical
+JSON string (:meth:`repro.faults.FaultPlan.to_json`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from repro import faults
+
+#: A fixed 32-bit frame the corruption hook gets offered each call.
+FRAME = (0, 1) * 16
+
+#: A fixed pose the jitter hook gets offered each call.
+POSE = (1.0, 2.0)
+
+
+def drive_all_sites(plan_json: str, n_calls: int, seed: int) -> Dict[str, Any]:
+    """Engage the plan and run a fixed script over every site/action.
+
+    The script invokes each hook ``n_calls`` times with deterministic
+    ``index``/``now_s`` arguments, so everything in the returned payload
+    — boolean outcomes, magnitudes, corrupted frames, jittered poses,
+    and the engine's injection log — is a pure function of
+    ``(plan_json, n_calls, seed)``. Serial and process-pool sweeps must
+    agree on all of it bit for bit.
+    """
+    plan = faults.FaultPlan.from_json(plan_json)
+    out: Dict[str, Any] = {
+        "link_drops": [],
+        "ingest_drops": [],
+        "forward_drops": [],
+        "pose_losses": [],
+        "forward_reboots": [],
+        "session_reboots": [],
+        "stalls_s": [],
+        "forward_collapses_db": [],
+        "isolation_collapses_db": [],
+        "cfo_steps_hz": [],
+        "phase_jumps_rad": [],
+        "frames": [],
+        "poses": [],
+    }
+    with faults.engaged(plan, seed=seed) as engine:
+        for call in range(n_calls):
+            now_s = 0.01 * call
+            out["link_drops"].append(faults.dropped("channel.link"))
+            out["ingest_drops"].append(
+                faults.dropped("serve.ingest", now_s=now_s)
+            )
+            out["forward_drops"].append(faults.dropped("relay.forward"))
+            out["pose_losses"].append(
+                faults.pose_lost("mobility.pose", index=call)
+            )
+            out["forward_reboots"].append(faults.rebooted("relay.forward"))
+            out["session_reboots"].append(
+                faults.rebooted("serve.session", now_s=now_s)
+            )
+            out["stalls_s"].append(
+                faults.stall_s("serve.ingest", now_s=now_s)
+            )
+            out["forward_collapses_db"].append(
+                faults.gain_collapse_db("relay.forward")
+            )
+            out["isolation_collapses_db"].append(
+                faults.gain_collapse_db("relay.isolation")
+            )
+            out["cfo_steps_hz"].append(
+                faults.cfo_step_hz("hardware.synthesizer")
+            )
+            out["phase_jumps_rad"].append(
+                faults.phase_jump_rad("hardware.synthesizer")
+            )
+            out["frames"].append(faults.corrupt_bits("gen2.frame", FRAME))
+            out["poses"].append(
+                faults.jitter_position(
+                    "mobility.pose", np.asarray(POSE), index=call
+                )
+            )
+        out["injections"] = [tuple(r) for r in engine.injections]
+    return out

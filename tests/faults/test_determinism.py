@@ -1,0 +1,165 @@
+"""Property: injections are a pure function of (plan, seed, call sequence).
+
+The engine promises that a sweep with faults engaged replays
+bit-identically whether tasks run serially or in a process pool — the
+whole point of deriving every Bernoulli draw from the runtime's
+SeedSequence spawn discipline. These tests state that promise over
+random plans with hypothesis, using the same sweep-engine idiom as
+:mod:`tests.runtime.test_properties`.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import FaultPlan, FaultSpec, Trigger
+from repro.obs.observers import MetricsObserver
+from repro.runtime import RuntimeConfig, SweepTask, run_sweep
+
+from tests.faults import fault_fns
+
+# A compact plan space biased toward specs that actually fire: every
+# registered boolean/magnitude action appears, rates are nonzero, and
+# triggers are either unconditional or a small call window.
+_SITE_ACTION_MAGNITUDE = [
+    ("channel.link", "drop", 0.0),
+    ("serve.ingest", "drop", 0.0),
+    ("serve.ingest", "stall", 0.02),
+    ("serve.session", "reboot", 0.0),
+    ("relay.forward", "drop", 0.0),
+    ("relay.forward", "reboot", 0.0),
+    ("relay.forward", "gain_collapse", 20.0),
+    ("relay.isolation", "gain_collapse", 30.0),
+    ("hardware.synthesizer", "cfo_step", 250.0),
+    ("hardware.synthesizer", "phase_jump", 0.5),
+    ("gen2.frame", "corrupt_bits", 2.0),
+    ("mobility.pose", "pose_loss", 0.0),
+    ("mobility.pose", "jitter", 0.05),
+]
+
+_triggers = st.one_of(
+    st.just(Trigger()),
+    st.builds(
+        lambda start, span: Trigger(
+            kind="call_window", start=start, stop=start + span
+        ),
+        st.integers(min_value=0, max_value=10),
+        st.integers(min_value=1, max_value=30),
+    ),
+)
+
+_specs = st.builds(
+    lambda sam, rate, trigger, cap: FaultSpec(
+        site=sam[0],
+        action=sam[1],
+        rate=rate,
+        magnitude=sam[2],
+        trigger=trigger,
+        max_injections=cap,
+    ),
+    st.sampled_from(_SITE_ACTION_MAGNITUDE),
+    st.sampled_from([0.25, 0.5, 1.0]),
+    _triggers,
+    st.none() | st.integers(min_value=0, max_value=10),
+)
+
+plans = st.lists(_specs, min_size=1, max_size=4).map(
+    lambda specs: FaultPlan(tuple(specs))
+)
+
+plan_sets = st.lists(
+    st.tuples(plans, st.integers(min_value=0, max_value=2**63 - 1)),
+    min_size=2,
+    max_size=4,
+)
+
+
+def _tasks(plan_set, n_calls=40):
+    return [
+        SweepTask.make(
+            fault_fns.drive_all_sites,
+            params={"plan_json": plan.to_json(), "n_calls": n_calls},
+            seed=seed,
+        )
+        for plan, seed in plan_set
+    ]
+
+
+def _payload_bytes(payload):
+    return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+@settings(max_examples=20)
+@given(plans, st.integers(min_value=0, max_value=2**32 - 1))
+def test_drive_is_a_pure_function_of_plan_and_seed(plan, seed):
+    a = fault_fns.drive_all_sites(plan.to_json(), 40, seed)
+    b = fault_fns.drive_all_sites(plan.to_json(), 40, seed)
+    assert _payload_bytes(a) == _payload_bytes(b)
+
+
+@settings(max_examples=5)
+@given(plan_sets)
+def test_serial_and_parallel_injections_bit_identical(plan_set):
+    tasks = _tasks(plan_set)
+    serial = run_sweep(tasks, RuntimeConfig(backend="serial"), name="faults")
+    parallel = run_sweep(
+        tasks, RuntimeConfig(backend="process", max_workers=2), name="faults"
+    )
+    assert serial.manifest.fingerprint() == parallel.manifest.fingerprint()
+    for a, b in zip(serial.results, parallel.results):
+        assert _payload_bytes(a) == _payload_bytes(b)
+
+
+@settings(max_examples=5)
+@given(plan_sets)
+def test_injection_counters_merge_identically_across_backends(plan_set):
+    # The faults.injected.* counters emitted inside worker processes must
+    # merge to the same totals as a serial run — observability of the
+    # injections is as deterministic as the injections themselves.
+    tasks = _tasks(plan_set)
+
+    def _counters(config):
+        observer = MetricsObserver()
+        run_sweep(tasks, config, name="faults_obs", observers=[observer])
+        return {
+            name: value
+            for name, value in observer.registry.counters.items()
+            if name.startswith("faults.injected.")
+        }
+
+    serial = _counters(RuntimeConfig(backend="serial"))
+    parallel = _counters(RuntimeConfig(backend="process", max_workers=2))
+    assert serial == parallel
+
+
+@settings(max_examples=10)
+@given(plans, st.integers(min_value=0, max_value=2**32 - 1))
+def test_injection_log_matches_reported_outcomes(plan, seed):
+    # Every True/nonzero outcome corresponds to an entry in the engine's
+    # injection log, and vice versa: nothing fires unrecorded.
+    out = fault_fns.drive_all_sites(plan.to_json(), 40, seed)
+    fired = sum(
+        (
+            sum(out["link_drops"]),
+            sum(out["ingest_drops"]),
+            sum(out["forward_drops"]),
+            sum(out["pose_losses"]),
+            sum(out["forward_reboots"]),
+            sum(out["session_reboots"]),
+            sum(1 for s in out["stalls_s"] if s > 0),
+            sum(1 for db in out["forward_collapses_db"] if db > 0),
+            sum(1 for db in out["isolation_collapses_db"] if db > 0),
+            sum(1 for hz in out["cfo_steps_hz"] if hz > 0),
+            sum(1 for rad in out["phase_jumps_rad"] if rad > 0),
+            sum(1 for f in out["frames"] if tuple(f) != fault_fns.FRAME),
+        )
+    )
+    # Magnitude actions can stack (several specs firing on one call emit
+    # several log entries but one summed outcome), so the log is an
+    # upper bound that collapses to equality for single-spec plans.
+    assert len(out["injections"]) >= fired
+    if len(plan) == 1 and plan.specs[0].action != "jitter":
+        assert len(out["injections"]) == fired

@@ -1,0 +1,278 @@
+"""FaultEngine semantics: seeding, triggers, counters, zero overhead."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import faults
+from repro.faults import FaultEngine, FaultPlan, FaultSpec, Trigger
+from repro.obs import metrics
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestActivation:
+    def test_no_engine_means_every_helper_noops(self):
+        assert faults.active_engine() is None
+        assert faults.watching("channel.link") is False
+        assert faults.dropped("channel.link") is False
+        assert faults.pose_lost("mobility.pose") is False
+        assert faults.rebooted("serve.session") is False
+        assert faults.stall_s("serve.ingest") == 0.0
+        assert faults.gain_collapse_db("relay.forward") == 0.0
+        assert faults.cfo_step_hz("hardware.synthesizer") == 0.0
+        assert faults.phase_jump_rad("hardware.synthesizer") == 0.0
+        bits = (1, 0, 1, 1)
+        assert faults.corrupt_bits("gen2.frame", bits) == bits
+        pose = np.array([1.0, 2.0])
+        assert faults.jitter_position("mobility.pose", pose) is pose
+
+    def test_engaged_restores_previous_engine(self):
+        outer = FaultPlan.single("channel.link", "drop")
+        inner = FaultPlan.single("serve.ingest", "drop")
+        with faults.engaged(outer) as outer_engine:
+            assert faults.active_engine() is outer_engine
+            with faults.engaged(inner) as inner_engine:
+                assert faults.active_engine() is inner_engine
+                assert faults.watching("serve.ingest")
+                assert not faults.watching("channel.link")
+            assert faults.active_engine() is outer_engine
+        assert faults.active_engine() is None
+
+    def test_engaged_restores_on_exception(self):
+        try:
+            with faults.engaged(FaultPlan.single("channel.link", "drop")):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert faults.active_engine() is None
+
+    def test_watching_is_per_site(self):
+        with faults.engaged(FaultPlan.single("channel.link", "drop")):
+            assert faults.watching("channel.link")
+            assert not faults.watching("gen2.frame")
+
+
+class TestDeterminism:
+    def test_same_plan_and_seed_replay_bit_identically(self):
+        plan = FaultPlan(
+            (
+                FaultSpec("channel.link", "drop", rate=0.5),
+                FaultSpec("mobility.pose", "jitter", magnitude=0.1),
+            )
+        )
+
+        def run():
+            with faults.engaged(plan, seed=7) as engine:
+                drops = [faults.dropped("channel.link") for _ in range(50)]
+                poses = [
+                    faults.jitter_position(
+                        "mobility.pose", np.array([1.0, 2.0]), index=i
+                    )
+                    for i in range(50)
+                ]
+                return drops, poses, list(engine.injections)
+
+        drops_a, poses_a, log_a = run()
+        drops_b, poses_b, log_b = run()
+        assert drops_a == drops_b
+        assert log_a == log_b
+        for a, b in zip(poses_a, poses_b):
+            np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        plan = FaultPlan.single("channel.link", "drop", rate=0.5)
+
+        def drops(seed):
+            with faults.engaged(plan, seed=seed):
+                return [faults.dropped("channel.link") for _ in range(100)]
+
+        assert drops(0) != drops(1)
+
+    def test_specs_draw_from_independent_streams(self):
+        # Removing one spec must not change another spec's draws: each
+        # has its own spawned stream, keyed by position in the plan.
+        both = FaultPlan(
+            (
+                FaultSpec("channel.link", "drop", rate=0.5),
+                FaultSpec("serve.ingest", "drop", rate=0.5),
+            )
+        )
+        alone = FaultPlan((FaultSpec("channel.link", "drop", rate=0.5),))
+        with faults.engaged(both, seed=3):
+            with_second = [faults.dropped("channel.link") for _ in range(50)]
+        with faults.engaged(alone, seed=3):
+            without = [faults.dropped("channel.link") for _ in range(50)]
+        assert with_second == without
+
+
+class TestTriggersAndCounters:
+    def test_nth_call_fires_exactly_once(self):
+        plan = FaultPlan.single(
+            "channel.link", "drop", trigger=Trigger(kind="nth_call", n=4)
+        )
+        with faults.engaged(plan) as engine:
+            outcomes = [faults.dropped("channel.link") for _ in range(10)]
+        assert outcomes == [False] * 4 + [True] + [False] * 5
+        assert [tuple(r) for r in engine.injections] == [
+            ("channel.link", "drop", 4, 0)
+        ]
+
+    def test_call_counters_are_per_site_and_action(self):
+        plan = FaultPlan(
+            (
+                FaultSpec("serve.ingest", "drop"),
+                FaultSpec("serve.ingest", "stall", magnitude=0.5),
+            )
+        )
+        with faults.engaged(plan) as engine:
+            faults.dropped("serve.ingest")
+            faults.dropped("serve.ingest")
+            faults.stall_s("serve.ingest")
+            assert engine.calls_at("serve.ingest", "drop") == 2
+            assert engine.calls_at("serve.ingest", "stall") == 1
+            assert engine.calls_at("channel.link", "drop") == 0
+
+    def test_call_window_bounds_injections(self):
+        plan = FaultPlan.single(
+            "channel.link",
+            "drop",
+            trigger=Trigger(kind="call_window", start=2, stop=5),
+        )
+        with faults.engaged(plan):
+            outcomes = [faults.dropped("channel.link") for _ in range(8)]
+        assert outcomes == [False, False, True, True, True, False, False, False]
+
+    def test_pose_index_trigger_uses_carried_index(self):
+        plan = FaultPlan.single(
+            "mobility.pose",
+            "pose_loss",
+            trigger=Trigger(kind="pose_index", start=10, stop=12),
+        )
+        with faults.engaged(plan):
+            assert not faults.pose_lost("mobility.pose", index=9)
+            assert faults.pose_lost("mobility.pose", index=10)
+            assert faults.pose_lost("mobility.pose", index=11)
+            assert not faults.pose_lost("mobility.pose", index=12)
+            assert not faults.pose_lost("mobility.pose")
+
+    def test_clock_window_trigger_uses_carried_time(self):
+        plan = FaultPlan.single(
+            "serve.session",
+            "reboot",
+            trigger=Trigger(kind="clock_window", start=1.0, stop=2.0),
+        )
+        with faults.engaged(plan):
+            assert not faults.rebooted("serve.session", now_s=0.5)
+            assert faults.rebooted("serve.session", now_s=1.5)
+            assert not faults.rebooted("serve.session", now_s=2.5)
+
+    def test_max_injections_caps_total(self):
+        plan = FaultPlan.single("channel.link", "drop", max_injections=3)
+        with faults.engaged(plan) as engine:
+            outcomes = [faults.dropped("channel.link") for _ in range(10)]
+        assert sum(outcomes) == 3
+        assert outcomes[:3] == [True, True, True]
+        assert len(engine.injections) == 3
+
+    def test_zero_rate_never_fires(self):
+        plan = FaultPlan.single("channel.link", "drop", rate=0.0)
+        with faults.engaged(plan) as engine:
+            assert not any(faults.dropped("channel.link") for _ in range(50))
+            assert engine.injections == []
+
+    def test_rate_draws_only_on_trigger_match(self):
+        # A non-matching call must not consume a Bernoulli draw, so the
+        # injection pattern after a window is independent of how many
+        # off-window calls preceded it.
+        windowed = FaultPlan.single(
+            "channel.link",
+            "drop",
+            rate=0.5,
+            trigger=Trigger(kind="call_window", start=5, stop=25),
+        )
+        from_start = FaultPlan.single(
+            "channel.link",
+            "drop",
+            rate=0.5,
+            trigger=Trigger(kind="call_window", start=0, stop=20),
+        )
+        with faults.engaged(windowed, seed=11):
+            late = [faults.dropped("channel.link") for _ in range(25)][5:]
+        with faults.engaged(from_start, seed=11):
+            early = [faults.dropped("channel.link") for _ in range(20)]
+        assert late == early
+
+
+class TestActions:
+    def test_corrupt_bits_flips_magnitude_positions(self):
+        frame = (0,) * 32
+        plan = FaultPlan.single("gen2.frame", "corrupt_bits", magnitude=3.0)
+        with faults.engaged(plan):
+            corrupted = faults.corrupt_bits("gen2.frame", frame)
+        assert len(corrupted) == len(frame)
+        assert sum(a != b for a, b in zip(frame, corrupted)) == 3
+
+    def test_corrupt_bits_flips_at_least_one(self):
+        plan = FaultPlan.single("gen2.frame", "corrupt_bits", magnitude=0.0)
+        with faults.engaged(plan):
+            corrupted = faults.corrupt_bits("gen2.frame", (0, 0, 0, 0))
+        assert sum(corrupted) == 1
+
+    def test_corrupt_bits_empty_frame_unharmed(self):
+        plan = FaultPlan.single("gen2.frame", "corrupt_bits", magnitude=2.0)
+        with faults.engaged(plan):
+            assert faults.corrupt_bits("gen2.frame", ()) == ()
+
+    def test_jitter_position_perturbs_by_magnitude(self):
+        pose = np.array([1.0, 2.0])
+        plan = FaultPlan.single("mobility.pose", "jitter", magnitude=0.05)
+        with faults.engaged(plan):
+            jittered = faults.jitter_position("mobility.pose", pose)
+        assert jittered.shape == pose.shape
+        assert not np.array_equal(jittered, pose)
+        assert float(np.linalg.norm(jittered - pose)) < 1.0
+
+    def test_magnitudes_sum_across_firing_specs(self):
+        plan = FaultPlan(
+            (
+                FaultSpec("serve.ingest", "stall", magnitude=0.25),
+                FaultSpec("serve.ingest", "stall", magnitude=0.5),
+            )
+        )
+        with faults.engaged(plan):
+            assert faults.stall_s("serve.ingest") == 0.75
+
+
+class TestObservability:
+    def test_injections_emit_counters(self):
+        registry = MetricsRegistry()
+        previous = metrics.activate_registry(registry)
+        try:
+            plan = FaultPlan.single("channel.link", "drop")
+            with faults.engaged(plan):
+                faults.dropped("channel.link")
+                faults.dropped("channel.link")
+        finally:
+            metrics.activate_registry(previous)
+        assert registry.counters["faults.injected.channel.link.drop"] == 2
+
+    def test_injection_log_is_picklable(self):
+        import pickle
+
+        plan = FaultPlan.single("channel.link", "drop")
+        with faults.engaged(plan) as engine:
+            faults.dropped("channel.link")
+        restored = pickle.loads(pickle.dumps(engine.injections))
+        assert restored == engine.injections
+
+
+def test_construct_engine_directly_still_works():
+    # engaged() is the blessed path, but the engine itself is a plain
+    # object; activate/restore must round-trip.
+    engine = FaultEngine(FaultPlan.single("channel.link", "drop"), seed=0)
+    previous = faults.activate_engine(engine)
+    try:
+        assert faults.dropped("channel.link")
+    finally:
+        faults.activate_engine(previous)
+    assert faults.active_engine() is previous

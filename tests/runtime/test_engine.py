@@ -139,8 +139,9 @@ class TestManifest:
         assert len(data["tasks"]) == 2
 
     def test_trace_memory_records_peak(self):
-        config = RuntimeConfig(trace_memory=True)
-        sweep = run_sweep(_tasks(2), config)
+        with pytest.warns(DeprecationWarning, match="trace_memory"):
+            config = RuntimeConfig(trace_memory=True)
+            sweep = run_sweep(_tasks(2), config)
         for record in sweep.manifest.tasks:
             assert record.peak_memory_bytes is not None
             assert record.peak_memory_bytes > 0
