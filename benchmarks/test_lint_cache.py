@@ -1,0 +1,87 @@
+"""Lint-driver acceptance bench: warm whole-repo analysis is >= 5x faster.
+
+Runs ``analyze_project`` over the real ``src/repro`` tree twice against
+one fresh cache — cold (parse + model build + every rule) then warm
+(content hashes hit the sidecars and the per-file result cache) — and
+asserts the warm pass is at least 5x faster wall-clock while producing
+a byte-identical report. The timing deltas land in
+``benchmarks/reports/BENCH_lint.json``.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze_paths
+from repro.analysis.driver import analyze_project
+from repro.analysis.reporting import render_text
+from repro.runtime import RuntimeConfig
+
+from benchmarks.conftest import MANIFESTS_DIR
+
+pytestmark = [pytest.mark.bench, pytest.mark.slow]
+
+#: Acceptance floor: warm whole-repo lint must be at least this much
+#: faster than the cold pass.
+MIN_SPEEDUP = 5.0
+
+REPO_SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+@pytest.fixture(scope="module")
+def lint_record(tmp_path_factory):
+    cache_dir = tmp_path_factory.mktemp("lint-cache")
+    MANIFESTS_DIR.mkdir(parents=True, exist_ok=True)
+    runtime = RuntimeConfig(
+        backend="serial", cache_dir=cache_dir, manifest_dir=MANIFESTS_DIR
+    )
+
+    start = time.perf_counter()
+    cold = analyze_project([str(REPO_SRC)], runtime=runtime, name="lint_bench")
+    cold_wall_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    warm = analyze_project([str(REPO_SRC)], runtime=runtime, name="lint_bench")
+    warm_wall_s = time.perf_counter() - start
+
+    return {
+        "min_speedup_required": MIN_SPEEDUP,
+        "cold_wall_s": cold_wall_s,
+        "warm_wall_s": warm_wall_s,
+        "speedup": cold_wall_s / max(warm_wall_s, 1e-9),
+        "cold_report": render_text(cold),
+        "warm_report": render_text(warm),
+    }
+
+
+def test_warm_lint_is_5x_faster(lint_record, save_bench_json):
+    assert lint_record["speedup"] >= MIN_SPEEDUP, (
+        f"warm lint only {lint_record['speedup']:.1f}x faster "
+        f"({lint_record['cold_wall_s']:.2f}s cold vs "
+        f"{lint_record['warm_wall_s']:.2f}s warm)"
+    )
+    save_bench_json(
+        "lint",
+        {
+            key: value
+            for key, value in lint_record.items()
+            if key not in ("cold_report", "warm_report")
+        },
+    )
+
+
+def test_warm_report_bit_identical(lint_record):
+    assert lint_record["warm_report"] == lint_record["cold_report"]
+
+
+def test_driver_matches_inline_engine(lint_record):
+    assert lint_record["cold_report"] == render_text(
+        analyze_paths([str(REPO_SRC)])
+    )
+
+
+def test_lint_manifest_written(lint_record):
+    assert (MANIFESTS_DIR / "lint_bench.json").exists()

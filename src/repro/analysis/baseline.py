@@ -4,6 +4,11 @@ A baseline is a JSON document of finding keys (code + path + message,
 deliberately line-free). Findings whose key appears in the baseline are
 suppressed; everything new still fails the run. ``--write-baseline``
 snapshots the current findings so a future PR can ratchet them down.
+
+Paths inside baseline keys are stored repo-relative with POSIX
+separators, so a baseline written on one machine (or OS) matches the
+same findings checked out anywhere else. Keys written by older
+versions (absolute or backslashed paths) are still honored on load.
 """
 
 from __future__ import annotations
@@ -14,14 +19,35 @@ from typing import List, Sequence, Set
 
 from repro.analysis.findings import Finding
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+
+
+def portable_path(raw: str) -> str:
+    """``raw`` relative to the working directory, POSIX-separated.
+
+    Absolute paths outside the working directory are kept absolute
+    (still POSIX-normalized): better an unportable key than a wrong
+    one.
+    """
+    path = Path(raw.replace("\\", "/"))
+    if path.is_absolute():
+        try:
+            path = path.relative_to(Path.cwd())
+        except ValueError:
+            pass
+    return path.as_posix()
+
+
+def portable_key(finding: Finding) -> str:
+    """The baseline key with its path made repo-relative and POSIX."""
+    return f"{finding.code}::{portable_path(finding.path)}::{finding.message}"
 
 
 def write_baseline(path: str, findings: Sequence[Finding]) -> None:
     """Snapshot ``findings`` as an accepted-violations baseline file."""
     payload = {
         "version": _FORMAT_VERSION,
-        "keys": sorted({f.baseline_key() for f in findings}),
+        "keys": sorted({portable_key(f) for f in findings}),
     }
     Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
 
@@ -35,5 +61,14 @@ def load_baseline(path: str) -> Set[str]:
 
 
 def apply_baseline(findings: Sequence[Finding], keys: Set[str]) -> List[Finding]:
-    """Drop findings whose baseline key is in ``keys``."""
-    return [f for f in findings if f.baseline_key() not in keys]
+    """Drop findings whose baseline key is in ``keys``.
+
+    Both the portable (v2) and the legacy raw-path (v1) forms of each
+    finding's key are checked, so existing baselines keep suppressing
+    across the format change.
+    """
+    return [
+        f
+        for f in findings
+        if portable_key(f) not in keys and f.baseline_key() not in keys
+    ]

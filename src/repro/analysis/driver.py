@@ -1,0 +1,379 @@
+"""Whole-repo lint driver on the sweep engine (``repro.runtime``).
+
+Linting a tree is itself an embarrassingly parallel sweep: one task
+per file, pure in its inputs, with results worth caching. This module
+expresses it that way instead of hand-rolling a second pool:
+
+* each file becomes a :class:`~repro.runtime.task.SweepTask` over
+  :func:`lint_file_task`, parameterized by the file's content hash,
+  its transitive *dependency signature*, and the analyzer config — so
+  the engine's content-addressed cache serves warm results only when
+  neither the file, nor anything it imports, nor the analyzer itself
+  has changed;
+* workers never see whole-project state. Each task carries a model
+  restricted to its file's import closure (a content-addressed JSON
+  sidecar named by the dependency signature) plus the two genuinely
+  global facts — which closure symbols are task functions, and which
+  of the file's own symbols are task-reachable — pinned as explicit
+  params. Editing one file therefore invalidates exactly the files
+  whose closure or global facts actually changed, never the whole
+  tree;
+* findings come back as plain dicts and are re-sorted globally, so the
+  report is byte-identical across serial and process backends and
+  across repeated runs.
+
+Cold runs parse everything once (to build the model) and analyze
+every file; warm runs hash the tree, find the model sidecars already
+on disk, and serve every task from the result cache without parsing
+a single file — the ≥5× speedup asserted in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from collections import abc
+from functools import lru_cache
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.engine import analyze_module, iter_python_files
+from repro.analysis.findings import Finding
+from repro.analysis.project import ProjectModel, module_name_for_path
+from repro.runtime import RuntimeConfig, SweepTask, run_sweep
+
+#: Bumped whenever a rule, the model schema, or the dataflow engine
+#: changes behavior: it rides in every task's params, so the result
+#: cache can never serve findings computed by an older analyzer.
+ANALYZER_SCHEMA = 1
+
+
+def file_sha(path: "str | Path") -> str:
+    """Content hash of one source file."""
+    return hashlib.sha256(Path(path).read_bytes()).hexdigest()
+
+
+def project_signature(shas: Mapping[str, str]) -> str:
+    """Content hash of the whole file set (paths + contents + schema)."""
+    digest = hashlib.sha256()
+    digest.update(f"analyzer={ANALYZER_SCHEMA}".encode())
+    for path in sorted(shas):
+        digest.update(f"{Path(path).as_posix()}={shas[path]}".encode())
+    return digest.hexdigest()
+
+
+def dependency_signature(
+    module: str, model: ProjectModel, shas_by_module: Mapping[str, str]
+) -> str:
+    """Hash of a module's content plus all transitive project imports.
+
+    This is what makes per-file caching sound under whole-program
+    analysis: a change in ``repro.dsp.units`` must invalidate the
+    cached findings of every module whose call summaries reach it —
+    and *only* those modules.
+    """
+    digest = hashlib.sha256()
+    own = shas_by_module.get(module, "")
+    digest.update(f"{module}={own}".encode())
+    for dep in sorted(model.dependencies_of(module)):
+        digest.update(f"{dep}={shas_by_module.get(dep, '')}".encode())
+    return digest.hexdigest()
+
+
+def _config_params(config: AnalysisConfig) -> Dict[str, object]:
+    """The analyzer-config fields that affect findings, as task params."""
+    return {
+        "select": list(config.select),
+        "ignore": list(config.ignore),
+        "per_path_ignores": {
+            pattern: list(codes)
+            for pattern, codes in config.per_path_ignores.items()
+        },
+        "allowed_unsuffixed": list(config.allowed_unsuffixed),
+    }
+
+
+def _config_from_params(
+    select: Sequence[str],
+    ignore: Sequence[str],
+    per_path_ignores: "Mapping[str, Sequence[str]] | Sequence[Tuple[str, Sequence[str]]]",
+    allowed_unsuffixed: Sequence[str],
+) -> AnalysisConfig:
+    # ``canonical_params`` lowers dicts to sorted item tuples on the
+    # way into the task, so accept both shapes here.
+    items = (
+        per_path_ignores.items()
+        if isinstance(per_path_ignores, abc.Mapping)
+        else per_path_ignores
+    )
+    return AnalysisConfig(
+        select=tuple(select),
+        ignore=tuple(ignore),
+        per_path_ignores={pattern: tuple(codes) for pattern, codes in items},
+        allowed_unsuffixed=tuple(allowed_unsuffixed),
+    )
+
+
+@lru_cache(maxsize=None)
+def _load_closure_model(closure_json: str, dep_sig: str) -> ProjectModel:
+    """Deserialize a closure-model sidecar (memoized per worker).
+
+    ``dep_sig`` is part of the key so a worker reused across driver
+    invocations can never serve a stale model; the sidecar is also
+    content-addressed by the same signature, so a hit at this path is
+    valid by construction. The cache is unbounded but naturally capped
+    by the number of distinct files linted in one worker's lifetime.
+    """
+    with open(closure_json, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("signature") != dep_sig:
+        raise RuntimeError(
+            f"closure model sidecar {closure_json} has signature "
+            f"{payload.get('signature')!r}, expected {dep_sig!r}"
+        )
+    return ProjectModel.from_dict(payload["model"])
+
+
+def lint_file_task(
+    path: str,
+    sha: str,
+    dep_sig: str,
+    model_dir: str,
+    schema: int,
+    select: Sequence[str],
+    ignore: Sequence[str],
+    per_path_ignores: Mapping[str, Sequence[str]],
+    allowed_unsuffixed: Sequence[str],
+    task_symbols: Sequence[str],
+    reachable_symbols: Sequence[str],
+    seed: int,
+) -> List[Dict[str, object]]:
+    """Analyze one file against its closure model (worker body).
+
+    Every argument is a cache-key component, and none of them varies
+    with files outside the file's import closure: ``sha`` pins the
+    file, ``dep_sig`` pins its transitive imports (and names the model
+    sidecar), ``schema`` pins the analyzer, the config fields pin rule
+    selection, and ``task_symbols``/``reachable_symbols`` pin the
+    whole-program facts the orchestrator computed for this file.
+    ``seed`` is unused — lint is deterministic — but rides along to
+    satisfy the engine's task signature.
+    """
+    del sha, schema, seed  # cache-key components only
+    config = _config_from_params(
+        select, ignore, per_path_ignores, allowed_unsuffixed
+    )
+    closure_json = str(Path(model_dir) / f"closure-{dep_sig}.json")
+    model = dataclasses.replace(
+        _load_closure_model(closure_json, dep_sig),
+        pinned_task_functions=frozenset(task_symbols),
+        pinned_reachable=frozenset(reachable_symbols),
+    )
+    try:
+        source = Path(path).read_text(encoding="utf-8")
+    except OSError as exc:
+        return [Finding(path, 1, 0, "E998", f"cannot read file: {exc}").to_dict()]
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path, exc.lineno or 1, 0, "E999", f"syntax error: {exc.msg}"
+            ).to_dict()
+        ]
+    summary = model.module_for_path(path)
+    findings = analyze_module(
+        tree,
+        path,
+        config,
+        project=model,
+        module_name=summary.name if summary else module_name_for_path(path),
+    )
+    return [finding.to_dict() for finding in findings]
+
+
+def _atomic_write_json(target: Path, payload: Dict[str, object]) -> None:
+    """Write ``payload`` atomically (tmp + rename) next to ``target``.
+
+    Concurrent drivers racing on the same cache directory can only
+    ever observe a complete sidecar.
+    """
+    target.parent.mkdir(parents=True, exist_ok=True)
+    handle = tempfile.NamedTemporaryFile(
+        "w",
+        dir=str(target.parent),
+        prefix=target.stem + ".",
+        suffix=".tmp",
+        delete=False,
+        encoding="utf-8",
+    )
+    try:
+        with handle:
+            json.dump(payload, handle, sort_keys=True)
+        os.replace(handle.name, target)
+    except BaseException:
+        Path(handle.name).unlink(missing_ok=True)
+        raise
+
+
+def _write_project_sidecar(
+    model_dir: Path, sig: str, sources: Mapping[str, ast.Module]
+) -> Path:
+    """Build the whole-tree model and persist it content-addressed.
+
+    The project sidecar is orchestrator-only: it lets warm runs skip
+    re-parsing the tree. Workers read per-closure sidecars instead.
+    """
+    model_path = model_dir / f"project-{sig}.json"
+    if model_path.exists():
+        return model_path
+    model = ProjectModel.build(sources)
+    _atomic_write_json(model_path, {"signature": sig, "model": model.to_dict()})
+    return model_path
+
+
+def _write_closure_sidecar(
+    model_dir: Path, dep_sig: str, model: ProjectModel, module: str
+) -> None:
+    """Persist the model restricted to ``module``'s import closure.
+
+    Content-addressed by the dependency signature, so an existing file
+    is valid by construction and an edit outside the closure leaves
+    the sidecar (and every cache key derived from it) untouched.
+    """
+    closure_path = model_dir / f"closure-{dep_sig}.json"
+    if closure_path.exists():
+        return
+    closure = {module} | set(model.dependencies_of(module))
+    restricted = ProjectModel(
+        modules={
+            name: model.modules[name]
+            for name in sorted(closure)
+            if name in model.modules
+        }
+    )
+    _atomic_write_json(
+        closure_path, {"signature": dep_sig, "model": restricted.to_dict()}
+    )
+
+
+def _parse_all(
+    shas: Mapping[str, str],
+) -> Tuple[Dict[str, ast.Module], List[Finding]]:
+    sources: Dict[str, ast.Module] = {}
+    findings: List[Finding] = []
+    for path in sorted(shas):
+        try:
+            text = Path(path).read_text(encoding="utf-8")
+        except OSError as exc:
+            findings.append(Finding(path, 1, 0, "E998", f"cannot read file: {exc}"))
+            continue
+        try:
+            sources[path] = ast.parse(text, filename=path)
+        except SyntaxError as exc:
+            findings.append(
+                Finding(path, exc.lineno or 1, 0, "E999", f"syntax error: {exc.msg}")
+            )
+    return sources, findings
+
+
+def analyze_project(
+    paths: Sequence[str],
+    config: Optional[AnalysisConfig] = None,
+    runtime: Optional[RuntimeConfig] = None,
+    name: str = "reprolint",
+) -> List[Finding]:
+    """Whole-repo analysis as a cached sweep over the configured backend.
+
+    Functionally equivalent to :func:`repro.analysis.analyze_paths`
+    (byte-identical findings), but executed through
+    :func:`repro.runtime.run_sweep`: serial or process-pool dispatch,
+    content-addressed per-file result caching, and a run manifest when
+    ``runtime.manifest_dir`` is set.
+    """
+    config = config or AnalysisConfig()
+    runtime = runtime or RuntimeConfig()
+
+    shas: Dict[str, str] = {}
+    findings: List[Finding] = []
+    for file_path in iter_python_files(paths, config):
+        try:
+            shas[str(file_path)] = file_sha(file_path)
+        except OSError as exc:
+            findings.append(
+                Finding(str(file_path), 1, 0, "E998", f"cannot read file: {exc}")
+            )
+
+    sig = project_signature(shas)
+    if runtime.cache_dir is not None:
+        model_dir = Path(runtime.cache_dir) / "reprolint-models"
+    else:
+        model_dir = Path(tempfile.mkdtemp(prefix="reprolint-models-"))
+    model_path = model_dir / f"project-{sig}.json"
+    parse_findings: List[Finding] = []
+    if not model_path.exists():
+        sources, parse_findings = _parse_all(shas)
+        model_path = _write_project_sidecar(model_dir, sig, sources)
+    findings.extend(parse_findings)
+
+    with open(model_path, "r", encoding="utf-8") as handle:
+        model = ProjectModel.from_dict(json.load(handle)["model"])
+    shas_by_module: Dict[str, str] = {}
+    for module_name, summary in model.modules.items():
+        if summary.path in shas:
+            shas_by_module[module_name] = shas[summary.path]
+
+    # The two whole-program facts the per-closure models cannot derive
+    # themselves: which symbols are task functions (a module *outside*
+    # a file's closure may reference its functions at a SweepTask
+    # site), and which symbols those roots reach. Restricted per file
+    # below, so the params change only when the facts relevant to that
+    # file change.
+    all_task_symbols = model.task_functions()
+    all_reachable = model.reachable_from_tasks()
+
+    config_params = _config_params(config)
+    tasks = []
+    for path in sorted(shas):
+        summary = model.module_for_path(path)
+        module = summary.name if summary else module_name_for_path(path)
+        dep_sig = dependency_signature(module, model, shas_by_module)
+        _write_closure_sidecar(model_dir, dep_sig, model, module)
+        closure = {module} | set(model.dependencies_of(module))
+        tasks.append(
+            SweepTask.make(
+                lint_file_task,
+                params={
+                    "path": path,
+                    "sha": shas[path],
+                    "dep_sig": dep_sig,
+                    "model_dir": str(model_dir),
+                    "schema": ANALYZER_SCHEMA,
+                    **config_params,
+                    "task_symbols": sorted(
+                        symbol
+                        for symbol in all_task_symbols
+                        if symbol.partition(":")[0] in closure
+                    ),
+                    "reachable_symbols": sorted(
+                        symbol
+                        for symbol in all_reachable
+                        if symbol.partition(":")[0] == module
+                    ),
+                },
+                seed=0,
+                label=Path(path).name,
+            )
+        )
+
+    result = run_sweep(tasks, config=runtime, name=name)
+    for payload in result.results:
+        findings.extend(Finding(**item) for item in payload)
+    # Files that failed to parse are reported twice on cold runs (once
+    # by the model build, once by the worker); dedupe keeps E999 single.
+    return sorted(set(findings))

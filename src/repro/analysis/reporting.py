@@ -1,12 +1,21 @@
-"""Text and JSON reporters for analysis findings."""
+"""Text, JSON, and SARIF reporters for analysis findings."""
 
 from __future__ import annotations
 
 import json
 from collections import Counter
-from typing import Sequence
+from typing import Dict, List, Sequence, Tuple
 
+import repro
+from repro.analysis.baseline import portable_path
 from repro.analysis.findings import Finding
+from repro.analysis.rules import all_rules
+
+#: Engine-level findings that have no registered Rule behind them.
+_ENGINE_CODES: Dict[str, Tuple[str, str]] = {
+    "E998": ("unreadable-file", "error"),
+    "E999": ("syntax-error", "error"),
+}
 
 
 def render_text(findings: Sequence[Finding]) -> str:
@@ -29,4 +38,76 @@ def render_json(findings: Sequence[Finding]) -> str:
     return json.dumps(payload, indent=2)
 
 
-REPORTERS = {"text": render_text, "json": render_json}
+def _rule_catalog(codes: Sequence[str]) -> List[Dict[str, object]]:
+    """SARIF ``tool.driver.rules`` entries for the referenced codes."""
+    by_code: Dict[str, Tuple[str, str]] = dict(_ENGINE_CODES)
+    for rule in all_rules():
+        by_code[rule.code] = (rule.name, rule.severity)
+    catalog = []
+    for code in codes:
+        name, severity = by_code.get(code, (code.lower(), "error"))
+        catalog.append(
+            {
+                "id": code,
+                "name": name,
+                "defaultConfiguration": {
+                    "level": "error" if severity == "error" else "warning"
+                },
+            }
+        )
+    return catalog
+
+
+def render_sarif(findings: Sequence[Finding]) -> str:
+    """SARIF 2.1.0 report for code-scanning upload.
+
+    Paths are emitted repo-relative with POSIX separators (the
+    ``artifactLocation.uri`` contract); columns are converted from the
+    analyzer's 0-based offsets to SARIF's 1-based ones.
+    """
+    codes = sorted({f.code for f in findings})
+    rule_index = {code: i for i, code in enumerate(codes)}
+    results = [
+        {
+            "ruleId": f.code,
+            "ruleIndex": rule_index[f.code],
+            "level": "error" if f.severity == "error" else "warning",
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": portable_path(f.path),
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": max(f.line, 1),
+                            "startColumn": f.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for f in findings
+    ]
+    document = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "version": repro.__version__,
+                        "rules": _rule_catalog(codes),
+                    }
+                },
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2)
+
+
+REPORTERS = {"text": render_text, "json": render_json, "sarif": render_sarif}

@@ -7,7 +7,10 @@ from repro.analysis.rules import (  # noqa: F401  (registration)
     determinism,
     faults,
     observability,
+    purity,
+    taint,
     units,
+    unitflow,
 )
 from repro.analysis.rules.base import ModuleContext, Rule, all_rules, register
 

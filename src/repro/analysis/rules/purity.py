@@ -1,0 +1,330 @@
+"""Worker-purity race rules (``P701``–``P703``).
+
+The sweep engine's bit-identity contract rests on task functions being
+pure in ``(params, seed)``: the serial backend runs every task in one
+shared process while the pool backend gives each worker fresh state,
+so *any* process-global mutation reachable from a task function makes
+the two backends observably different — the race these rules detect
+statically, using the project model's call graph:
+
+* **P701** — mutation of a module-level name (``global`` stores,
+  ``CACHE[key] = ...``, ``_REGISTRY.append(...)``) in any function
+  reachable from a task function;
+* **P702** — un-picklable task callables at ``SweepTask`` creation
+  sites: lambdas, functions nested inside the enclosing scope, and
+  ``functools.partial`` objects (all of which also fail
+  ``fn_identity`` at runtime — this rule moves the failure to lint
+  time);
+* **P703** — shared-state mutation beyond module globals reachable
+  from a task function: class-attribute stores (``Config.limit = ...``,
+  ``cls.cache = ...``, ``type(x).attr = ...``) and process environment
+  mutation (``os.environ[...] = ...``, ``os.putenv``, ``sys.path``
+  edits).
+
+The audited process-global surfaces — :mod:`repro.obs` (telemetry
+registries ride back in outcome envelopes), :mod:`repro.runtime` (the
+engine itself), and :mod:`repro.faults` (the engaged-engine slot with
+guaranteed restore) — are exempt; everything else must stay pure.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import MUTATING_METHODS, _collect_global_mutations
+from repro.analysis.rules.base import ModuleContext, Rule, register
+from repro.analysis.rules.taint import function_qualnames
+
+#: Path fragments of the audited shared-state packages (see module
+#: docstring); purity findings are suppressed inside them.
+PURITY_EXEMPT_FRAGMENTS = (
+    "repro/obs/",
+    "repro/runtime/",
+    "repro/faults/",
+)
+
+
+def _is_exempt(ctx: ModuleContext) -> bool:
+    path = ctx.path.replace("\\", "/")
+    return any(fragment in path for fragment in PURITY_EXEMPT_FRAGMENTS)
+
+
+def _reachable_symbols(ctx: ModuleContext) -> FrozenSet[str]:
+    if ctx.project is None:
+        return frozenset()
+    return ctx.project.reachable_from_tasks()
+
+
+def _module_level_names(ctx: ModuleContext) -> FrozenSet[str]:
+    if ctx.project is None:
+        return frozenset()
+    summary = ctx.project.modules.get(ctx.module_name)
+    if summary is None:
+        return frozenset()
+    return frozenset(summary.module_level_names)
+
+
+def _reachable_function_nodes(
+    ctx: ModuleContext,
+) -> "List[Tuple[ast.FunctionDef | ast.AsyncFunctionDef, str]]":
+    """(node, symbol) for this module's task-reachable functions."""
+    reachable = _reachable_symbols(ctx)
+    if not reachable:
+        return []
+    out = []
+    for node, qualname in function_qualnames(ctx.tree):
+        symbol = f"{ctx.module_name}:{qualname}"
+        if symbol in reachable:
+            out.append((node, symbol))
+    return out
+
+
+@register
+class TaskReachableGlobalMutation(Rule):
+    """P701: module-global mutation reachable from a task function."""
+
+    code = "P701"
+    name = "task-reachable-global-mutation"
+    severity = "error"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if _is_exempt(ctx):
+            return
+        module_names = _module_level_names(ctx)
+        for node, symbol in _reachable_function_nodes(ctx):
+            declared_global = {
+                name
+                for child in ast.walk(node)
+                if isinstance(child, ast.Global)
+                for name in child.names
+            }
+            for name in _collect_global_mutations(node):
+                if name in module_names or name in declared_global:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"'{symbol}' (reachable from a SweepTask fn) "
+                        f"mutates module global '{name}'; serial and "
+                        "pool backends would diverge — pass state "
+                        "through params/seed instead",
+                    )
+
+
+def _sweeptask_fn_argument(node: ast.Call) -> Optional[ast.AST]:
+    """The ``fn`` argument of a SweepTask construction call, if any."""
+    chain_parts: List[str] = []
+    func: ast.AST = node.func
+    while isinstance(func, ast.Attribute):
+        chain_parts.append(func.attr)
+        func = func.value
+    if isinstance(func, ast.Name):
+        chain_parts.append(func.id)
+    chain = ".".join(reversed(chain_parts))
+    if not (chain.endswith("SweepTask") or chain.endswith("SweepTask.make")):
+        return None
+    if node.args:
+        return node.args[0]
+    for keyword in node.keywords:
+        if keyword.arg == "fn":
+            return keyword.value
+    return None
+
+
+@register
+class UnpicklableTaskFunction(Rule):
+    """P702: SweepTask built from a lambda/closure/partial."""
+
+    code = "P702"
+    name = "unpicklable-task-function"
+    severity = "error"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        nested_names = self._nested_function_names(ctx.tree)
+        for call in ast.walk(ctx.tree):
+            if not isinstance(call, ast.Call):
+                continue
+            fn_arg = _sweeptask_fn_argument(call)
+            if fn_arg is None:
+                continue
+            if isinstance(fn_arg, ast.Lambda):
+                yield self.finding(
+                    ctx,
+                    call,
+                    "SweepTask fn is a lambda; workers cannot import it "
+                    "— use a module-level function",
+                )
+            elif isinstance(fn_arg, ast.Call):
+                func = fn_arg.func
+                tail = (
+                    func.attr
+                    if isinstance(func, ast.Attribute)
+                    else func.id if isinstance(func, ast.Name) else ""
+                )
+                if tail == "partial":
+                    yield self.finding(
+                        ctx,
+                        call,
+                        "SweepTask fn is a functools.partial; it has no "
+                        "qualname to dispatch — bind arguments via "
+                        "params instead",
+                    )
+            elif isinstance(fn_arg, ast.Name) and fn_arg.id in nested_names:
+                yield self.finding(
+                    ctx,
+                    call,
+                    f"SweepTask fn '{fn_arg.id}' is a nested function; "
+                    "closures cannot be pickled to workers — hoist it "
+                    "to module level",
+                )
+
+    @staticmethod
+    def _nested_function_names(tree: ast.Module) -> Set[str]:
+        """Names of functions defined inside another function."""
+        nested: Set[str] = set()
+        for node, qualname in function_qualnames(tree):
+            for child in ast.walk(node):
+                if child is node:
+                    continue
+                if isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    nested.add(child.name)
+        return nested
+
+
+#: Full dotted owners whose item stores / mutating calls touch
+#: process-shared state. ``environ`` alone is included because
+#: ``from os import environ`` is common; a bare ``path`` is not (it
+#: would collide with ordinary locals).
+_PROCESS_STATE_OWNERS: Dict[str, str] = {
+    "os.environ": "os.environ",
+    "environ": "os.environ",
+    "sys.path": "sys.path",
+}
+
+
+def _owner_chain(node: ast.AST) -> str:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _is_class_attribute_store(target: ast.AST, local_names: Set[str]) -> bool:
+    """``Owner.attr = ...`` where Owner looks like a class, not a local."""
+    if not isinstance(target, ast.Attribute):
+        return False
+    owner = target.value
+    if isinstance(owner, ast.Name):
+        name = owner.id
+        if name in ("self",) or name in local_names:
+            return False
+        return name == "cls" or (name[:1].isupper() and "_" not in name[:1])
+    if isinstance(owner, ast.Call):
+        func = owner.func
+        return isinstance(func, ast.Name) and func.id == "type"
+    if isinstance(owner, ast.Attribute):
+        return owner.attr == "__class__"
+    return False
+
+
+@register
+class TaskReachableSharedStateMutation(Rule):
+    """P703: class-attribute or process-environment mutation in task paths."""
+
+    code = "P703"
+    name = "task-reachable-shared-state-mutation"
+    severity = "error"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if _is_exempt(ctx):
+            return
+        for node, symbol in _reachable_function_nodes(ctx):
+            local_names = self._local_bindings(node)
+            for child in ast.walk(node):
+                if isinstance(child, (ast.Assign, ast.AugAssign)):
+                    targets = (
+                        child.targets
+                        if isinstance(child, ast.Assign)
+                        else [child.target]
+                    )
+                    for target in targets:
+                        yield from self._check_store(
+                            ctx, symbol, child, target, local_names
+                        )
+                elif isinstance(child, ast.Call):
+                    yield from self._check_call(ctx, symbol, child)
+
+    @staticmethod
+    def _local_bindings(
+        node: "ast.FunctionDef | ast.AsyncFunctionDef",
+    ) -> Set[str]:
+        names: Set[str] = set()
+        args = node.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            names.add(arg.arg)
+        for child in ast.walk(node):
+            if isinstance(child, ast.Assign):
+                for target in child.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+            elif isinstance(child, (ast.For, ast.AsyncFor)):
+                if isinstance(child.target, ast.Name):
+                    names.add(child.target.id)
+        return names
+
+    def _check_store(
+        self,
+        ctx: ModuleContext,
+        symbol: str,
+        stmt: ast.stmt,
+        target: ast.AST,
+        local_names: Set[str],
+    ) -> Iterator[Finding]:
+        if _is_class_attribute_store(target, local_names):
+            yield self.finding(
+                ctx,
+                stmt,
+                f"'{symbol}' (reachable from a SweepTask fn) stores to "
+                f"class attribute '{_owner_chain(target)}'; class state "
+                "is shared in the serial backend — use instance state "
+                "or params",
+            )
+        elif isinstance(target, ast.Subscript):
+            owner = _owner_chain(target.value)
+            if owner in _PROCESS_STATE_OWNERS:
+                yield self.finding(
+                    ctx,
+                    stmt,
+                    f"'{symbol}' mutates {_PROCESS_STATE_OWNERS[owner]} "
+                    "in a task-reachable path; environment is process-"
+                    "shared state",
+                )
+
+    def _check_call(
+        self, ctx: ModuleContext, symbol: str, node: ast.Call
+    ) -> Iterator[Finding]:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        owner = _owner_chain(func.value)
+        if func.attr == "putenv" and owner == "os":
+            yield self.finding(
+                ctx,
+                node,
+                f"'{symbol}' calls os.putenv in a task-reachable path; "
+                "environment is process-shared state",
+            )
+        elif owner in _PROCESS_STATE_OWNERS and func.attr in MUTATING_METHODS:
+            yield self.finding(
+                ctx,
+                node,
+                f"'{symbol}' mutates {_PROCESS_STATE_OWNERS[owner]} via "
+                f".{func.attr}() in a task-reachable path; process-"
+                "shared state breaks serial/pool bit-identity",
+            )

@@ -1,0 +1,222 @@
+"""Runtime-powered lint driver: equivalence, caching, invalidation.
+
+The acceptance property is byte-identity: the driver must produce the
+exact finding list of the in-process engine, on every backend, warm or
+cold — the report is part of the reproduction's deterministic surface.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import AnalysisConfig, analyze_paths
+from repro.analysis.driver import (
+    ANALYZER_SCHEMA,
+    analyze_project,
+    dependency_signature,
+    file_sha,
+    project_signature,
+)
+from repro.analysis.reporting import render_text
+from repro.runtime import RuntimeConfig
+
+#: Source snippets with known findings, for hypothesis-generated trees.
+SNIPPETS = (
+    '"""M."""\nfrom __future__ import annotations\n\nX = 1\n',
+    '"""M."""\nfrom __future__ import annotations\n\nimport numpy as np\n\nrng = np.random.default_rng()\n',
+    (
+        '"""M."""\nfrom __future__ import annotations\n\n'
+        "def f(gain_db: float, cutoff_hz: float) -> float:\n"
+        "    a = gain_db\n"
+        "    return a + cutoff_hz\n"
+    ),
+    (
+        '"""M."""\nfrom __future__ import annotations\n\n'
+        "def merge(items: list) -> list:\n"
+        "    keys = set(items)\n"
+        "    return list(keys)\n"
+    ),
+)
+
+
+def _write_tree(root, contents):
+    for index, text in enumerate(contents):
+        (root / f"mod_{index}.py").write_text(text, encoding="utf-8")
+
+
+@pytest.fixture
+def small_tree(tmp_path):
+    tree = tmp_path / "tree"
+    tree.mkdir()
+    _write_tree(tree, SNIPPETS)
+    return tree
+
+
+class TestEquivalence:
+    def test_serial_matches_inline(self, small_tree, tmp_path):
+        inline = analyze_paths([str(small_tree)])
+        driven = analyze_project(
+            [str(small_tree)],
+            runtime=RuntimeConfig(backend="serial", cache_dir=tmp_path / "c"),
+        )
+        assert driven == inline
+        assert render_text(driven) == render_text(inline)
+
+    def test_process_matches_serial(self, small_tree, tmp_path):
+        serial = analyze_project(
+            [str(small_tree)],
+            runtime=RuntimeConfig(backend="serial", cache_dir=tmp_path / "c1"),
+        )
+        pooled = analyze_project(
+            [str(small_tree)],
+            runtime=RuntimeConfig(
+                backend="process", max_workers=2, cache_dir=tmp_path / "c2"
+            ),
+        )
+        assert render_text(pooled) == render_text(serial)
+
+    def test_no_cache_dir_still_works(self, small_tree):
+        driven = analyze_project([str(small_tree)], runtime=RuntimeConfig())
+        assert driven == analyze_paths([str(small_tree)])
+
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        picks=st.lists(
+            st.sampled_from(range(len(SNIPPETS))), min_size=1, max_size=4
+        )
+    )
+    def test_repeated_runs_byte_identical(self, tmp_path_factory, picks):
+        root = tmp_path_factory.mktemp("hyp-tree")
+        _write_tree(root, [SNIPPETS[i] for i in picks])
+        cache = tmp_path_factory.mktemp("hyp-cache")
+        runs = [
+            render_text(
+                analyze_project(
+                    [str(root)],
+                    runtime=RuntimeConfig(backend="serial", cache_dir=cache),
+                )
+            )
+            for _ in range(3)
+        ]
+        assert runs[0] == runs[1] == runs[2]
+        assert runs[0] == render_text(analyze_paths([str(root)]))
+
+
+class TestCaching:
+    def test_warm_run_serves_from_cache(self, small_tree, tmp_path):
+        runtime = RuntimeConfig(
+            backend="serial",
+            cache_dir=tmp_path / "cache",
+            manifest_dir=tmp_path / "manifests",
+        )
+        analyze_project([str(small_tree)], runtime=runtime)
+        analyze_project([str(small_tree)], runtime=runtime)
+        manifest = json.loads(
+            (tmp_path / "manifests" / "reprolint.json").read_text()
+        )
+        assert all(task["cache_hit"] for task in manifest["tasks"])
+
+    def test_edit_invalidates_only_that_file(self, small_tree, tmp_path):
+        runtime = RuntimeConfig(
+            backend="serial",
+            cache_dir=tmp_path / "cache",
+            manifest_dir=tmp_path / "manifests",
+        )
+        analyze_project([str(small_tree)], runtime=runtime)
+        (small_tree / "mod_0.py").write_text(
+            '"""M."""\nfrom __future__ import annotations\n\nY = 2\n'
+        )
+        analyze_project([str(small_tree)], runtime=runtime)
+        manifest = json.loads(
+            (tmp_path / "manifests" / "reprolint.json").read_text()
+        )
+        hits = {task["label"]: task["cache_hit"] for task in manifest["tasks"]}
+        assert hits["mod_0.py"] is False
+        assert hits["mod_1.py"] is True
+
+    def test_dependency_edit_invalidates_importer(self, tmp_path):
+        tree = tmp_path / "tree"
+        tree.mkdir()
+        (tree / "dep.py").write_text(
+            '"""D."""\nfrom __future__ import annotations\n\n'
+            "def helper(power_dbm: float) -> float:\n"
+            "    return power_dbm\n"
+        )
+        (tree / "user.py").write_text(
+            '"""U."""\nfrom __future__ import annotations\n\n'
+            "from dep import helper\n\n"
+            "def call(level_dbm: float) -> float:\n"
+            "    return helper(level_dbm)\n"
+        )
+        runtime = RuntimeConfig(
+            backend="serial",
+            cache_dir=tmp_path / "cache",
+            manifest_dir=tmp_path / "manifests",
+        )
+        first = analyze_project([str(tree)], runtime=runtime)
+        assert first == []
+        # Changing the helper's parameter family must re-analyze
+        # user.py (its cached findings were computed against the old
+        # signature) and surface the new cross-module mismatch.
+        (tree / "dep.py").write_text(
+            '"""D."""\nfrom __future__ import annotations\n\n'
+            "def helper(distance_m: float) -> float:\n"
+            "    return distance_m\n"
+        )
+        second = analyze_project([str(tree)], runtime=runtime)
+        assert "U111" in [f.code for f in second]
+        manifest = json.loads(
+            (tmp_path / "manifests" / "reprolint.json").read_text()
+        )
+        hits = {task["label"]: task["cache_hit"] for task in manifest["tasks"]}
+        assert hits["user.py"] is False
+
+    def test_syntax_error_single_report_warm_and_cold(self, tmp_path):
+        tree = tmp_path / "tree"
+        tree.mkdir()
+        (tree / "bad.py").write_text("def broken(:\n")
+        runtime = RuntimeConfig(backend="serial", cache_dir=tmp_path / "cache")
+        cold = analyze_project([str(tree)], runtime=runtime)
+        warm = analyze_project([str(tree)], runtime=runtime)
+        assert [f.code for f in cold] == ["E999"]
+        assert warm == cold
+
+
+class TestSignatures:
+    def test_project_signature_tracks_content(self, tmp_path):
+        target = tmp_path / "a.py"
+        target.write_text("X = 1\n")
+        before = project_signature({str(target): file_sha(target)})
+        target.write_text("X = 2\n")
+        after = project_signature({str(target): file_sha(target)})
+        assert before != after
+
+    def test_dependency_signature_tracks_transitive_change(self):
+        import ast
+
+        from repro.analysis.project import ProjectModel
+
+        model = ProjectModel.build(
+            {
+                "a.py": ast.parse("import b\n"),
+                "b.py": ast.parse("import c\n"),
+                "c.py": ast.parse("X = 1\n"),
+            },
+            names={"a.py": "a", "b.py": "b", "c.py": "c"},
+        )
+        shas = {"a": "s1", "b": "s2", "c": "s3"}
+        before = dependency_signature("a", model, shas)
+        assert dependency_signature("a", model, {**shas, "c": "zz"}) != before
+        # An unrelated module's hash must not disturb the signature.
+        assert dependency_signature("a", model, {**shas, "d": "zz"}) == before
+
+    def test_schema_constant_is_pinned(self):
+        assert isinstance(ANALYZER_SCHEMA, int) and ANALYZER_SCHEMA >= 1

@@ -1,0 +1,224 @@
+"""Project model: extraction, resolution, graphs, and round-trips.
+
+The serialization round-trips are hypothesis-pinned because the model
+ships between processes as JSON: any field the ``to_dict``/``from_dict``
+pair drops or reorders would silently change worker-side findings.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.project import (
+    FunctionSummary,
+    ModuleSummary,
+    ProjectModel,
+    module_name_for_path,
+)
+
+FAMILIES = ("db", "dbm", "hz", "m", "s", "angle", "watts", "ppm")
+
+identifiers = st.from_regex(r"[a-z][a-z0-9_]{0,10}", fullmatch=True)
+dotted = st.lists(identifiers, min_size=1, max_size=3).map(".".join)
+
+
+def _model(sources: "dict[str, str]") -> ProjectModel:
+    parsed = {path: ast.parse(text) for path, text in sources.items()}
+    names = {path: path.rsplit("/", 1)[-1][: -len(".py")] for path in parsed}
+    return ProjectModel.build(parsed, names=names)
+
+
+class TestModuleNames:
+    def test_package_rooted_name(self, tmp_path):
+        pkg = tmp_path / "pkg" / "sub"
+        pkg.mkdir(parents=True)
+        (tmp_path / "pkg" / "__init__.py").write_text("")
+        (pkg / "__init__.py").write_text("")
+        (pkg / "mod.py").write_text("")
+        assert module_name_for_path(str(pkg / "mod.py")) == "pkg.sub.mod"
+        assert module_name_for_path(str(pkg / "__init__.py")) == "pkg.sub"
+
+    def test_bare_file_uses_stem(self, tmp_path):
+        target = tmp_path / "helper.py"
+        target.write_text("")
+        assert module_name_for_path(str(target)) == "helper"
+
+
+class TestExtraction:
+    def test_function_summary_facts(self):
+        model = _model(
+            {
+                "m.py": (
+                    "def path_loss_db(distance_m, frequency_hz, n):\n"
+                    "    scale = helper(distance_m)\n"
+                    "    return scale\n"
+                )
+            }
+        )
+        fn = model.function("m:path_loss_db")
+        assert fn is not None
+        assert fn.params == ("distance_m", "frequency_hz", "n")
+        assert dict(fn.param_families) == {
+            "distance_m": "m",
+            "frequency_hz": "hz",
+        }
+        assert fn.return_family == "db"
+        assert "helper" in fn.calls
+        assert fn.is_public
+
+    def test_module_level_names_and_task_refs(self):
+        model = _model(
+            {
+                "m.py": (
+                    "from repro.runtime import SweepTask\n"
+                    "LIMIT = 3\n"
+                    "def trial(x, seed):\n"
+                    "    return x\n"
+                    "def build():\n"
+                    "    return SweepTask.make(trial, {'x': 1}, seed=0)\n"
+                )
+            }
+        )
+        summary = model.modules["m"]
+        assert "LIMIT" in summary.module_level_names
+        assert summary.task_fn_refs == ("trial",)
+        assert model.task_functions() == frozenset({"m:trial"})
+
+
+class TestResolution:
+    def test_bare_local_and_from_import(self):
+        model = _model(
+            {
+                "util.py": "def gain_db():\n    return 1.0\n",
+                "m.py": (
+                    "from util import gain_db\n"
+                    "def caller():\n"
+                    "    return gain_db()\n"
+                ),
+            }
+        )
+        fn = model.resolve_call("m", "gain_db")
+        assert fn is not None and fn.symbol == "util:gain_db"
+
+    def test_module_alias_attribute_chain(self):
+        model = _model(
+            {
+                "units.py": "def db_to_linear(value_db):\n    return value_db\n",
+                "m.py": (
+                    "import units\n"
+                    "def caller(x_db):\n"
+                    "    return units.db_to_linear(x_db)\n"
+                ),
+            }
+        )
+        fn = model.resolve_call("m", "units.db_to_linear")
+        assert fn is not None and fn.symbol == "units:db_to_linear"
+
+    def test_unknown_resolves_to_none(self):
+        model = _model({"m.py": "def f():\n    return obj.method()\n"})
+        assert model.resolve_call("m", "obj.method") is None
+        assert model.resolve_call("nope", "anything") is None
+
+
+class TestGraphs:
+    def test_import_graph_and_transitive_dependencies(self):
+        model = _model(
+            {
+                "a.py": "import b\n",
+                "b.py": "import c\n",
+                "c.py": "X = 1\n",
+            }
+        )
+        graph = model.import_graph()
+        assert graph["a"] == ("b",)
+        assert graph["b"] == ("c",)
+        assert model.dependencies_of("a") == frozenset({"b", "c"})
+        assert model.dependencies_of("c") == frozenset()
+
+    def test_reachability_crosses_modules(self):
+        model = _model(
+            {
+                "worker.py": (
+                    "from helpers import shared\n"
+                    "def trial(x, seed):\n"
+                    "    return shared(x)\n"
+                ),
+                "helpers.py": "def shared(x):\n    return x\n",
+                "main.py": (
+                    "from repro.runtime import SweepTask\n"
+                    "from worker import trial\n"
+                    "def build():\n"
+                    "    return SweepTask.make(trial, {'x': 1}, seed=0)\n"
+                ),
+            }
+        )
+        reachable = model.reachable_from_tasks()
+        assert "worker:trial" in reachable
+        assert "helpers:shared" in reachable
+        assert "main:build" not in reachable
+
+
+function_summaries = st.builds(
+    FunctionSummary,
+    qualname=dotted,
+    module=dotted,
+    line=st.integers(min_value=1, max_value=10_000),
+    params=st.lists(identifiers, max_size=4).map(tuple),
+    param_families=st.lists(
+        st.tuples(identifiers, st.sampled_from(FAMILIES)), max_size=3
+    ).map(tuple),
+    return_family=st.none() | st.sampled_from(FAMILIES),
+    calls=st.lists(dotted, max_size=4).map(tuple),
+    mutated_globals=st.lists(identifiers, max_size=3).map(tuple),
+    is_public=st.booleans(),
+)
+
+module_summaries = st.builds(
+    ModuleSummary,
+    name=dotted,
+    path=identifiers.map(lambda s: f"src/{s}.py"),
+    imports=st.lists(st.tuples(identifiers, dotted), max_size=4).map(tuple),
+    functions=st.lists(function_summaries, max_size=3).map(tuple),
+    module_level_names=st.lists(identifiers, max_size=4).map(tuple),
+    task_fn_refs=st.lists(identifiers, max_size=2).map(tuple),
+)
+
+
+class TestRoundTrips:
+    @given(summary=function_summaries)
+    def test_function_summary_roundtrip(self, summary):
+        assert FunctionSummary.from_dict(summary.to_dict()) == summary
+
+    @given(summary=module_summaries)
+    def test_module_summary_roundtrip(self, summary):
+        assert ModuleSummary.from_dict(summary.to_dict()) == summary
+
+    @settings(max_examples=25)
+    @given(summaries=st.lists(module_summaries, max_size=3, unique_by=lambda s: s.name))
+    def test_project_model_roundtrip(self, summaries):
+        model = ProjectModel()
+        for summary in summaries:
+            model.modules[summary.name] = summary
+        rebuilt = ProjectModel.from_dict(model.to_dict())
+        assert rebuilt.modules == model.modules
+
+    @settings(max_examples=25)
+    @given(summaries=st.lists(module_summaries, max_size=3, unique_by=lambda s: s.name))
+    def test_to_dict_is_canonical(self, summaries):
+        """Insertion order must not leak into the serialized form."""
+        forward = ProjectModel()
+        for summary in summaries:
+            forward.modules[summary.name] = summary
+        backward = ProjectModel()
+        for summary in reversed(summaries):
+            backward.modules[summary.name] = summary
+        assert forward.to_dict() == backward.to_dict()
+
+    def test_version_mismatch_raises(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            ProjectModel.from_dict({"version": -1, "modules": []})

@@ -1,0 +1,178 @@
+"""Worker-purity rules (P701–P703): positives, clean cases, exemptions."""
+
+from __future__ import annotations
+
+from repro.analysis import AnalysisConfig, analyze_source
+
+PURITY = AnalysisConfig(select=("P70",))
+
+
+def codes(source: str, path: str = "<string>") -> "list[str]":
+    return [f.code for f in analyze_source(source, path=path, config=PURITY)]
+
+
+TASK_PREAMBLE = (
+    "from repro.runtime import SweepTask\n"
+    "def build():\n"
+    "    return SweepTask.make(trial, {'x': 1}, seed=1)\n"
+)
+
+
+class TestP701GlobalMutation:
+    def test_task_fn_mutates_module_global(self):
+        source = (
+            "_CACHE = {}\n"
+            "def trial(x, seed):\n"
+            "    _CACHE[x] = seed\n"
+            "    return x\n" + TASK_PREAMBLE
+        )
+        assert "P701" in codes(source)
+
+    def test_mutation_in_reachable_helper(self):
+        source = (
+            "_SEEN = []\n"
+            "def record(x):\n"
+            "    _SEEN.append(x)\n"
+            "def trial(x, seed):\n"
+            "    record(x)\n"
+            "    return x\n" + TASK_PREAMBLE
+        )
+        assert "P701" in codes(source)
+
+    def test_global_declaration_store(self):
+        source = (
+            "_TOTAL = 0\n"
+            "def trial(x, seed):\n"
+            "    global _TOTAL\n"
+            "    _TOTAL = _TOTAL + x\n"
+            "    return x\n" + TASK_PREAMBLE
+        )
+        assert "P701" in codes(source)
+
+    def test_unreachable_mutation_not_flagged(self):
+        source = (
+            "_CACHE = {}\n"
+            "def offline_tool(x):\n"
+            "    _CACHE[x] = 1\n"
+            "def trial(x, seed):\n"
+            "    return x\n" + TASK_PREAMBLE
+        )
+        assert codes(source) == []
+
+    def test_local_shadow_clean(self):
+        source = (
+            "def trial(x, seed):\n"
+            "    cache = {}\n"
+            "    cache[x] = seed\n"
+            "    return cache\n" + TASK_PREAMBLE
+        )
+        assert codes(source) == []
+
+    def test_exempt_packages(self):
+        source = (
+            "_CACHE = {}\n"
+            "def trial(x, seed):\n"
+            "    _CACHE[x] = seed\n"
+            "    return x\n" + TASK_PREAMBLE
+        )
+        assert codes(source, path="src/repro/runtime/whatever.py") == []
+        assert codes(source, path="src/repro/obs/metrics.py") == []
+
+
+class TestP702UnpicklableTaskFn:
+    def test_lambda(self):
+        source = (
+            "from repro.runtime import SweepTask\n"
+            "def build():\n"
+            "    return SweepTask.make(lambda x, seed: x, {'x': 1}, seed=1)\n"
+        )
+        assert "P702" in codes(source)
+
+    def test_partial(self):
+        source = (
+            "from functools import partial\n"
+            "from repro.runtime import SweepTask\n"
+            "def trial(x, y, seed):\n"
+            "    return x + y\n"
+            "def build():\n"
+            "    return SweepTask.make(partial(trial, y=2), {'x': 1}, seed=1)\n"
+        )
+        assert "P702" in codes(source)
+
+    def test_nested_function(self):
+        source = (
+            "from repro.runtime import SweepTask\n"
+            "def build():\n"
+            "    def inner(x, seed):\n"
+            "        return x\n"
+            "    return SweepTask.make(inner, {'x': 1}, seed=1)\n"
+        )
+        assert "P702" in codes(source)
+
+    def test_module_level_fn_clean(self):
+        source = (
+            "from repro.runtime import SweepTask\n"
+            "def trial(x, seed):\n"
+            "    return x\n"
+            "def build():\n"
+            "    return SweepTask.make(trial, {'x': 1}, seed=1)\n"
+        )
+        assert codes(source) == []
+
+
+class TestP703SharedStateMutation:
+    def test_environ_store(self):
+        source = (
+            "import os\n"
+            "def trial(x, seed):\n"
+            "    os.environ['X'] = str(x)\n"
+            "    return x\n" + TASK_PREAMBLE
+        )
+        assert "P703" in codes(source)
+
+    def test_putenv_call(self):
+        source = (
+            "import os\n"
+            "def trial(x, seed):\n"
+            "    os.putenv('X', str(x))\n"
+            "    return x\n" + TASK_PREAMBLE
+        )
+        assert "P703" in codes(source)
+
+    def test_class_attribute_store(self):
+        source = (
+            "class Config:\n"
+            "    limit = 1\n"
+            "def trial(x, seed):\n"
+            "    Config.limit = x\n"
+            "    return x\n" + TASK_PREAMBLE
+        )
+        assert "P703" in codes(source)
+
+    def test_sys_path_mutation(self):
+        source = (
+            "import sys\n"
+            "def trial(x, seed):\n"
+            "    sys.path.append('/tmp')\n"
+            "    return x\n" + TASK_PREAMBLE
+        )
+        assert "P703" in codes(source)
+
+    def test_instance_attribute_clean(self):
+        source = (
+            "def trial(x, seed):\n"
+            "    holder = make_holder()\n"
+            "    holder.value = x\n"
+            "    return x\n" + TASK_PREAMBLE
+        )
+        assert codes(source) == []
+
+    def test_local_named_path_not_confused_with_sys_path(self):
+        source = (
+            "def trial(x, seed):\n"
+            "    path = [0]\n"
+            "    path[0] = x\n"
+            "    path.append(x)\n"
+            "    return path\n" + TASK_PREAMBLE
+        )
+        assert codes(source) == []

@@ -1,0 +1,161 @@
+"""Determinism-taint rules (R310–R313): positives and clean cases."""
+
+from __future__ import annotations
+
+from repro.analysis import AnalysisConfig, analyze_source
+
+TAINT = AnalysisConfig(select=("R31",))
+
+
+def codes(source: str) -> "list[str]":
+    return [f.code for f in analyze_source(source, config=TAINT)]
+
+
+class TestR310TaintedSeed:
+    def test_entropy_seed(self):
+        source = (
+            "import os\n"
+            "import numpy as np\n"
+            "def f():\n"
+            "    noise = int.from_bytes(os.urandom(4), 'little')\n"
+            "    return np.random.default_rng(noise)\n"
+        )
+        assert "R310" in codes(source)
+
+    def test_wall_clock_seed(self):
+        source = (
+            "import time\n"
+            "import numpy as np\n"
+            "def f():\n"
+            "    return np.random.default_rng(int(time.time()))\n"
+        )
+        assert "R310" in codes(source)
+
+    def test_tainted_seedsequence(self):
+        source = (
+            "import time\n"
+            "from numpy.random import SeedSequence\n"
+            "def f():\n"
+            "    return SeedSequence(int(time.time_ns()))\n"
+        )
+        assert "R310" in codes(source)
+
+    def test_constant_seed_clean(self):
+        source = (
+            "import numpy as np\n"
+            "def f(seed):\n"
+            "    return np.random.default_rng(seed)\n"
+        )
+        assert codes(source) == []
+
+
+class TestR311TaskBoundary:
+    def test_wall_clock_param(self):
+        source = (
+            "import time\n"
+            "from repro.runtime import SweepTask\n"
+            "def trial(x, seed):\n"
+            "    return x\n"
+            "def build():\n"
+            "    t0 = time.time()\n"
+            "    return SweepTask.make(trial, {'x': t0}, seed=1)\n"
+        )
+        assert "R311" in codes(source)
+
+    def test_tainted_call_to_known_task_fn(self):
+        source = (
+            "import os\n"
+            "from repro.runtime import SweepTask\n"
+            "def trial(x, seed):\n"
+            "    return x\n"
+            "def build():\n"
+            "    return SweepTask.make(trial, {'x': 1}, seed=0)\n"
+            "def sneaky():\n"
+            "    return trial(os.urandom(1), seed=0)\n"
+        )
+        assert "R311" in codes(source)
+
+    def test_pure_params_clean(self):
+        source = (
+            "from repro.runtime import SweepTask\n"
+            "def trial(x, seed):\n"
+            "    return x\n"
+            "def build(trial_index):\n"
+            "    return SweepTask.make(trial, {'x': trial_index}, seed=1)\n"
+        )
+        assert codes(source) == []
+
+
+class TestR312SetIteration:
+    def test_for_loop_over_set(self):
+        source = (
+            "def merge(payloads):\n"
+            "    keys = set()\n"
+            "    for p in payloads:\n"
+            "        keys = keys | set(p)\n"
+            "    out = []\n"
+            "    for k in keys:\n"
+            "        out.append(k)\n"
+            "    return out\n"
+        )
+        assert "R312" in codes(source)
+
+    def test_comprehension_over_set(self):
+        source = (
+            "def merge(a, b):\n"
+            "    keys = set(a) | set(b)\n"
+            "    return [k for k in keys]\n"
+        )
+        assert "R312" in codes(source)
+
+    def test_list_of_set_is_order_sensitive(self):
+        source = "def f(items):\n    keys = set(items)\n    return list(keys)\n"
+        assert "R312" in codes(source)
+
+    def test_sorted_iteration_clean(self):
+        source = (
+            "def merge(a, b):\n"
+            "    keys = set(a) | set(b)\n"
+            "    return [k for k in sorted(keys)]\n"
+        )
+        assert codes(source) == []
+
+    def test_order_free_consumers_clean(self):
+        source = (
+            "def f(items):\n"
+            "    keys = set(items)\n"
+            "    return len(keys), sum(keys), min(keys), max(keys)\n"
+        )
+        assert codes(source) == []
+
+
+class TestR313WallClockPayload:
+    def test_wall_clock_in_task_return(self):
+        source = (
+            "import time\n"
+            "from repro.runtime import SweepTask\n"
+            "def trial(x, seed):\n"
+            "    t_s = time.time()\n"
+            "    return {'x': x, 't_s': t_s}\n"
+            "def build():\n"
+            "    return SweepTask.make(trial, {'x': 1}, seed=1)\n"
+        )
+        assert "R313" in codes(source)
+
+    def test_clean_task_return(self):
+        source = (
+            "from repro.runtime import SweepTask\n"
+            "def trial(x, seed):\n"
+            "    return {'x': x * 2}\n"
+            "def build():\n"
+            "    return SweepTask.make(trial, {'x': 1}, seed=1)\n"
+        )
+        assert codes(source) == []
+
+    def test_non_task_function_may_time(self):
+        source = (
+            "import time\n"
+            "def report():\n"
+            "    return time.time()\n"
+        )
+        assert "R313" not in codes(source)

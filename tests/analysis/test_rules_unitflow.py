@@ -1,0 +1,191 @@
+"""Flow-sensitive unit rules (U110–U115): positives and clean cases."""
+
+from __future__ import annotations
+
+from repro.analysis import AnalysisConfig, analyze_source
+
+FLOW = AnalysisConfig(select=("U11",))
+
+
+def codes(source: str) -> "list[str]":
+    return [f.code for f in analyze_source(source, config=FLOW)]
+
+
+class TestU110AdditiveMix:
+    def test_mix_through_locals(self):
+        source = (
+            "def f(gain_db, cutoff_hz):\n"
+            "    a = gain_db\n"
+            "    b = cutoff_hz\n"
+            "    return a + b\n"
+        )
+        assert "U110" in codes(source)
+
+    def test_direct_suffixed_pair_is_u103_territory(self):
+        # Both operands carry explicit suffixes: the per-file U103 rule
+        # owns that case, the flow rule must not double-report.
+        source = "def f(gain_db, cutoff_hz):\n    return gain_db + cutoff_hz\n"
+        assert "U110" not in codes(source)
+
+    def test_db_plus_dbm_is_compatible(self):
+        source = (
+            "def f(gain_db, power_dbm):\n"
+            "    a = gain_db\n"
+            "    b = power_dbm\n"
+            "    return a + b\n"
+        )
+        assert codes(source) == []
+
+    def test_branch_disagreement_drops_to_unknown(self):
+        source = (
+            "def f(flag, gain_db, cutoff_hz, dwell_s):\n"
+            "    if flag:\n"
+            "        x = gain_db\n"
+            "    else:\n"
+            "        x = cutoff_hz\n"
+            "    return x + dwell_s\n"
+        )
+        assert codes(source) == []
+
+
+class TestU111CallArguments:
+    def test_cross_function_mismatch(self):
+        source = (
+            "def attenuate(power_dbm):\n"
+            "    return power_dbm\n"
+            "def g(distance_m):\n"
+            "    return attenuate(distance_m)\n"
+        )
+        assert "U111" in codes(source)
+
+    def test_keyword_argument_mismatch(self):
+        source = (
+            "def attenuate(power_dbm):\n"
+            "    return power_dbm\n"
+            "def g(distance_m):\n"
+            "    return attenuate(power_dbm=distance_m)\n"
+        )
+        assert "U111" in codes(source)
+
+    def test_matching_families_clean(self):
+        source = (
+            "def attenuate(power_dbm):\n"
+            "    return power_dbm\n"
+            "def g(level_dbm):\n"
+            "    return attenuate(level_dbm)\n"
+        )
+        assert codes(source) == []
+
+
+class TestU112ReturnFamily:
+    def test_return_contradicts_function_suffix(self):
+        source = "def carrier_power_dbm(distance_m):\n    return distance_m\n"
+        assert "U112" in codes(source)
+
+    def test_consistent_return_clean(self):
+        source = "def carrier_power_dbm(level_dbm):\n    return level_dbm\n"
+        assert codes(source) == []
+
+
+class TestU113DbLinearCrossing:
+    def test_arithmetic_crossing(self):
+        source = (
+            "def f(power_dbm, noise_watts):\n"
+            "    a = power_dbm\n"
+            "    b = noise_watts\n"
+            "    return a + b\n"
+        )
+        assert "U113" in codes(source)
+
+    def test_assignment_crossing(self):
+        source = "def f(power_dbm):\n    power_watts = power_dbm\n    return power_watts\n"
+        assert "U113" in codes(source)
+
+    def test_units_module_is_exempt(self):
+        source = "def f(power_dbm):\n    power_watts = power_dbm\n    return power_watts\n"
+        findings = analyze_source(
+            source, path="src/repro/dsp/units.py", config=FLOW
+        )
+        assert "U113" not in [f.code for f in findings]
+
+    def test_converted_value_clean(self):
+        source = (
+            "from repro.dsp.units import dbm_to_watts\n"
+            "def f(power_dbm):\n"
+            "    power_watts = dbm_to_watts(power_dbm)\n"
+            "    return power_watts\n"
+        )
+        assert codes(source) == []
+
+
+class TestU114AssignmentFlow:
+    def test_inferred_value_into_suffixed_target(self):
+        source = (
+            "def f(cutoff_hz):\n"
+            "    x = cutoff_hz\n"
+            "    dwell_s = x\n"
+            "    return dwell_s\n"
+        )
+        assert "U114" in codes(source)
+
+    def test_direct_suffixed_value_is_u102_territory(self):
+        source = "def f(cutoff_hz):\n    dwell_s = cutoff_hz\n    return dwell_s\n"
+        assert "U114" not in codes(source)
+
+
+class TestU115ComparisonFlow:
+    def test_inferred_comparison_mismatch(self):
+        source = (
+            "def f(cutoff_hz, dwell_s):\n"
+            "    x = cutoff_hz\n"
+            "    return x > dwell_s\n"
+        )
+        assert "U115" in codes(source)
+
+    def test_same_family_comparison_clean(self):
+        source = (
+            "def f(cutoff_hz, bandwidth_khz):\n"
+            "    x = cutoff_hz\n"
+            "    return x > bandwidth_khz\n"
+        )
+        assert codes(source) == []
+
+
+class TestInference:
+    def test_numeric_literal_scaling_preserves_family(self):
+        source = (
+            "def f(power_dbm, distance_m):\n"
+            "    doubled = 2.0 * power_dbm\n"
+            "    return doubled + distance_m\n"
+        )
+        assert "U110" in codes(source)
+
+    def test_unknown_expression_product_drops_family(self):
+        # hz * t is a phase, not a frequency: the product must not
+        # carry the hz family into the addition.
+        source = (
+            "def f(frequency_hz, t, phase_rad):\n"
+            "    return 6.28 * frequency_hz * t + phase_rad\n"
+        )
+        assert codes(source) == []
+
+    def test_ratio_names_take_numerator_family(self):
+        source = (
+            "def f(noise_dbm_per_hz, bandwidth_db, distance_m):\n"
+            "    floor = noise_dbm_per_hz + bandwidth_db\n"
+            "    return floor + distance_m\n"
+        )
+        found = codes(source)
+        assert "U110" in found  # dbm floor + meters
+        assert found.count("U110") == 1  # density + dB term is clean
+
+    def test_fact_flows_inside_loop_body(self):
+        source = (
+            "def f(levels, distance_m):\n"
+            "    y = 0.0\n"
+            "    for level_db in levels:\n"
+            "        x = level_db\n"
+            "        y = x + distance_m\n"
+            "    return y\n"
+        )
+        assert "U110" in codes(source)

@@ -33,3 +33,41 @@ def test_gate_is_not_vacuous():
         bad.write_text("import numpy as np\nrng = np.random.default_rng()\n")
         findings = analyze_paths([tmp])
         assert any(f.code == "R301" for f in findings)
+
+
+def test_analyzer_passes_its_own_rules():
+    """Dogfood: the analyzer package itself stays clean under every
+    rule it ships, including the whole-program U11x/R31x/P70x ones."""
+    findings = analyze_paths([str(REPO_SRC / "analysis")])
+    assert findings == [], "\n" + render_text(findings)
+
+
+def test_flow_rules_are_exercised_by_the_gate():
+    """The zero-findings gate must actually run the dataflow rules —
+    a seeded cross-function unit bug has to surface as U111."""
+    import tempfile
+
+    source = (
+        "def attenuate(power_dbm):\n"
+        "    return power_dbm\n"
+        "def g(distance_m):\n"
+        "    return attenuate(distance_m)\n"
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        (Path(tmp) / "bad.py").write_text(source)
+        findings = analyze_paths([tmp])
+        assert any(f.code == "U111" for f in findings)
+
+
+def test_driver_matches_inline_on_package(tmp_path):
+    """The runtime-backed driver is the CI path for big trees: it must
+    agree byte-for-byte with the in-process engine on the real package."""
+    from repro.analysis.driver import analyze_project
+    from repro.runtime import RuntimeConfig
+
+    driven = analyze_project(
+        [str(REPO_SRC / "analysis")],
+        runtime=RuntimeConfig(backend="serial", cache_dir=tmp_path / "cache"),
+    )
+    inline = analyze_paths([str(REPO_SRC / "analysis")])
+    assert render_text(driven) == render_text(inline)
