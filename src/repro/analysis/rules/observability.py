@@ -10,6 +10,12 @@ Buffering belongs to the serving layer for the same reason: an
 unbounded ``deque``/``queue.Queue`` hides backlog growth that
 ``repro.serve``'s bounded queues would expose as gauges and shed
 counters.
+
+Routing belongs to the shard ring: Python's builtin ``hash()`` is
+salted per process (``PYTHONHASHSEED``), so any key-to-worker mapping
+derived from it silently disagrees between the router and its workers.
+``repro.serve.shard.ShardRing`` hashes with a keyed blake2b digest that
+is stable across processes, machines, and interpreter versions.
 """
 
 from __future__ import annotations
@@ -192,3 +198,66 @@ class UnboundedQueue(Rule):
                     "queue.SimpleQueue cannot be bounded; use "
                     "queue.Queue(maxsize=...) instead",
                 )
+
+
+def _enclosing_function_names(tree: ast.AST) -> "dict[ast.AST, str]":
+    """Map each node to the name of its nearest enclosing function."""
+    owners: "dict[ast.AST, str]" = {}
+
+    def visit(node: ast.AST, current: str) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            current = node.name
+        for child in ast.iter_child_nodes(node):
+            owners[child] = current
+            visit(child, current)
+
+    visit(tree, "")
+    return owners
+
+
+@register
+class SaltedHashRouting(Rule):
+    """O503: builtin ``hash()`` — salted, so never routing-stable.
+
+    ``hash(tag_id) % n_shards`` looks like consistent routing but is
+    randomized per interpreter process (PYTHONHASHSEED), so a router
+    and its pool workers can disagree about who owns a session, and a
+    replayed run cannot reproduce yesterday's placement. Shard and
+    session routing must go through
+    :class:`repro.serve.shard.ShardRing` (or another keyed
+    ``hashlib`` digest) instead. Delegating ``hash()`` calls inside a
+    ``__hash__`` implementation are exempt — in-process dict identity
+    is exactly what the builtin is for.
+    """
+
+    code = "O503"
+    name = "salted-hash-routing"
+    severity = "error"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        owners = None
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            is_builtin_hash = (
+                isinstance(func, ast.Name) and func.id == "hash"
+            ) or (
+                isinstance(func, ast.Attribute)
+                and func.attr == "hash"
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "builtins"
+            )
+            if not is_builtin_hash:
+                continue
+            if owners is None:
+                owners = _enclosing_function_names(ctx.tree)
+            if owners.get(node) == "__hash__":
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                "builtin hash() is salted per process (PYTHONHASHSEED) "
+                "and cannot route keys deterministically; use "
+                "repro.serve.shard.ShardRing or a keyed hashlib digest",
+            )

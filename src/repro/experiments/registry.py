@@ -52,6 +52,7 @@ from repro.experiments import (
     fig14_distance,
     resilience,
     serve_bench,
+    serve_scale,
 )
 from repro.experiments.runner import ExperimentOutput
 from repro.obs.observers import SweepObserver
@@ -219,6 +220,27 @@ REGISTRY: Tuple[ExperimentSpec, ...] = (
         },
         smoke_overrides={
             "rates": (0.3,),
+            "n_tags": 3,
+            "grid_resolution": 0.15,
+        },
+    ),
+    ExperimentSpec(
+        name="serve_scale",
+        alias="serve_scale",
+        description="shard count: invariant numbers, bounded failover churn",
+        build_tasks=serve_scale.build_tasks,
+        reduce=serve_scale.reduce,
+        render=lambda result: [serve_scale.format_result(result)],
+        defaults={
+            "shards": serve_scale.DEFAULT_SHARDS,
+            "n_tags": 4,
+            "load": 64.0,
+            "grid_resolution": 0.10,
+            "latency_slo_s": 0.25,
+            "seed": 0,
+        },
+        smoke_overrides={
+            "shards": (1, 2, 4),
             "n_tags": 3,
             "grid_resolution": 0.15,
         },

@@ -36,6 +36,7 @@ from repro.runtime import SweepTask
 from repro.runtime.cache import ResultCache
 from repro.serve.config import ServeConfig
 from repro.serve.service import LocalizationService
+from repro.serve.shard import ShardConfig, run_sharded_workload
 from repro.serve.traffic import TrafficWorkload, generate_workload
 
 #: The swept fault classes, each mapping to one canned plan.
@@ -47,6 +48,7 @@ FAULT_CLASSES: Tuple[str, ...] = (
     "bit_corruption",
     "ingest_faults",
     "service_kill",
+    "shard_kill",
 )
 
 DEFAULT_RATES: Tuple[float, ...] = (0.05, 0.3)
@@ -61,6 +63,10 @@ _STALL_S = 0.02
 
 #: Bits flipped per injected frame corruption.
 _CORRUPT_BITS = 2.0
+
+#: Fleet size of the `shard_kill` class: injected worker reboots land
+#: on a consistent-hash sharded service of this many workers.
+_SHARD_KILL_SHARDS = 4
 
 #: Shape of the `outage` class: a contiguous blackout of the radio
 #: link starting at this channel-query index, spanning ``rate`` times
@@ -102,6 +108,8 @@ def plan_for(fault_class: str, rate: float) -> faults.FaultPlan:
         )
     if fault_class == "service_kill":
         return faults.FaultPlan.single("serve.session", "reboot", rate=rate)
+    if fault_class == "shard_kill":
+        return faults.FaultPlan.single("serve.shard", "reboot", rate=rate)
     known = ", ".join(FAULT_CLASSES)
     raise ConfigurationError(
         f"unknown fault class {fault_class!r}; choices: {known}"
@@ -189,15 +197,48 @@ def _resilience_point(
                 grid_resolution=grid_resolution,
                 tracker=OptiTrack(),
             )
-            config = ServeConfig(
-                frequency_hz=UHF_CENTER_FREQUENCY,
-                latency_slo_s=latency_slo_s,
-                reference_timeout_s=_REFERENCE_TIMEOUT_S,
-            )
-            failures, errors_m, flagged, report = _replay_tolerant(
-                workload, config, cache
-            )
+            if fault_class == "shard_kill":
+                # Worker reboots only exist on the sharded service:
+                # replay through the consistent-hash fleet (which
+                # engages per-shard engines spawned from this seed).
+                sharded = run_sharded_workload(
+                    workload,
+                    ServeConfig(
+                        frequency_hz=UHF_CENTER_FREQUENCY,
+                        latency_slo_s=latency_slo_s,
+                        reference_timeout_s=_REFERENCE_TIMEOUT_S,
+                        capacity_mode="partitioned",
+                    ),
+                    ShardConfig(n_shards=_SHARD_KILL_SHARDS, seed=seed),
+                    cache=cache,
+                    fault_plan=plan,
+                )
+                errors_m = dict(sharded.errors_m)
+                # A session the sharded replay could not finalize (no
+                # checkpoint survived, too little data) is an explicit
+                # failure, mirroring the tolerant replay's accounting.
+                failures = {
+                    session_id: "NoFix"
+                    for session_id in sorted(workload.grids)
+                    if session_id not in errors_m
+                }
+                flagged = {
+                    session_id: sharded.session_loss.get(session_id, 0) > 0
+                    for session_id in errors_m
+                }
+                report = sharded.service
+            else:
+                config = ServeConfig(
+                    frequency_hz=UHF_CENTER_FREQUENCY,
+                    latency_slo_s=latency_slo_s,
+                    reference_timeout_s=_REFERENCE_TIMEOUT_S,
+                )
+                failures, errors_m, flagged, report = _replay_tolerant(
+                    workload, config, cache
+                )
         injected = len(engine.injections)
+        if fault_class == "shard_kill":
+            injected += sharded.injected
     errors = np.asarray(sorted(errors_m.values()), dtype=float)
     wrong = sum(
         1

@@ -37,6 +37,7 @@ SITE_ACTIONS: Mapping[str, Tuple[str, ...]] = {
     "gen2.frame": ("corrupt_bits",),
     "serve.ingest": ("drop", "stall"),
     "serve.session": ("reboot",),
+    "serve.shard": ("reboot",),
 }
 
 #: Trigger kinds and which optional fields each one requires.

@@ -43,6 +43,65 @@ from repro.localization.sar import (
 from repro.obs import metrics
 
 
+def canonical_batch(
+    positions: np.ndarray,
+    channels: np.ndarray,
+    check_finite: bool = True,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Validate and promote one ``(positions, channels)`` pose block.
+
+    Single poses promote to ``(1, 2)`` / ``(1,)``; anything non-finite
+    or shape-mismatched raises :class:`LocalizationError`. Both the
+    scalar ingest path (:meth:`IncrementalSar.update`) and the batched
+    cross-session kernel (:func:`repro.localization.batched.fold_blocks`)
+    run blocks through here, so their admission rules cannot drift.
+    ``check_finite=False`` defers the NaN/Inf scan to the caller — the
+    batched kernel runs it once over the whole stacked round instead of
+    per tiny block (hot-path cost, identical admission outcome).
+    """
+    positions = np.asarray(positions, dtype=float)
+    channels = np.asarray(channels, dtype=complex)
+    if positions.ndim == 1:
+        positions = positions[None, :]
+    if channels.ndim == 0:
+        channels = channels[None]
+    if positions.ndim != 2 or positions.shape[1] != 2:
+        raise LocalizationError(
+            f"positions must be (B, 2), got {positions.shape}"
+        )
+    if channels.shape != (positions.shape[0],):
+        raise LocalizationError(
+            f"got {len(channels)} channels for {len(positions)} positions"
+        )
+    if (
+        check_finite
+        and len(positions)
+        and (
+            not np.all(np.isfinite(positions))
+            or not np.all(np.isfinite(channels))
+        )
+    ):
+        raise LocalizationError(
+            "positions/channels contain NaN or Inf; drop bad "
+            "measurements before accumulating"
+        )
+    return positions, channels
+
+
+def unit_weights(channels: np.ndarray) -> np.ndarray:
+    """Channels whitened to unit magnitude (exact zeros pass through).
+
+    The standard SAR back-projection weighting of
+    :meth:`~repro.localization.sar.SarGeometry.profile`: near poses with
+    much stronger channels must not dominate the coherent sum.
+    """
+    weights = np.asarray(channels, dtype=complex).copy()
+    magnitudes = np.abs(weights)
+    nonzero = magnitudes > 0
+    weights[nonzero] = weights[nonzero] / magnitudes[nonzero]
+    return weights
+
+
 class IncrementalSar:
     """A running complex-sum heatmap over one search grid.
 
@@ -94,6 +153,17 @@ class IncrementalSar:
         self._positions: List[np.ndarray] = []
         self._channels: List[np.ndarray] = []
         self._n_poses = 0
+        # Grid and frequency are immutable after construction, so the
+        # grouping key is computed once (it is read per block on the
+        # batched ingest hot path).
+        self._signature = (
+            self.frequency_hz,
+            grid.x_min,
+            grid.x_max,
+            grid.y_min,
+            grid.y_max,
+            grid.resolution,
+        )
 
     # -- streaming ingest --------------------------------------------------------
 
@@ -107,6 +177,56 @@ class IncrementalSar:
         """Grid nodes each pose projects onto (the per-update cost)."""
         return len(self._nodes)
 
+    @property
+    def k_factor(self) -> float:
+        """Round-trip phase constant ``4*pi*f/c`` of Eq. 11-12."""
+        return 2.0 * np.pi * self.frequency_hz * 2.0 / SPEED_OF_LIGHT
+
+    def grid_nodes(self) -> np.ndarray:
+        """The ``(N, 2)`` node coordinates (shared array; do not mutate)."""
+        return self._nodes
+
+    def batch_signature(self) -> Tuple[float, float, float, float, float, float]:
+        """Grouping key for cross-accumulator batched folds.
+
+        Accumulators with equal signatures share their node geometry
+        and phase constant exactly, so one stacked distance/phase
+        computation serves all of them (see
+        :func:`repro.localization.batched.fold_blocks`).
+        """
+        return self._signature
+
+    def fold_partial(self, node_slice: slice, partial: np.ndarray) -> None:
+        """Add an externally computed per-node partial sum.
+
+        The batched kernel hands each accumulator the coherent sum of
+        its own pose segment, one node chunk at a time; history and
+        pose-count bookkeeping happen separately in
+        :meth:`record_block` once every chunk has landed.
+        """
+        self._accumulator[node_slice] += partial
+
+    def record_block(
+        self, positions: np.ndarray, channels: np.ndarray
+    ) -> int:
+        """Append one fully folded block to the retained history.
+
+        Returns the grid nodes projected (the virtual work metric),
+        matching what :meth:`update` reports for the same block. Inputs
+        must already be canonical (see :func:`canonical_batch`). The
+        batched kernel (:func:`repro.localization.batched.fold_blocks`)
+        performs the same bookkeeping inline — ten thousand co-resident
+        sessions mean ten thousand calls per round, so its per-block
+        cost is held to plain attribute work — and emits one aggregate
+        ``incremental_updates`` count per fold; the counter total is
+        identical either way.
+        """
+        self._positions.append(positions)
+        self._channels.append(channels)
+        self._n_poses += len(positions)
+        metrics.count("localization.sar.incremental_updates", len(positions))
+        return len(positions) * self.n_nodes
+
     def update(self, positions: np.ndarray, channels: np.ndarray) -> int:
         """Fold a batch of poses in; returns nodes projected (work done).
 
@@ -117,34 +237,11 @@ class IncrementalSar:
         concatenated history (up to float round-off from the
         accumulation order).
         """
-        positions = np.asarray(positions, dtype=float)
-        channels = np.asarray(channels, dtype=complex)
-        if positions.ndim == 1:
-            positions = positions[None, :]
-        if channels.ndim == 0:
-            channels = channels[None]
-        if positions.ndim != 2 or positions.shape[1] != 2:
-            raise LocalizationError(
-                f"positions must be (B, 2), got {positions.shape}"
-            )
-        if channels.shape != (positions.shape[0],):
-            raise LocalizationError(
-                f"got {len(channels)} channels for {len(positions)} positions"
-            )
+        positions, channels = canonical_batch(positions, channels)
         if len(positions) == 0:
             return 0
-        if not np.all(np.isfinite(positions)) or not np.all(
-            np.isfinite(channels)
-        ):
-            raise LocalizationError(
-                "positions/channels contain NaN or Inf; drop bad "
-                "measurements before accumulating"
-            )
-        weights = channels.copy()
-        magnitudes = np.abs(weights)
-        nonzero = magnitudes > 0
-        weights[nonzero] = weights[nonzero] / magnitudes[nonzero]
-        k_factor = 2.0 * np.pi * self.frequency_hz * 2.0 / SPEED_OF_LIGHT
+        weights = unit_weights(channels)
+        k_factor = self.k_factor
         geometry = SarGeometry(
             positions,
             self._nodes,
@@ -155,11 +252,7 @@ class IncrementalSar:
             phases = np.exp(1j * (k_factor * distances_m))
             phases *= weights[:, None]
             self._accumulator[node_slice] += phases.sum(axis=0)
-        self._positions.append(positions)
-        self._channels.append(channels)
-        self._n_poses += len(positions)
-        metrics.count("localization.sar.incremental_updates", len(positions))
-        return len(positions) * self.n_nodes
+        return self.record_block(positions, channels)
 
     def update_measurement(self, measurement: ThroughRelayMeasurement) -> int:
         """Fold one raw through-relay measurement in (Eq. 10 + update)."""

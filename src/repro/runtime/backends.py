@@ -19,7 +19,7 @@ from __future__ import annotations
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, Callable, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.obs import tracing
 from repro.obs.observers import TaskTelemetry, WorkerProbe, probed
@@ -85,6 +85,30 @@ def run_process_pool(
         return []
     with ProcessPoolExecutor(max_workers=max_workers) as pool:
         futures = [pool.submit(execute_task, spec) for spec in specs]
+        return [future.result() for future in futures]
+
+
+_ItemT = TypeVar("_ItemT")
+_ResultT = TypeVar("_ResultT")
+
+
+def map_in_processes(
+    fn: Callable[[_ItemT], _ResultT],
+    items: Sequence[_ItemT],
+    max_workers: int,
+) -> List[_ResultT]:
+    """Map a picklable function over items in worker processes, in order.
+
+    The generic sibling of :func:`run_process_pool` for callers (the
+    shard router) whose work units are not :class:`SweepTask` specs.
+    Same discipline: submit in input order, gather in input order, so
+    results are independent of worker scheduling. ``fn`` and every item
+    must pickle; determinism is the caller's job (pre-seeded payloads).
+    """
+    if not items:
+        return []
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        futures = [pool.submit(fn, item) for item in items]
         return [future.result() for future in futures]
 
 

@@ -23,6 +23,9 @@ Layout:
   facade (submit / step / estimate / finalize).
 * :mod:`~repro.serve.traffic` — the Gen2-MAC-driven traffic generator
   and workload replay.
+* :mod:`~repro.serve.shard` — consistent-hash sharding across ``M``
+  independent workers, bit-identical (under partitioned capacity
+  isolation) to the unsharded service.
 
 ``python -m repro.serve`` smoke-runs a generated workload against the
 service and (with ``--obs-dir``) writes trace/metrics artifacts.
@@ -40,6 +43,13 @@ from repro.serve.service import (
     StepReport,
 )
 from repro.serve.session import SessionStats, SessionStore, TagSession
+from repro.serve.shard import (
+    ShardConfig,
+    ShardedLocalizationService,
+    ShardedRunReport,
+    ShardRing,
+    run_sharded_workload,
+)
 from repro.serve.traffic import (
     ServeRunReport,
     TrafficWorkload,
@@ -60,11 +70,16 @@ __all__ = [
     "ServiceReport",
     "SessionStats",
     "SessionStore",
+    "ShardConfig",
+    "ShardRing",
+    "ShardedLocalizationService",
+    "ShardedRunReport",
     "StepReport",
     "TagSession",
     "TrafficWorkload",
     "UpdateEvent",
     "VirtualClock",
     "generate_workload",
+    "run_sharded_workload",
     "run_workload",
 ]

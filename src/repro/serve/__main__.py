@@ -28,6 +28,11 @@ from repro.obs import (
 from repro.obs import metrics as metrics_mod
 from repro.obs import tracing as tracing_mod
 from repro.serve.config import ServeConfig
+from repro.serve.shard import (
+    ShardConfig,
+    ShardedRunReport,
+    run_sharded_workload,
+)
 from repro.serve.traffic import ServeRunReport, generate_workload, run_workload
 
 
@@ -59,6 +64,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="target p99 latency in milliseconds",
     )
     parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help=(
+            "consistent-hash shard the service across this many workers "
+            "(>1 switches to partitioned capacity isolation; the "
+            "numbers stay bit-identical to the partitioned unsharded "
+            "service)"
+        ),
+    )
+    parser.add_argument(
+        "--shard-backend",
+        choices=("serial", "process"),
+        default="serial",
+        help="how shard replays execute (only meaningful with --shards > 1)",
+    )
+    parser.add_argument(
         "--no-gen2",
         action="store_true",
         help="skip the Gen2 MAC (every powered tag reads at every pose)",
@@ -77,7 +99,7 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _render_report(report: ServeRunReport) -> str:
+def _render_report(report: "ServeRunReport | ShardedRunReport") -> str:
     """The fixed-width summary table of one replayed workload."""
     service = report.service
     lines = [
@@ -120,7 +142,21 @@ def main(argv: Optional[List[str]] = None) -> int:
             grid_resolution=grid_resolution,
             use_gen2_mac=not args.no_gen2,
         )
-        report = run_workload(workload, config)
+        if args.shards > 1:
+            config = ServeConfig(
+                frequency_hz=config.frequency_hz,
+                latency_slo_s=config.latency_slo_s,
+                capacity_mode="partitioned",
+            )
+            report = run_sharded_workload(
+                workload,
+                config,
+                shards=ShardConfig(
+                    n_shards=args.shards, backend=args.shard_backend
+                ),
+            )
+        else:
+            report = run_workload(workload, config)
     print(_render_report(report))
     if args.obs_dir is not None:
         obs_dir = Path(args.obs_dir)

@@ -80,6 +80,22 @@ class ServeConfig:
         Finalize-stage parameters, matching the batch ``Localizer``.
     chunk_nodes:
         Node chunking for grid projections (memory knob only).
+    capacity_mode:
+        ``"shared"`` (default) runs every session against one virtual
+        server: the backlog is global, so co-resident sessions couple
+        through the degradation decision. ``"partitioned"`` gives each
+        session its own virtual server (per-session busy clock and
+        backlog) — the serving numbers of a session then depend only
+        on its own stream, which is what makes a consistent-hash
+        sharded run (:mod:`repro.serve.shard`) bit-identical to the
+        unsharded service. Sharding *requires* partitioned isolation.
+    batched_ingest:
+        Route each scheduling round's accumulator folds through the
+        stacked cross-session kernel
+        (:func:`repro.localization.batched.fold_blocks`) instead of
+        per-session ``SarGeometry`` passes. Exact per session
+        (stacking-invariant segment sums); the speedup at high session
+        counts is what ``benchmarks/test_serve_scale.py`` measures.
     """
 
     frequency_hz: float
@@ -102,8 +118,15 @@ class ServeConfig:
     relative_threshold: float = 0.7
     use_nearest_peak_rule: bool = True
     chunk_nodes: int = DEFAULT_CHUNK_NODES
+    capacity_mode: str = "shared"
+    batched_ingest: bool = True
 
     def __post_init__(self) -> None:
+        if self.capacity_mode not in ("shared", "partitioned"):
+            raise ConfigurationError(
+                "capacity_mode must be 'shared' or 'partitioned', "
+                f"got {self.capacity_mode!r}"
+            )
         if self.frequency_hz <= 0:
             raise ConfigurationError("frequency must be positive")
         if self.latency_slo_s <= 0:

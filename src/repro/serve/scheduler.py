@@ -17,7 +17,7 @@ ahead of the SLO.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.serve.config import ServeConfig
 from repro.serve.queueing import PendingUpdate
@@ -61,15 +61,22 @@ class MicroBatchScheduler:
         sessions: Dict[str, TagSession],
         now_s: float,
         backlog_s: float,
+        backlogs: Optional[Mapping[str, float]] = None,
     ) -> List[BatchPlan]:
         """Lay out one round of micro-batches over the pending work.
 
-        ``backlog_s`` is how far the server already runs behind the
-        clock (virtual busy time minus now). Sessions are visited
-        oldest-head-first; each batch's degradation mode is decided
-        from the delay its *first* update would see — queue wait so
-        far plus the projected backlog including the batches already
-        planned this round.
+        ``backlog_s`` is how far the (shared) server already runs
+        behind the clock (virtual busy time minus now). Sessions are
+        visited oldest-head-first; each batch's degradation mode is
+        decided from the delay its *first* update would see — queue
+        wait so far plus the projected backlog including the batches
+        already planned this round.
+
+        With ``backlogs`` given (partitioned capacity isolation), each
+        session is its own virtual server: its decision uses only its
+        own backlog, and batches planned for *other* sessions this
+        round never feed into it — sessions stop coupling through the
+        scheduler, which is what shard-invariance requires.
         """
         config = self.config
         ready = [
@@ -86,7 +93,12 @@ class MicroBatchScheduler:
             updates = session.pending.take(config.max_batch_poses)
             if not updates:
                 continue
-            wait_s = (now_s - oldest_arrival_s) + projected_backlog_s
+            if backlogs is None:
+                wait_s = (now_s - oldest_arrival_s) + projected_backlog_s
+            else:
+                wait_s = (now_s - oldest_arrival_s) + max(
+                    0.0, float(backlogs.get(session_id, 0.0))
+                )
             degraded = wait_s > config.degrade_threshold_s
             catchup_poses = 0
             if not degraded and session.lag_poses > 0:

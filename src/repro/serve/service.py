@@ -17,12 +17,13 @@ ingest/shed/degrade counters — activate a tracer/registry (as
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro import faults
 from repro.errors import LocalizationError, ReferenceLostError, ServeError
+from repro.localization.batched import PoseBlock, fold_blocks
 from repro.localization.disentangle import disentangle
 from repro.localization.grid import Grid2D
 from repro.localization.measurement import ThroughRelayMeasurement
@@ -90,7 +91,13 @@ class LocalizationService:
         self.store = SessionStore(config, cache)
         self.scheduler = MicroBatchScheduler(config)
         self.clock = VirtualClock()
+        self._partitioned = config.capacity_mode == "partitioned"
+        #: Shared mode: the single server's busy horizon. Partitioned
+        #: mode: the *makespan* (max over per-session busy horizons).
         self._busy_until_s = 0.0
+        #: Per-session virtual servers (partitioned isolation only).
+        #: Entries survive finalize so the makespan stays monotonic.
+        self._session_busy_s: Dict[str, float] = {}
         self._seq = 0
         self._latencies_s: List[float] = []
         self._applied = 0
@@ -107,6 +114,7 @@ class LocalizationService:
         self._killed_at_s: Dict[str, float] = {}
         self._ref_lost_since_s: Dict[str, float] = {}
         self._loss_by_session: Dict[str, int] = {}
+        self._final_ladders: Dict[str, Tuple[Tuple[int, str], ...]] = {}
 
     # -- recovery policies -------------------------------------------------------
 
@@ -209,6 +217,22 @@ class LocalizationService:
                 self._count_session_loss(session_id, lost)
                 metrics.count("serve.updates.lost_in_kill", lost)
 
+    def kill_sessions(self, now_s: Optional[float] = None) -> int:
+        """Crash-drop every live session; returns pending updates lost.
+
+        The shard failover path: a ``serve.shard`` reboot kills one
+        worker's whole session population. Accumulator state survives
+        via the store's replica checkpoints (when a cache is attached)
+        and restores transparently on the next submit, with the lost
+        pending updates accounted per session — exactly the
+        ``serve.session`` service-kill discipline.
+        """
+        if now_s is not None:
+            self.clock.advance_to(now_s)
+        before = self._lost_in_kill
+        self._service_kill(self.clock.now_s)
+        return self._lost_in_kill - before
+
     # -- session lifecycle -------------------------------------------------------
 
     def open_session(
@@ -235,14 +259,26 @@ class LocalizationService:
             self.step()
         catchup = session.lag_poses
         cost_s = self.config.batch_cost_s(catchup * session.full_nodes)
-        self._busy_until_s = (
-            max(self._busy_until_s, self.clock.now_s) + cost_s
-        )
+        if self._partitioned:
+            done_s = (
+                max(
+                    self._session_busy_s.get(session_id, 0.0),
+                    self.clock.now_s,
+                )
+                + cost_s
+            )
+            self._session_busy_s[session_id] = done_s
+            self._busy_until_s = max(self._busy_until_s, done_s)
+        else:
+            self._busy_until_s = (
+                max(self._busy_until_s, self.clock.now_s) + cost_s
+            )
         self._catchup_poses += catchup
         with tracing.span(
             "serve.finalize", session=session_id, catchup=catchup
         ):
             result = session.finalize()
+        self._final_ladders[session_id] = tuple(session.ladder)
         self.store.close(session_id)
         metrics.count("serve.sessions.finalized")
         return result
@@ -325,13 +361,25 @@ class LocalizationService:
         if faults.rebooted("serve.session", now_s=now):
             self._service_kill(now)
         with tracing.span("serve.step", queue_depth=self.queue_depth):
-            plans = self.scheduler.plan_round(
-                self.store.sessions(), now, self.backlog_s
-            )
+            if self._partitioned:
+                backlogs = {
+                    sid: max(
+                        0.0, self._session_busy_s.get(sid, 0.0) - now
+                    )
+                    for sid in self.store.sessions()
+                }
+                plans = self.scheduler.plan_round(
+                    self.store.sessions(), now, 0.0, backlogs=backlogs
+                )
+            else:
+                plans = self.scheduler.plan_round(
+                    self.store.sessions(), now, self.backlog_s
+                )
             busy_until_s = max(self._busy_until_s, now)
             applied = 0
             degraded_batches = 0
             catchup_total = 0
+            staged: List[PoseBlock] = []
             for plan in plans:
                 session = self.store.get(plan.session_id)
                 with tracing.span(
@@ -340,12 +388,33 @@ class LocalizationService:
                     poses=len(plan.updates),
                     degraded=plan.degraded,
                 ):
-                    session.apply_batch(plan.updates, plan.degraded)
-                    if plan.catchup_poses:
-                        session.catch_up(plan.catchup_poses)
-                busy_until_s += plan.cost_s
+                    if self.config.batched_ingest:
+                        staged.extend(
+                            session.stage_batch(plan.updates, plan.degraded)
+                        )
+                        if plan.catchup_poses:
+                            staged.extend(
+                                session.stage_catchup(plan.catchup_poses)
+                            )
+                    else:
+                        session.apply_batch(plan.updates, plan.degraded)
+                        if plan.catchup_poses:
+                            session.catch_up(plan.catchup_poses)
+                if self._partitioned:
+                    done_s = (
+                        max(
+                            self._session_busy_s.get(plan.session_id, 0.0),
+                            now,
+                        )
+                        + plan.cost_s
+                    )
+                    self._session_busy_s[plan.session_id] = done_s
+                    busy_until_s = max(busy_until_s, done_s)
+                else:
+                    busy_until_s += plan.cost_s
+                    done_s = busy_until_s
                 for update in plan.updates:
-                    latency_s = busy_until_s - update.arrival_s
+                    latency_s = done_s - update.arrival_s
                     self._latencies_s.append(latency_s)
                     metrics.observe("serve.latency_s", latency_s)
                 applied += len(plan.updates)
@@ -359,6 +428,9 @@ class LocalizationService:
                     self._full_batches += 1
                     metrics.count("serve.batches.full")
                 metrics.observe("serve.batch_poses", float(len(plan.updates)))
+            if staged:
+                with tracing.span("serve.fold", blocks=len(staged)):
+                    fold_blocks(staged)
             self._busy_until_s = busy_until_s
             self._applied += applied
             self._catchup_poses += catchup_total
@@ -398,6 +470,32 @@ class LocalizationService:
             if session.degraded.n_poses > 0:
                 out[session_id] = session.estimate()
         return out
+
+    def latency_samples(self) -> Tuple[float, ...]:
+        """Raw applied-latency samples, in application order.
+
+        The shard merge layer concatenates these across workers and
+        recomputes percentiles from the pooled samples — which is how a
+        merged sharded report lands byte-identical to the unsharded
+        one rather than averaging per-shard percentiles.
+        """
+        return tuple(self._latencies_s)
+
+    def recovery_latency_samples(self) -> Tuple[float, ...]:
+        """Raw recovery-latency samples, in recovery order."""
+        return tuple(self._recovery_latencies_s)
+
+    def final_ladder(
+        self, session_id: str
+    ) -> Tuple[Tuple[int, str], ...]:
+        """Degradation-ladder transition log captured at finalize.
+
+        Entries are ``(applied_before, mode)`` keyed by the session's
+        *local* applied count — deliberately not the service-global
+        sequence, so the log is invariant to which other sessions
+        shared the worker (shard equivalence pins this).
+        """
+        return self._final_ladders.get(session_id, ())
 
     def report(self) -> ServiceReport:
         """Cumulative virtual-time service report."""

@@ -25,6 +25,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import ServeError, SessionNotFoundError
+from repro.localization.batched import PoseBlock
 from repro.localization.grid import Grid2D
 from repro.localization.incremental import IncrementalSar
 from repro.localization.pipeline import LocalizationResult
@@ -106,6 +107,10 @@ class TagSession:
         )
         self._lag: List[Tuple[np.ndarray, np.ndarray]] = []
         self._lag_poses = 0
+        #: Degradation-ladder transition log: ``(applied_before, mode)``
+        #: per mode change, keyed by the session-local applied-update
+        #: count so the log is invariant to how sessions are sharded.
+        self.ladder: List[Tuple[int, str]] = []
 
     # -- ingest ------------------------------------------------------------------
 
@@ -138,36 +143,69 @@ class TagSession:
 
     # -- applying work -----------------------------------------------------------
 
-    def apply_batch(
-        self, updates: Sequence[PendingUpdate], degraded: bool
-    ) -> int:
-        """Fold one micro-batch in; returns grid nodes projected.
+    def _record_mode(self, degraded: bool) -> None:
+        """Log a ladder transition (FULL <-> DEGRADED), if one happened.
 
-        FULL mode feeds both accumulators; DEGRADED mode feeds only the
-        cheap one and defers the full-resolution fold-in to the lag
-        list (caught up by :meth:`catch_up` or :meth:`finalize`).
+        The position key is the session-local applied-update count
+        *before* this batch — never a service-global sequence number,
+        which would vary with how sessions are packed onto shards.
+        """
+        mode = "degraded" if degraded else "full"
+        if not self.ladder or self.ladder[-1][1] != mode:
+            applied = self.stats.applied_full + self.stats.applied_degraded
+            self.ladder.append((applied, mode))
+
+    def stage_batch(
+        self, updates: Sequence[PendingUpdate], degraded: bool
+    ) -> List[PoseBlock]:
+        """Bookkeep one planned micro-batch and stage its folds.
+
+        Performs every side effect of :meth:`apply_batch` *except* the
+        accumulator arithmetic, which it returns as
+        :class:`~repro.localization.batched.PoseBlock` entries for the
+        round's single stacked kernel call. FULL mode stages both
+        accumulators; DEGRADED mode stages only the cheap one and
+        defers the full-resolution fold-in to the lag list.
         """
         if not updates:
-            return 0
+            return []
         positions = np.stack([u.position for u in updates])
         channels = np.array([u.channel for u in updates], dtype=complex)
-        projected = self.degraded.update(positions, channels)
+        self._record_mode(degraded)
+        blocks = [PoseBlock(self.degraded, positions, channels)]
         if degraded:
             self._lag.append((positions, channels))
             self._lag_poses += len(updates)
             self.stats.applied_degraded += len(updates)
         else:
-            projected += self.full.update(positions, channels)
+            blocks.append(PoseBlock(self.full, positions, channels))
             self.stats.applied_full += len(updates)
-        return projected
+        return blocks
 
-    def catch_up(self, max_poses: Optional[int] = None) -> int:
-        """Fold deferred poses into the full accumulator; returns nodes.
+    def apply_batch(
+        self, updates: Sequence[PendingUpdate], degraded: bool
+    ) -> int:
+        """Fold one micro-batch in; returns grid nodes projected.
 
-        ``max_poses`` bounds the work (scheduler budget); ``None``
-        drains the whole lag (finalize / idle).
+        The scalar path: stages the batch and executes each fold
+        through the session's own accumulators inline (the batched
+        service collects the staged blocks of a whole round instead).
         """
         projected = 0
+        for block in self.stage_batch(updates, degraded):
+            projected += block.target.update(block.positions, block.channels)
+        return projected
+
+    def stage_catchup(
+        self, max_poses: Optional[int] = None
+    ) -> List[PoseBlock]:
+        """Pop deferred poses off the lag list and stage their folds.
+
+        ``max_poses`` bounds the work (scheduler budget); ``None``
+        drains the whole lag (finalize / idle). Bookkeeping happens
+        here; the returned blocks carry the actual arithmetic.
+        """
+        blocks: List[PoseBlock] = []
         caught = 0
         while self._lag and (max_poses is None or caught < max_poses):
             positions, channels = self._lag[0]
@@ -183,10 +221,21 @@ class TagSession:
             else:
                 head_positions, head_channels = positions, channels
                 self._lag.pop(0)
-            projected += self.full.update(head_positions, head_channels)
+            blocks.append(PoseBlock(self.full, head_positions, head_channels))
             caught += len(head_positions)
         self._lag_poses -= caught
         self.stats.caught_up += caught
+        return blocks
+
+    def catch_up(self, max_poses: Optional[int] = None) -> int:
+        """Fold deferred poses into the full accumulator; returns nodes.
+
+        The scalar counterpart of :meth:`stage_catchup`, folding each
+        staged block inline.
+        """
+        projected = 0
+        for block in self.stage_catchup(max_poses):
+            projected += block.target.update(block.positions, block.channels)
         return projected
 
     # -- readout -----------------------------------------------------------------
@@ -222,6 +271,7 @@ class TagSession:
             "full": self.full.to_payload(),
             "degraded": self.degraded.to_payload(),
             "lag": [(p.copy(), c.copy()) for p, c in self._lag],
+            "ladder": [tuple(entry) for entry in self.ladder],
             "stats": {
                 "accepted": self.stats.accepted,
                 "shed": self.stats.shed,
@@ -251,6 +301,10 @@ class TagSession:
             for p, c in payload["lag"]
         ]
         session._lag_poses = sum(len(p) for p, _ in session._lag)
+        session.ladder = [
+            (int(applied), str(mode))
+            for applied, mode in payload.get("ladder", [])
+        ]
         session.stats = SessionStats(**payload["stats"])
         return session
 

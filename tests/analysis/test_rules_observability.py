@@ -161,3 +161,54 @@ class TestExemptPaths:
     def test_windows_style_paths_are_normalized(self):
         src = "import time\nstart = time.perf_counter()"
         assert codes_at(src, "src\\repro\\obs\\tracing.py") == []
+
+
+class TestSaltedHashRouting:
+    def test_hash_modulo_routing_is_flagged(self):
+        src = """
+        def route(tag_id, n_shards):
+            return hash(tag_id) % n_shards
+        """
+        assert codes(src) == ["O503"]
+
+    def test_bare_hash_call_is_flagged(self):
+        assert "O503" in codes("shard = hash('tag-0001')")
+
+    def test_builtins_qualified_hash_is_flagged(self):
+        assert "O503" in codes(
+            "import builtins\nshard = builtins.hash(key)"
+        )
+
+    def test_hash_inside_dunder_hash_passes(self):
+        src = """
+        class Key:
+            def __hash__(self):
+                return hash((self.a, self.b))
+        """
+        assert codes(src) == []
+
+    def test_hash_outside_dunder_hash_in_class_is_flagged(self):
+        src = """
+        class Router:
+            def route(self, key):
+                return hash(key) % 4
+        """
+        assert codes(src) == ["O503"]
+
+    def test_hashlib_digest_routing_passes(self):
+        src = """
+        import hashlib
+
+        def route(key):
+            return hashlib.blake2b(key.encode()).digest()
+        """
+        assert codes(src) == []
+
+    def test_method_named_hash_on_other_object_passes(self):
+        assert codes("digest = hasher.hash(key)") == []
+
+    def test_no_path_exemption_for_the_serve_package(self):
+        # Unlike the queue rule, routing has no exempt package: the
+        # shard ring itself must use keyed hashlib digests.
+        src = "shard = hash(key) % 8"
+        assert "O503" in codes_at(src, "src/repro/serve/shard.py")

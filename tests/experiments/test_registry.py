@@ -23,15 +23,15 @@ GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
 
 
 class TestLookup:
-    def test_eleven_specs_in_registry_order(self):
-        assert len(registry.REGISTRY) == 11
+    def test_twelve_specs_in_registry_order(self):
+        assert len(registry.REGISTRY) == 12
         assert registry.names()[0] == "fig4_spectrum"
-        assert registry.names()[-2] == "resilience"
+        assert registry.names()[-2] == "serve_scale"
         assert registry.names()[-1] == "ablations"
 
     def test_names_and_aliases_unique(self):
-        assert len(set(registry.names())) == 11
-        assert len(set(registry.aliases())) == 11
+        assert len(set(registry.names())) == 12
+        assert len(set(registry.aliases())) == 12
 
     def test_name_and_alias_resolve_to_same_spec(self):
         for spec in registry.REGISTRY:
