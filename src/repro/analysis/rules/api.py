@@ -97,6 +97,103 @@ class BareExcept(Rule):
 
 
 @register
+class ExperimentsBypassScenarioRegistry(Rule):
+    """A406: experiments resolve worlds via ``repro.scenarios``.
+
+    Geometry and traffic under ``repro/experiments/`` must come from a
+    named scenario spec — hand-building world objects (environments,
+    measurement models, trajectories, grids, tag placements) or calling
+    the legacy ``serve.traffic`` generator / deprecated ``sim.scenarios``
+    builders inline bypasses the registry, so the run is no longer
+    reproducible from a spec name. Grandfathered sites live in the
+    checked-in reprolint baseline and must ratchet down, not up.
+    """
+
+    code = "A406"
+    name = "experiments-bypass-scenario-registry"
+    severity = "error"
+
+    #: (defining module, exported name) pairs experiments may not call.
+    _BANNED = frozenset(
+        {
+            ("repro.sim.environment", "Environment"),
+            ("repro.localization.measurement", "MeasurementModel"),
+            ("repro.localization.grid", "Grid2D"),
+            ("repro.localization", "Grid2D"),
+            ("repro.mobility.trajectory", "LineTrajectory"),
+            ("repro.mobility", "LineTrajectory"),
+            ("repro.hardware.tag", "PassiveTag"),
+            ("repro.hardware", "PassiveTag"),
+            ("repro.serve.traffic", "generate_workload"),
+            ("repro.sim.scenarios", "los_heatmap_scenario"),
+            ("repro.sim.scenarios", "multipath_heatmap_scenario"),
+            ("repro.sim.scenarios", "fig12_trial"),
+            ("repro.sim.scenarios", "aperture_microbenchmark"),
+            ("repro.sim.scenarios", "distance_microbenchmark"),
+        }
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        normalized = ctx.path.replace("\\", "/")
+        if "repro/experiments/" not in normalized:
+            return
+        from_imports: dict = {}
+        module_aliases: dict = {}
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    from_imports[local] = (node.module, alias.name)
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    module_aliases[alias.asname or alias.name] = alias.name
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            origin = self._call_origin(
+                node.func, from_imports, module_aliases
+            )
+            if origin in self._BANNED:
+                module, name = origin
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"experiment builds its world inline via "
+                    f"{module}.{name}; resolve geometry/traffic through "
+                    "a repro.scenarios spec instead",
+                )
+
+    @staticmethod
+    def _call_origin(func: ast.AST, from_imports: dict, module_aliases: dict):
+        """(defining module, name) of a call target, if import-traceable."""
+        if isinstance(func, ast.Name):
+            return from_imports.get(func.id)
+        if isinstance(func, ast.Attribute):
+            parts = []
+            node = func
+            while isinstance(node, ast.Attribute):
+                parts.append(node.attr)
+                node = node.value
+            if not isinstance(node, ast.Name):
+                return None
+            parts.append(node.id)
+            parts.reverse()
+            dotted_module = ".".join(parts[:-1])
+            if dotted_module in module_aliases:
+                # plain `import repro.serve.traffic` binds the full path
+                return (module_aliases[dotted_module], parts[-1])
+            head = module_aliases.get(parts[0])
+            if head is None and parts[0] in from_imports:
+                # `from repro.serve import traffic; traffic.generate_workload`
+                mod, name = from_imports[parts[0]]
+                head = f"{mod}.{name}"
+            if head is None:
+                return None
+            return (".".join([head] + parts[1:-1]), parts[-1])
+        return None
+
+
+@register
 class MutableDefaultArgument(Rule):
     """A405: list/dict/set defaults are shared across calls."""
 

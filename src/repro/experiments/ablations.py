@@ -32,9 +32,20 @@ from repro.relay.isolation import measure_isolation_db
 from repro.relay.mirrored import MirroredRelay, RelayConfig
 from repro.relay.self_interference import LeakagePath, max_stable_range_m
 from repro.runtime import RuntimeConfig, SweepTask, run_sweep
-from repro.sim.scenarios import fig12_trial, multipath_heatmap_scenario
+from repro.scenarios import registry as scenario_registry
+from repro.scenarios.spec import Scenario
+from repro.scenarios.trials import (
+    aperture_trial,
+    heatmap_trial,
+    warehouse_trial,
+)
 
 F = UHF_CENTER_FREQUENCY
+
+#: Default named scenarios of the scenario-driven ablations.
+HEATMAP_SCENARIO = "cold_storage_aisles"
+WAREHOUSE_SCENARIO = "paper_warehouse_two_floor"
+MICROBENCH_SCENARIO = "aisle_microbench"
 
 
 def eq4_range_table() -> ExperimentOutput:
@@ -148,9 +159,11 @@ def frequency_shift_ablation() -> ExperimentOutput:
     )
 
 
-def _peak_rule_trial(trial: int, seed: int) -> "Tuple[float, float]":
+def _peak_rule_trial(
+    scenario_json: str, trial: int, seed: int
+) -> "Tuple[float, float]":
     """(nearest-peak error, argmax error) on one multipath scenario."""
-    scenario = multipath_heatmap_scenario(seed)
+    scenario = heatmap_trial(Scenario.from_json(scenario_json), seed)
     with_rule = Localizer(frequency_hz=F, use_nearest_peak_rule=True)
     without = Localizer(frequency_hz=F, use_nearest_peak_rule=False)
     nearest = with_rule.locate(
@@ -165,12 +178,17 @@ def _peak_rule_trial(trial: int, seed: int) -> "Tuple[float, float]":
 PEAK_RULE_TRIALS = 10
 
 
-def _peak_rule_tasks(n_trials: int, seed: int) -> List[SweepTask]:
+def _peak_rule_tasks(
+    n_trials: int,
+    seed: int,
+    scenario: "str | Scenario" = HEATMAP_SCENARIO,
+) -> List[SweepTask]:
     """The peak-rule comparison as per-trial tasks."""
+    scenario_json = scenario_registry.resolve(scenario).to_json()
     return [
         SweepTask.make(
             _peak_rule_trial,
-            params={"trial": trial},
+            params={"scenario_json": scenario_json, "trial": trial},
             seed=seed * 100 + trial,
             label=f"ablation/peak_rule/t{trial}",
         )
@@ -206,18 +224,23 @@ def peak_rule_ablation(
     n_trials: int = PEAK_RULE_TRIALS,
     seed: int = 0,
     runtime: Optional[RuntimeConfig] = None,
+    scenario: "str | Scenario" = HEATMAP_SCENARIO,
 ) -> ExperimentOutput:
     """Nearest-peak rule vs plain argmax under heavy multipath."""
     sweep = run_sweep(
-        _peak_rule_tasks(n_trials, seed), runtime, name="ablation_peak_rule"
+        _peak_rule_tasks(n_trials, seed, scenario),
+        runtime,
+        name="ablation_peak_rule",
     )
     return _reduce_peak_rule(sweep.results)
 
 
-def _disentangle_trial(trial: int, seed: int) -> "Tuple[float, float]":
+def _disentangle_trial(
+    scenario_json: str, trial: int, seed: int
+) -> "Tuple[float, float]":
     """(disentangled error, entangled error) on one Fig. 12 scenario."""
     localizer = Localizer(frequency_hz=F)
-    scenario = fig12_trial(seed)
+    scenario = warehouse_trial(Scenario.from_json(scenario_json), seed)
     disentangled = localizer.locate(
         scenario.measurements, search_grid=scenario.search_grid
     ).error_to(scenario.tag_position)
@@ -242,12 +265,17 @@ def _disentangle_trial(trial: int, seed: int) -> "Tuple[float, float]":
 DISENTANGLE_TRIALS = 8
 
 
-def _disentangle_tasks(n_trials: int, seed: int) -> List[SweepTask]:
+def _disentangle_tasks(
+    n_trials: int,
+    seed: int,
+    scenario: "str | Scenario" = WAREHOUSE_SCENARIO,
+) -> List[SweepTask]:
     """The disentanglement comparison as per-trial tasks."""
+    scenario_json = scenario_registry.resolve(scenario).to_json()
     return [
         SweepTask.make(
             _disentangle_trial,
-            params={"trial": trial},
+            params={"scenario_json": scenario_json, "trial": trial},
             seed=seed * 500 + trial,
             label=f"ablation/disentangle/t{trial}",
         )
@@ -281,6 +309,7 @@ def disentangle_ablation(
     n_trials: int = DISENTANGLE_TRIALS,
     seed: int = 0,
     runtime: Optional[RuntimeConfig] = None,
+    scenario: "str | Scenario" = WAREHOUSE_SCENARIO,
 ) -> ExperimentOutput:
     """Localizing with the raw (entangled) channel vs Eq. 10.
 
@@ -290,14 +319,18 @@ def disentangle_ablation(
     because of residual multipath on that half-link).
     """
     sweep = run_sweep(
-        _disentangle_tasks(n_trials, seed), runtime, name="ablation_disentangle"
+        _disentangle_tasks(n_trials, seed, scenario),
+        runtime,
+        name="ablation_disentangle",
     )
     return _reduce_disentangle(sweep.results)
 
 
-def _matched_filter_trial(trial: int, seed: int) -> "Tuple[float, float]":
+def _matched_filter_trial(
+    scenario_json: str, trial: int, seed: int
+) -> "Tuple[float, float]":
     """(error at reader's f, error at exact f2) on one scenario."""
-    scenario = fig12_trial(seed)
+    scenario = warehouse_trial(Scenario.from_json(scenario_json), seed)
     f_error = Localizer(frequency_hz=F).locate(
         scenario.measurements, search_grid=scenario.search_grid
     ).error_to(scenario.tag_position)
@@ -310,12 +343,17 @@ def _matched_filter_trial(trial: int, seed: int) -> "Tuple[float, float]":
 MATCHED_FILTER_TRIALS = 8
 
 
-def _matched_filter_tasks(n_trials: int, seed: int) -> List[SweepTask]:
+def _matched_filter_tasks(
+    n_trials: int,
+    seed: int,
+    scenario: "str | Scenario" = WAREHOUSE_SCENARIO,
+) -> List[SweepTask]:
     """The matched-filter frequency comparison as per-trial tasks."""
+    scenario_json = scenario_registry.resolve(scenario).to_json()
     return [
         SweepTask.make(
             _matched_filter_trial,
-            params={"trial": trial},
+            params={"scenario_json": scenario_json, "trial": trial},
             seed=seed * 700 + trial,
             label=f"ablation/matched_filter/t{trial}",
         )
@@ -347,22 +385,25 @@ def matched_filter_frequency_ablation(
     n_trials: int = MATCHED_FILTER_TRIALS,
     seed: int = 0,
     runtime: Optional[RuntimeConfig] = None,
+    scenario: "str | Scenario" = WAREHOUSE_SCENARIO,
 ) -> ExperimentOutput:
     """Using the reader's f vs the exact f2 in Eq. 12 (§5.2)."""
     sweep = run_sweep(
-        _matched_filter_tasks(n_trials, seed),
+        _matched_filter_tasks(n_trials, seed, scenario),
         runtime,
         name="ablation_matched_filter",
     )
     return _reduce_matched_filter(sweep.results)
 
 
-def _grid_resolution_trial(resolution_m: float, trial: int, seed: int) -> float:
+def _grid_resolution_trial(
+    scenario_json: str, resolution_m: float, trial: int, seed: int
+) -> float:
     """Localization error (m) at one fine-grid resolution."""
-    from repro.sim.scenarios import aperture_microbenchmark
-
     localizer = Localizer(frequency_hz=F, fine_resolution=resolution_m)
-    scenario = aperture_microbenchmark(2.0, seed, snr_db=30.0)
+    scenario = aperture_trial(
+        Scenario.from_json(scenario_json), 2.0, seed, snr_db=30.0
+    )
     return float(
         localizer.locate(
             scenario.measurements, search_grid=scenario.search_grid
@@ -374,12 +415,21 @@ GRID_RESOLUTIONS_M = (0.10, 0.05, 0.02)
 GRID_RESOLUTION_TRIALS = 6
 
 
-def _grid_resolution_tasks(n_trials: int, seed: int) -> List[SweepTask]:
+def _grid_resolution_tasks(
+    n_trials: int,
+    seed: int,
+    scenario: "str | Scenario" = MICROBENCH_SCENARIO,
+) -> List[SweepTask]:
     """The grid-resolution sweep as (resolution, trial) tasks."""
+    scenario_json = scenario_registry.resolve(scenario).to_json()
     return [
         SweepTask.make(
             _grid_resolution_trial,
-            params={"resolution_m": resolution, "trial": trial},
+            params={
+                "scenario_json": scenario_json,
+                "resolution_m": resolution,
+                "trial": trial,
+            },
             seed=seed * 300 + trial,
             label=f"ablation/grid_resolution/r{resolution}/t{trial}",
         )
@@ -411,6 +461,7 @@ def grid_resolution_ablation(
     n_trials: int = GRID_RESOLUTION_TRIALS,
     seed: int = 0,
     runtime: Optional[RuntimeConfig] = None,
+    scenario: "str | Scenario" = MICROBENCH_SCENARIO,
 ) -> ExperimentOutput:
     """Fine-grid resolution vs achievable accuracy.
 
@@ -419,28 +470,38 @@ def grid_resolution_ablation(
     dominates. This bounds how much compute the multires search needs.
     """
     sweep = run_sweep(
-        _grid_resolution_tasks(n_trials, seed),
+        _grid_resolution_tasks(n_trials, seed, scenario),
         runtime,
         name="ablation_grid_resolution",
     )
     return _reduce_grid_resolution(sweep.results, n_trials)
 
 
-def build_tasks(seed: int = 0) -> List[SweepTask]:
+def build_tasks(
+    seed: int = 0,
+    heatmap_scenario: "str | Scenario" = HEATMAP_SCENARIO,
+    warehouse_scenario: "str | Scenario" = WAREHOUSE_SCENARIO,
+    microbench_scenario: "str | Scenario" = MICROBENCH_SCENARIO,
+) -> List[SweepTask]:
     """Every swept ablation as one combined task list, DESIGN.md order.
 
     The pure-math ablations (Eq. 4 table, frequency-shift config check)
     contribute no tasks; :func:`reduce` re-inserts their tables at the
     right positions. Task params and seeds match the standalone
     ablation functions exactly, so the cache is shared between the two
-    entry points.
+    entry points. The three worlds the swept ablations probe resolve
+    from named scenario specs.
     """
     return [
         *_guard_band_tasks(seed),
-        *_peak_rule_tasks(PEAK_RULE_TRIALS, seed),
-        *_disentangle_tasks(DISENTANGLE_TRIALS, seed),
-        *_matched_filter_tasks(MATCHED_FILTER_TRIALS, seed),
-        *_grid_resolution_tasks(GRID_RESOLUTION_TRIALS, seed),
+        *_peak_rule_tasks(PEAK_RULE_TRIALS, seed, heatmap_scenario),
+        *_disentangle_tasks(DISENTANGLE_TRIALS, seed, warehouse_scenario),
+        *_matched_filter_tasks(
+            MATCHED_FILTER_TRIALS, seed, warehouse_scenario
+        ),
+        *_grid_resolution_tasks(
+            GRID_RESOLUTION_TRIALS, seed, microbench_scenario
+        ),
     ]
 
 

@@ -33,7 +33,8 @@ Observability (``repro.obs``) flags:
 from __future__ import annotations
 
 import argparse
-from typing import Dict, List, Optional, Sequence
+import json
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.errors import ConfigurationError
 from repro.experiments import registry
@@ -116,6 +117,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="reduced trial counts (fast CI pass; tables still deterministic)",
     )
     parser.add_argument(
+        "--scenario",
+        default=None,
+        metavar="NAME",
+        help=(
+            "resolve geometry/traffic from this scenario (a registry "
+            "name or a .toml/.json path) instead of the spec's default"
+        ),
+    )
+    parser.add_argument(
+        "--set",
+        action="append",
+        default=[],
+        dest="scenario_sets",
+        metavar="KEY=VALUE",
+        help=(
+            "dotted-path override applied to the resolved scenario "
+            "(repeatable), e.g. --set traffic.load=8.0; values parse "
+            "as JSON with a plain-string fallback"
+        ),
+    )
+    parser.add_argument(
         "--trace",
         action="store_true",
         help="record span trees and print the engine span tree per sweep",
@@ -180,11 +202,65 @@ def run_experiment(
     runtime: RuntimeConfig,
     smoke: bool = False,
     observers: Optional[Sequence[SweepObserver]] = None,
+    **overrides: Any,
 ) -> List[ExperimentOutput]:
     """Run one named experiment and return its rendered outputs."""
     return registry.run_experiment(
-        name, runtime=runtime, smoke=smoke, observers=observers
+        name, runtime=runtime, smoke=smoke, observers=observers, **overrides
     ).outputs
+
+
+def parse_set_overrides(items: Sequence[str]) -> Dict[str, Any]:
+    """``KEY=VALUE`` tokens -> dotted-path override mapping.
+
+    Values are parsed as JSON (``8.0`` -> float, ``true`` -> bool,
+    ``[1,2]`` -> list) with a plain-string fallback, so unquoted names
+    like ``--set traffic.mix=dense`` keep working.
+    """
+    overrides: Dict[str, Any] = {}
+    for item in items:
+        key, sep, raw = item.partition("=")
+        if not sep or not key:
+            raise ConfigurationError(
+                f"--set expects KEY=VALUE, got {item!r}"
+            )
+        try:
+            value: Any = json.loads(raw)
+        except json.JSONDecodeError:
+            value = raw
+        overrides[key] = value
+    return overrides
+
+
+def scenario_override(
+    spec: ExperimentSpec,
+    scenario: Optional[str],
+    set_items: Sequence[str],
+) -> Optional[Any]:
+    """The ``scenario=`` override implied by ``--scenario``/``--set``.
+
+    Returns ``None`` when neither flag was given (spec default wins).
+    With only ``--scenario`` the name/path passes through untouched —
+    ``build_tasks`` resolves it. With ``--set`` the base scenario (the
+    flag's, else the spec's) is resolved here and the dotted overrides
+    are applied, yielding an anonymous :class:`Scenario`; precedence is
+    therefore defaults < smoke < ``--scenario`` < ``--set``.
+    """
+    if scenario is None and not set_items:
+        return None
+    if not spec.scenario:
+        raise ConfigurationError(
+            f"experiment {spec.alias!r} does not resolve a single "
+            "scenario; --scenario/--set do not apply"
+        )
+    base = scenario if scenario is not None else spec.scenario
+    if not set_items:
+        return base
+    from repro.scenarios import registry as scenario_registry
+
+    return scenario_registry.resolve(base).with_overrides(
+        parse_set_overrides(set_items)
+    )
 
 
 def _observer_reports(observers: Sequence[SweepObserver]) -> List[str]:
@@ -238,8 +314,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     for name in chosen:
         start_s = wall_clock_s()
         observers = observers_from_args(args)
+        overrides: Dict[str, Any] = {}
+        try:
+            scenario = scenario_override(
+                registry.get(name), args.scenario, args.scenario_sets
+            )
+        except ConfigurationError as error:
+            parser.error(str(error))
+        if scenario is not None:
+            overrides["scenario"] = scenario
         for output in run_experiment(
-            name, runtime, smoke=args.smoke, observers=observers
+            name, runtime, smoke=args.smoke, observers=observers, **overrides
         ):
             print(output.report())
             print()

@@ -25,6 +25,8 @@ from repro.reader import Reader
 from repro.relay import MirroredRelay, NoMirrorRelay
 from repro.relay.mirrored import RelayConfig
 from repro.runtime import RuntimeConfig, SweepTask
+from repro.scenarios import registry as scenario_registry
+from repro.scenarios.spec import Scenario
 from repro.sim.results import percentile
 
 #: Wired attenuation between reader and relay; calibrated so the
@@ -61,12 +63,14 @@ def _angular_errors_deg(phases: np.ndarray) -> np.ndarray:
     return np.rad2deg(np.abs(deviations))
 
 
-def _link_amplitudes() -> "tuple[float, float]":
+def _link_amplitudes(
+    tag_distance_m: float = TAG_DISTANCE_M,
+) -> "tuple[float, float]":
     """(half-link amplitude, wire amplitude) of the bench setup."""
     wire_amp = float(np.sqrt(db_to_linear(-WIRE_ATTENUATION_DB)))
     half_amp = float(
         np.sqrt(
-            db_to_linear(-pathloss.free_space_path_loss_db(TAG_DISTANCE_M, 916e6))
+            db_to_linear(-pathloss.free_space_path_loss_db(tag_distance_m, 916e6))
         )
     )
     return half_amp, wire_amp
@@ -78,30 +82,40 @@ def _campaign_reader_ppm(campaign_seed: int) -> float:
 
 
 def _phase_trial(
-    trial: int, campaign_seed: int, mirrored: bool, seed: int
+    trial: int,
+    campaign_seed: int,
+    mirrored: bool,
+    center_frequency_hz: float,
+    tag_distance_m: float,
+    seed: int,
 ) -> float:
     """One Fig. 10 trial -> the reader's estimated reply phase (rad).
 
     The campaign seed pins what is physically shared across trials (the
     reader crystal's ppm error; the one mirrored-relay build); the
     per-trial seed drives what varies per query (initial phase, noise,
-    and — for the no-mirror baseline — the relay oscillator draw).
+    and — for the no-mirror baseline — the relay oscillator draw). The
+    carrier and the tag's bench position come from the scenario.
     """
     rng = np.random.default_rng(seed)
-    half_amp, wire_amp = _link_amplitudes()
-    tag = PassiveTag(epc=0x5EED, position=(TAG_DISTANCE_M, 0.0), rng=rng)
+    half_amp, wire_amp = _link_amplitudes(tag_distance_m)
+    tag = PassiveTag(epc=0x5EED, position=(tag_distance_m, 0.0), rng=rng)
     if mirrored:
         relay = MirroredRelay(
-            915e6, RelayConfig(), np.random.default_rng(campaign_seed + 1)
+            center_frequency_hz,
+            RelayConfig(),
+            np.random.default_rng(campaign_seed + 1),
         )
     else:
         relay = NoMirrorRelay(
-            915e6, RelayConfig(), np.random.default_rng(campaign_seed + 100 + trial)
+            center_frequency_hz,
+            RelayConfig(),
+            np.random.default_rng(campaign_seed + 100 + trial),
         )
     downlink, uplink = _media(relay, half_amp, wire_amp)
     frontend = ReaderFrontend(
         Synthesizer(
-            915e6,
+            center_frequency_hz,
             ppm_error=_campaign_reader_ppm(campaign_seed),
             phase_offset_rad=float(rng.uniform(0.0, 2.0 * np.pi)),
         ),
@@ -115,14 +129,22 @@ def _phase_trial(
     return float(estimate.phase_rad)
 
 
-def build_tasks(n_trials: int = 50, seed: int = 0) -> List[SweepTask]:
+def build_tasks(
+    n_trials: int = 50,
+    seed: int = 0,
+    scenario: "str | Scenario" = "rf_bench",
+) -> List[SweepTask]:
     """The Fig. 10 phase-accuracy campaign as per-trial tasks.
 
     The shared physical state (one crystal, one mirrored build) derives
     from the campaign seed inside every task, so trials are independent
     and the sweep parallelizes; per-trial randomness is trial-indexed.
-    The mirrored block comes first, then the no-mirror baseline.
+    The mirrored block comes first, then the no-mirror baseline. The
+    carrier and the wired tag's position resolve from the bench
+    scenario.
     """
+    spec = scenario_registry.resolve(scenario)
+    tag_distance_m = float(np.hypot(*spec.tags.positions_m[0]))
     return [
         SweepTask.make(
             _phase_trial,
@@ -130,6 +152,10 @@ def build_tasks(n_trials: int = 50, seed: int = 0) -> List[SweepTask]:
                 "trial": trial,
                 "campaign_seed": seed,
                 "mirrored": mirrored,
+                "center_frequency_hz": float(
+                    spec.radio.center_frequency_hz
+                ),
+                "tag_distance_m": tag_distance_m,
             },
             seed=seed * 10_007 + 2 * trial + (0 if mirrored else 1),
             label=f"fig10/{'mirrored' if mirrored else 'no_mirror'}/t{trial}",

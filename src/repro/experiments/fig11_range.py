@@ -15,6 +15,8 @@ import numpy as np
 
 from repro.experiments.runner import ExperimentOutput, fmt
 from repro.runtime import RuntimeConfig, SweepTask
+from repro.scenarios import registry as scenario_registry
+from repro.scenarios.spec import Scenario
 from repro.sim.readrate import RangeConfig, RangeModel
 
 DEFAULT_DISTANCES = (1, 2, 4, 6, 8, 10, 15, 20, 30, 40, 50, 55, 60)
@@ -47,15 +49,19 @@ def build_tasks(
     trials_per_point: int = 300,
     seed: int = 0,
     config: Optional[RangeConfig] = None,
+    scenario: "str | Scenario" = "outdoor_yard",
 ) -> List[SweepTask]:
     """The three curves of Fig. 11 as (distance, mode) point tasks.
 
     Each (distance, mode) point draws its fading from an independent,
     point-indexed seed instead of one shared sequential stream. The
-    :class:`RangeConfig` scalars flatten into the params so the cache
-    key covers the full link budget.
+    default link budget takes its carrier from the named scenario's
+    radio plan; the :class:`RangeConfig` scalars flatten into the
+    params so the cache key covers the full link budget.
     """
-    config = config if config is not None else RangeConfig()
+    if config is None:
+        radio = scenario_registry.resolve(scenario).radio
+        config = RangeConfig(frequency_hz=radio.center_frequency_hz)
     config_fields = {k: float(v) for k, v in asdict(config).items()}
     return [
         SweepTask.make(

@@ -17,8 +17,10 @@ from repro.constants import UHF_CENTER_FREQUENCY
 from repro.experiments.runner import ExperimentOutput, fmt
 from repro.localization import Localizer
 from repro.runtime import RuntimeConfig, SweepTask
+from repro.scenarios import registry as scenario_registry
+from repro.scenarios.spec import Scenario
+from repro.scenarios.trials import warehouse_trial
 from repro.sim.results import empirical_cdf, percentile, summarize
-from repro.sim.scenarios import fig12_trial
 
 
 @dataclass
@@ -32,22 +34,31 @@ class Fig12Result:
         return empirical_cdf(self.errors_m)
 
 
-def _trial(trial: int, seed: int) -> float:
+def _trial(scenario_json: str, trial: int, seed: int) -> float:
     """One Fig. 12 trial: scenario build + locate -> error (m)."""
     localizer = Localizer(frequency_hz=UHF_CENTER_FREQUENCY)
-    scenario = fig12_trial(seed)
+    scenario = warehouse_trial(Scenario.from_json(scenario_json), seed)
     result = localizer.locate(
         scenario.measurements, search_grid=scenario.search_grid
     )
     return result.error_to(scenario.tag_position)
 
 
-def build_tasks(n_trials: int = 100, seed: int = 0) -> List[SweepTask]:
-    """The Fig. 12 campaign as per-trial tasks."""
+def build_tasks(
+    n_trials: int = 100,
+    seed: int = 0,
+    scenario: "str | Scenario" = "paper_warehouse_two_floor",
+) -> List[SweepTask]:
+    """The Fig. 12 campaign as per-trial tasks.
+
+    Each trial realizes the named warehouse scenario at its own seed;
+    the spec rides in the task params as canonical JSON.
+    """
+    scenario_json = scenario_registry.resolve(scenario).to_json()
     return [
         SweepTask.make(
             _trial,
-            params={"trial": trial},
+            params={"scenario_json": scenario_json, "trial": trial},
             seed=seed * 10_000 + trial,
             label=f"fig12/trial{trial}",
         )

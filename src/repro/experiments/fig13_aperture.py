@@ -18,8 +18,10 @@ from repro.constants import UHF_CENTER_FREQUENCY
 from repro.experiments.runner import ExperimentOutput, fmt
 from repro.localization import Localizer
 from repro.runtime import RuntimeConfig, SweepTask
+from repro.scenarios import registry as scenario_registry
+from repro.scenarios.spec import Scenario
+from repro.scenarios.trials import aperture_trial
 from repro.sim.results import percentile
-from repro.sim.scenarios import aperture_microbenchmark
 
 DEFAULT_APERTURES = (0.5, 1.0, 1.5, 2.0, 2.5)
 
@@ -33,17 +35,21 @@ class Fig13Result:
     rssi_errors: Dict[float, np.ndarray]
 
 
-def _trial(aperture_m: float, trial: int, seed: int) -> "Tuple[float, float]":
+def _trial(
+    scenario_json: str, aperture_m: float, trial: int, seed: int
+) -> "Tuple[float, float]":
     """One (aperture, trial) point -> (SAR error, RSSI error) in meters.
 
     Both localizers run against the same scenario and share one
     pose->grid geometry via :meth:`Localizer.locate_with_baseline`.
     """
     localizer = Localizer(frequency_hz=UHF_CENTER_FREQUENCY)
-    scenario = aperture_microbenchmark(aperture_m, seed)
+    scenario = aperture_trial(
+        Scenario.from_json(scenario_json), aperture_m, seed
+    )
     sar_result, rssi_estimate = localizer.locate_with_baseline(
         scenario.measurements,
-        scenario.rssi_calibration_gain,
+        scenario.rssi_calibration_gain_linear,
         search_grid=scenario.search_grid,
     )
     return (
@@ -56,12 +62,18 @@ def build_tasks(
     apertures_m: Sequence[float] = DEFAULT_APERTURES,
     trials_per_point: int = 20,
     seed: int = 0,
+    scenario: "str | Scenario" = "aisle_microbench",
 ) -> List[SweepTask]:
     """The aperture microbenchmark as (aperture, trial) tasks."""
+    scenario_json = scenario_registry.resolve(scenario).to_json()
     return [
         SweepTask.make(
             _trial,
-            params={"aperture_m": float(aperture), "trial": trial},
+            params={
+                "scenario_json": scenario_json,
+                "aperture_m": float(aperture),
+                "trial": trial,
+            },
             seed=seed * 1000 + trial,
             label=f"fig13/a{aperture}/t{trial}",
         )

@@ -19,8 +19,10 @@ from repro.constants import UHF_CENTER_FREQUENCY
 from repro.experiments.runner import ExperimentOutput, fmt
 from repro.localization import Localizer
 from repro.runtime import RuntimeConfig, SweepTask
+from repro.scenarios import registry as scenario_registry
+from repro.scenarios.spec import Scenario
+from repro.scenarios.trials import distance_trial
 from repro.sim.results import percentile
-from repro.sim.scenarios import distance_microbenchmark
 
 DEFAULT_DISTANCES = (5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 35.0, 40.0, 45.0, 50.0, 55.0)
 
@@ -34,13 +36,17 @@ class Fig14Result:
     rssi_errors: Dict[float, np.ndarray]
 
 
-def _trial(distance_m: float, trial: int, seed: int) -> "Tuple[float, float]":
+def _trial(
+    scenario_json: str, distance_m: float, trial: int, seed: int
+) -> "Tuple[float, float]":
     """One (distance, trial) point -> (SAR error, RSSI error) in meters."""
     localizer = Localizer(frequency_hz=UHF_CENTER_FREQUENCY)
-    scenario = distance_microbenchmark(distance_m, seed)
+    scenario = distance_trial(
+        Scenario.from_json(scenario_json), distance_m, seed
+    )
     sar_result, rssi_estimate = localizer.locate_with_baseline(
         scenario.measurements,
-        scenario.rssi_calibration_gain,
+        scenario.rssi_calibration_gain_linear,
         search_grid=scenario.search_grid,
     )
     return (
@@ -53,12 +59,18 @@ def build_tasks(
     distances_m: Sequence[float] = DEFAULT_DISTANCES,
     trials_per_point: int = 10,
     seed: int = 0,
+    scenario: "str | Scenario" = "aisle_microbench",
 ) -> List[SweepTask]:
     """The projected-distance microbenchmark as (distance, trial) tasks."""
+    scenario_json = scenario_registry.resolve(scenario).to_json()
     return [
         SweepTask.make(
             _trial,
-            params={"distance_m": float(distance), "trial": trial},
+            params={
+                "scenario_json": scenario_json,
+                "distance_m": float(distance),
+                "trial": trial,
+            },
             seed=seed * 1000 + trial,
             label=f"fig14/d{distance}/t{trial}",
         )

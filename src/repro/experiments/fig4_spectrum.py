@@ -23,6 +23,8 @@ from repro.gen2.commands import Query
 from repro.gen2.pie import PIEEncoder, ReaderParams
 from repro.dsp.units import linear_to_db
 from repro.runtime import RuntimeConfig, SweepTask
+from repro.scenarios import registry as scenario_registry
+from repro.scenarios.spec import Scenario
 
 SAMPLE_RATE = 4.0e6
 
@@ -116,8 +118,19 @@ def _compute(n_fft: int, seed: int) -> Fig4Result:
     )
 
 
-def build_tasks(n_fft: int = 1 << 14, seed: int = 0) -> List[SweepTask]:
-    """The guard-band measurement as a single engine task."""
+def build_tasks(
+    n_fft: int = 1 << 14,
+    seed: int = 0,
+    scenario: "str | Scenario" = "rf_bench",
+) -> List[SweepTask]:
+    """The guard-band measurement as a single engine task.
+
+    The waveforms are baseband (nothing spatial), so the bench
+    scenario only anchors the experiment to the registry: resolving it
+    validates the name and keeps the CLI's ``--scenario`` plumbing
+    uniform across experiments.
+    """
+    scenario_registry.resolve(scenario)
     return [
         SweepTask.make(
             _compute, params={"n_fft": n_fft}, seed=seed, label="fig4/spectrum"

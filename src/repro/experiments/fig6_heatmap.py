@@ -28,7 +28,9 @@ from repro.localization import (
 )
 from repro.localization.grid import Heatmap
 from repro.runtime import RuntimeConfig, SweepTask
-from repro.sim.scenarios import los_heatmap_scenario, multipath_heatmap_scenario
+from repro.scenarios import registry as scenario_registry
+from repro.scenarios.spec import Scenario
+from repro.scenarios.trials import heatmap_trial
 
 _SHADES = " .:-=+*#%@"
 
@@ -61,17 +63,19 @@ def ascii_heatmap(heatmap: Heatmap, width: int = 64) -> str:
     return "\n".join(lines)
 
 
-def _compute(seed: int) -> Fig6Result:
-    """Generate both Fig. 6 panels."""
+def _compute(
+    scenario_json: str, multipath_scenario_json: str, seed: int
+) -> Fig6Result:
+    """Generate both Fig. 6 panels from their scenario specs."""
     f = UHF_CENTER_FREQUENCY
-    los = los_heatmap_scenario(seed)
+    los = heatmap_trial(Scenario.from_json(scenario_json), seed)
     positions, channels = disentangle_series(los.measurements)
     los_map = sar_heatmap(positions, channels, los.search_grid, f)
     localizer = Localizer(frequency_hz=f)
     los_result = localizer.locate(los.measurements, search_grid=los.search_grid)
     los_error = los_result.error_to(los.tag_position)
 
-    multi = multipath_heatmap_scenario(seed)
+    multi = heatmap_trial(Scenario.from_json(multipath_scenario_json), seed)
     positions_m, channels_m = disentangle_series(multi.measurements)
     multi_map = sar_heatmap(positions_m, channels_m, multi.search_grid, f)
     nearest = localizer.locate(multi.measurements, search_grid=multi.search_grid)
@@ -103,10 +107,31 @@ def _compute(seed: int) -> Fig6Result:
     )
 
 
-def build_tasks(seed: int = 0) -> List[SweepTask]:
-    """Both Fig. 6 panels as a single engine task."""
+def build_tasks(
+    scenario: "str | Scenario" = "los_aisle",
+    multipath_scenario: "str | Scenario" = "cold_storage_aisles",
+    seed: int = 0,
+) -> List[SweepTask]:
+    """Both Fig. 6 panels as a single engine task.
+
+    Each panel's world resolves from a named scenario spec; the specs
+    ride inside the task params as canonical JSON so the cache key and
+    the process pool both see the exact world definition.
+    """
     return [
-        SweepTask.make(_compute, params={}, seed=seed, label="fig6/heatmaps")
+        SweepTask.make(
+            _compute,
+            params={
+                "scenario_json": scenario_registry.resolve(
+                    scenario
+                ).to_json(),
+                "multipath_scenario_json": scenario_registry.resolve(
+                    multipath_scenario
+                ).to_json(),
+            },
+            seed=seed,
+            label="fig6/heatmaps",
+        )
     ]
 
 

@@ -21,6 +21,8 @@ from repro.relay.isolation import measure_all_isolations
 from repro.relay.mirrored import MirroredRelay, RelayConfig
 from repro.relay.self_interference import AntennaCoupling, LeakagePath
 from repro.runtime import RuntimeConfig, SweepTask
+from repro.scenarios import registry as scenario_registry
+from repro.scenarios.spec import Scenario
 from repro.sim.results import empirical_cdf, summarize
 
 PAPER_MEDIANS_DB = {
@@ -56,15 +58,18 @@ def _random_config(rng: np.random.Generator) -> RelayConfig:
     )
 
 
-def _trial(trial: int, seed: int) -> "Dict[str, Dict[str, float]]":
+def _trial(
+    trial: int, band_low_hz: float, band_high_hz: float, seed: int
+) -> "Dict[str, Dict[str, float]]":
     """One Fig. 9 trial: a fresh relay build probed on every path.
 
-    Returns plain string-keyed dicts so the payload pickles/caches
-    compactly and independently of the enum class.
+    The reader frequency draws uniformly over the scenario's regulated
+    band. Returns plain string-keyed dicts so the payload
+    pickles/caches compactly and independently of the enum class.
     """
     rng = np.random.default_rng(seed)
     relay = MirroredRelay(
-        reader_frequency_hz=float(rng.uniform(902.75e6, 927.25e6)),
+        reader_frequency_hz=float(rng.uniform(band_low_hz, band_high_hz)),
         config=_random_config(rng),
         rng=rng,
         coupling=AntennaCoupling.random(rng),
@@ -82,17 +87,27 @@ def _trial(trial: int, seed: int) -> "Dict[str, Dict[str, float]]":
     }
 
 
-def build_tasks(n_trials: int = 100, seed: int = 0) -> List[SweepTask]:
+def build_tasks(
+    n_trials: int = 100,
+    seed: int = 0,
+    scenario: "str | Scenario" = "rf_bench",
+) -> List[SweepTask]:
     """The Fig. 9 isolation campaign as per-trial tasks.
 
     Each trial redraws its build tolerances from an independent,
     trial-indexed seed, so the campaign parallelizes without any shared
-    RNG stream.
+    RNG stream; the probed band's edges come from the bench scenario's
+    radio plan.
     """
+    radio = scenario_registry.resolve(scenario).radio
     return [
         SweepTask.make(
             _trial,
-            params={"trial": trial},
+            params={
+                "trial": trial,
+                "band_low_hz": float(radio.band_low_hz),
+                "band_high_hz": float(radio.band_high_hz),
+            },
             seed=seed * 100_003 + trial,
             label=f"fig9/trial{trial}",
         )

@@ -71,6 +71,10 @@ class ExperimentSpec:
     render: Callable[[Any], List[ExperimentOutput]]
     defaults: "Dict[str, Any]" = field(default_factory=dict)
     smoke_overrides: "Dict[str, Any]" = field(default_factory=dict)
+    #: Named :mod:`repro.scenarios` spec the experiment's geometry and
+    #: traffic resolve from; ``run_experiment`` threads it into the
+    #: params as ``scenario`` (overridable via ``--scenario``).
+    scenario: str = ""
 
     @property
     def golden_filename(self) -> str:
@@ -98,6 +102,7 @@ REGISTRY: Tuple[ExperimentSpec, ...] = (
         reduce=fig4_spectrum.reduce,
         render=lambda result: [fig4_spectrum.format_result(result)],
         defaults={"n_fft": 1 << 14, "seed": 0},
+        scenario="rf_bench",
     ),
     ExperimentSpec(
         name="fig6_heatmap",
@@ -106,7 +111,8 @@ REGISTRY: Tuple[ExperimentSpec, ...] = (
         build_tasks=fig6_heatmap.build_tasks,
         reduce=fig6_heatmap.reduce,
         render=lambda result: [fig6_heatmap.format_result(result)],
-        defaults={"seed": 0},
+        defaults={"multipath_scenario": "cold_storage_aisles", "seed": 0},
+        scenario="los_aisle",
     ),
     ExperimentSpec(
         name="fig9_isolation",
@@ -117,6 +123,7 @@ REGISTRY: Tuple[ExperimentSpec, ...] = (
         render=lambda result: [fig9_isolation.format_result(result)],
         defaults={"n_trials": 100, "seed": 0},
         smoke_overrides={"n_trials": 10},
+        scenario="rf_bench",
     ),
     ExperimentSpec(
         name="fig10_phase",
@@ -127,6 +134,7 @@ REGISTRY: Tuple[ExperimentSpec, ...] = (
         render=lambda result: [fig10_phase.format_result(result)],
         defaults={"n_trials": 50, "seed": 0},
         smoke_overrides={"n_trials": 8},
+        scenario="rf_bench",
     ),
     ExperimentSpec(
         name="fig11_range",
@@ -142,6 +150,7 @@ REGISTRY: Tuple[ExperimentSpec, ...] = (
             "config": None,
         },
         smoke_overrides={"trials_per_point": 40},
+        scenario="outdoor_yard",
     ),
     ExperimentSpec(
         name="fig12_localization",
@@ -152,6 +161,7 @@ REGISTRY: Tuple[ExperimentSpec, ...] = (
         render=lambda result: [fig12_localization.format_result(result)],
         defaults={"n_trials": 100, "seed": 0},
         smoke_overrides={"n_trials": 6},
+        scenario="paper_warehouse_two_floor",
     ),
     ExperimentSpec(
         name="fig13_aperture",
@@ -166,6 +176,7 @@ REGISTRY: Tuple[ExperimentSpec, ...] = (
             "seed": 0,
         },
         smoke_overrides={"trials_per_point": 3},
+        scenario="aisle_microbench",
     ),
     ExperimentSpec(
         name="fig14_distance",
@@ -180,6 +191,7 @@ REGISTRY: Tuple[ExperimentSpec, ...] = (
             "seed": 0,
         },
         smoke_overrides={"trials_per_point": 2},
+        scenario="aisle_microbench",
     ),
     ExperimentSpec(
         name="serve_bench",
@@ -200,6 +212,7 @@ REGISTRY: Tuple[ExperimentSpec, ...] = (
             "n_tags": 3,
             "grid_resolution": 0.15,
         },
+        scenario="conveyor_flow_through",
     ),
     ExperimentSpec(
         name="resilience",
@@ -223,6 +236,7 @@ REGISTRY: Tuple[ExperimentSpec, ...] = (
             "n_tags": 3,
             "grid_resolution": 0.15,
         },
+        scenario="conveyor_flow_through",
     ),
     ExperimentSpec(
         name="serve_scale",
@@ -244,6 +258,7 @@ REGISTRY: Tuple[ExperimentSpec, ...] = (
             "n_tags": 3,
             "grid_resolution": 0.15,
         },
+        scenario="conveyor_flow_through",
     ),
     ExperimentSpec(
         name="ablations",
@@ -252,7 +267,12 @@ REGISTRY: Tuple[ExperimentSpec, ...] = (
         build_tasks=ablations.build_tasks,
         reduce=ablations.reduce,
         render=list,
-        defaults={"seed": 0},
+        defaults={
+            "heatmap_scenario": "cold_storage_aisles",
+            "warehouse_scenario": "paper_warehouse_two_floor",
+            "microbench_scenario": "aisle_microbench",
+            "seed": 0,
+        },
     ),
 )
 
@@ -298,6 +318,8 @@ def run_experiment(
     """
     spec = get(name) if isinstance(name, str) else name
     params: Dict[str, Any] = dict(spec.defaults)
+    if spec.scenario:
+        params.setdefault("scenario", spec.scenario)
     if smoke:
         params.update(spec.smoke_overrides)
     params.update(overrides)

@@ -28,16 +28,18 @@ from typing import Any, Dict, List, Mapping, Sequence, Tuple
 import numpy as np
 
 from repro import faults
-from repro.constants import UHF_CENTER_FREQUENCY
 from repro.errors import ConfigurationError, RFlyError
 from repro.experiments.runner import ExperimentOutput, fmt
 from repro.mobility.groundtruth import OptiTrack
 from repro.runtime import SweepTask
 from repro.runtime.cache import ResultCache
+from repro.scenarios import registry as scenario_registry
+from repro.scenarios.compiler import generate_workload
+from repro.scenarios.spec import Scenario
 from repro.serve.config import ServeConfig
 from repro.serve.service import LocalizationService
 from repro.serve.shard import ShardConfig, run_sharded_workload
-from repro.serve.traffic import TrafficWorkload, generate_workload
+from repro.serve.traffic import TrafficWorkload
 
 #: The swept fault classes, each mapping to one canned plan.
 FAULT_CLASSES: Tuple[str, ...] = (
@@ -176,6 +178,7 @@ def _replay_tolerant(
 
 
 def _resilience_point(
+    scenario_json: str,
     fault_class: str,
     rate: float,
     n_tags: int,
@@ -186,11 +189,14 @@ def _resilience_point(
     seed: int,
 ) -> Dict[str, Any]:
     """One swept cell: engage the plan, generate, replay, summarize."""
+    spec = Scenario.from_json(scenario_json)
+    frequency_hz = spec.radio.center_frequency_hz
     plan = plan_for(fault_class, rate)
     with tempfile.TemporaryDirectory(prefix="resilience-ckpt-") as tmp_dir:
         cache = ResultCache(tmp_dir)
         with faults.engaged(plan, seed=seed) as engine:
             workload = generate_workload(
+                spec,
                 n_tags=n_tags,
                 seed=seed,
                 load=load,
@@ -204,7 +210,7 @@ def _resilience_point(
                 sharded = run_sharded_workload(
                     workload,
                     ServeConfig(
-                        frequency_hz=UHF_CENTER_FREQUENCY,
+                        frequency_hz=frequency_hz,
                         latency_slo_s=latency_slo_s,
                         reference_timeout_s=_REFERENCE_TIMEOUT_S,
                         capacity_mode="partitioned",
@@ -229,7 +235,7 @@ def _resilience_point(
                 report = sharded.service
             else:
                 config = ServeConfig(
-                    frequency_hz=UHF_CENTER_FREQUENCY,
+                    frequency_hz=frequency_hz,
                     latency_slo_s=latency_slo_s,
                     reference_timeout_s=_REFERENCE_TIMEOUT_S,
                 )
@@ -272,8 +278,10 @@ def build_tasks(
     latency_slo_s: float = 0.25,
     wrong_threshold_m: float = 0.75,
     seed: int = 0,
+    scenario: "str | Scenario" = "conveyor_flow_through",
 ) -> List[SweepTask]:
     """One task per (fault class, rate) cell; `none` runs once."""
+    scenario_json = scenario_registry.resolve(scenario).to_json()
     tasks: List[SweepTask] = []
     for fault_class in classes:
         cell_rates = rates if fault_class != "none" else rates[:1]
@@ -282,6 +290,7 @@ def build_tasks(
                 SweepTask.make(
                     _resilience_point,
                     params={
+                        "scenario_json": scenario_json,
                         "fault_class": str(fault_class),
                         "rate": float(rate),
                         "n_tags": n_tags,

@@ -21,11 +21,13 @@ from typing import Any, Dict, List, Mapping, Sequence, Tuple
 
 import numpy as np
 
-from repro.constants import UHF_CENTER_FREQUENCY
 from repro.experiments.runner import ExperimentOutput, fmt
 from repro.runtime import SweepTask
+from repro.scenarios import registry as scenario_registry
+from repro.scenarios.compiler import generate_workload
+from repro.scenarios.spec import Scenario
 from repro.serve.config import ServeConfig
-from repro.serve.traffic import generate_workload, run_workload
+from repro.serve.traffic import run_workload
 
 DEFAULT_LOADS: Tuple[float, ...] = (1.0, 8.0, 64.0, 256.0)
 
@@ -38,6 +40,7 @@ class ServeBenchResult:
 
 
 def _load_point(
+    scenario_json: str,
     load: float,
     n_tags: int,
     grid_resolution: float,
@@ -45,14 +48,16 @@ def _load_point(
     seed: int,
 ) -> Dict[str, float]:
     """Replay one generated workload; return the table row's scalars."""
+    spec = Scenario.from_json(scenario_json)
     workload = generate_workload(
+        spec,
         n_tags=n_tags,
         seed=seed,
         load=load,
         grid_resolution=grid_resolution,
     )
     config = ServeConfig(
-        frequency_hz=UHF_CENTER_FREQUENCY,
+        frequency_hz=spec.radio.center_frequency_hz,
         latency_slo_s=latency_slo_s,
     )
     report = run_workload(workload, config)
@@ -75,12 +80,15 @@ def build_tasks(
     grid_resolution: float = 0.10,
     latency_slo_s: float = 0.25,
     seed: int = 0,
+    scenario: "str | Scenario" = "conveyor_flow_through",
 ) -> List[SweepTask]:
     """One task per swept load point (the workload seed is shared)."""
+    scenario_json = scenario_registry.resolve(scenario).to_json()
     return [
         SweepTask.make(
             _load_point,
             params={
+                "scenario_json": scenario_json,
                 "load": float(load),
                 "n_tags": n_tags,
                 "grid_resolution": grid_resolution,

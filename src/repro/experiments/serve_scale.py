@@ -20,12 +20,13 @@ from typing import Any, Dict, List, Mapping, Sequence, Tuple
 
 import numpy as np
 
-from repro.constants import UHF_CENTER_FREQUENCY
 from repro.experiments.runner import ExperimentOutput, fmt
 from repro.runtime import SweepTask
+from repro.scenarios import registry as scenario_registry
+from repro.scenarios.compiler import generate_workload
+from repro.scenarios.spec import Scenario
 from repro.serve.config import ServeConfig
 from repro.serve.shard import ShardConfig, ShardRing, run_sharded_workload
-from repro.serve.traffic import generate_workload
 
 DEFAULT_SHARDS: Tuple[int, ...] = (1, 2, 4, 8)
 
@@ -52,6 +53,7 @@ def remigrated_fraction(n_shards: int, keys: int = _CHURN_KEYS) -> float:
 
 
 def _scale_point(
+    scenario_json: str,
     shards: int,
     n_tags: int,
     load: float,
@@ -60,14 +62,16 @@ def _scale_point(
     seed: int,
 ) -> Dict[str, Any]:
     """Replay the shared workload through an ``M``-shard fleet."""
+    spec = Scenario.from_json(scenario_json)
     workload = generate_workload(
+        spec,
         n_tags=n_tags,
         seed=seed,
         load=load,
         grid_resolution=grid_resolution,
     )
     config = ServeConfig(
-        frequency_hz=UHF_CENTER_FREQUENCY,
+        frequency_hz=spec.radio.center_frequency_hz,
         latency_slo_s=latency_slo_s,
         capacity_mode="partitioned",
         session_ttl_s=1e9,
@@ -99,12 +103,15 @@ def build_tasks(
     grid_resolution: float = 0.10,
     latency_slo_s: float = 0.25,
     seed: int = 0,
+    scenario: "str | Scenario" = "conveyor_flow_through",
 ) -> List[SweepTask]:
     """One task per swept fleet size (the workload is shared)."""
+    scenario_json = scenario_registry.resolve(scenario).to_json()
     return [
         SweepTask.make(
             _scale_point,
             params={
+                "scenario_json": scenario_json,
                 "shards": int(n_shards),
                 "n_tags": n_tags,
                 "load": float(load),

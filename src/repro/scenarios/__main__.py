@@ -1,0 +1,10 @@
+"""``python -m repro.scenarios`` — see :mod:`repro.scenarios.cli`."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.scenarios.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,11 +1,17 @@
 """Gen2-inventory-driven traffic generation and workload replay.
 
-The generator flies the standard line trajectory past a seeded tag
-population and, at every pose, runs the *actual* Gen2 anti-collision
-MAC of :func:`repro.sim.events.inventory_at_pose` to decide which tags
-the relay reads — so arrival patterns inherit the MAC's contention
-(slow poses read fewer tags, singulation order varies with the seed)
-instead of an idealized Poisson stream. Each successful read becomes a
+Traffic generation now lives in
+:func:`repro.scenarios.compiler.generate_workload`, which lowers any
+named :class:`~repro.scenarios.spec.Scenario` to a replayable read
+stream; :func:`generate_workload` here remains as a thin delegator
+pinned to the ``conveyor_flow_through`` scenario (the historical
+hard-coded world) so existing callers keep their exact streams.
+
+At every pose the generator runs the *actual* Gen2 anti-collision MAC
+of :func:`repro.sim.events.inventory_at_pose` to decide which tags the
+relay reads — so arrival patterns inherit the MAC's contention (slow
+poses read fewer tags, singulation order varies with the seed) instead
+of an idealized Poisson stream. Each successful read becomes a
 timestamped :class:`UpdateEvent` for that tag's session.
 
 ``load`` compresses the arrival timeline: the drone's physical flight
@@ -17,25 +23,17 @@ the degradation ladder — the axis the `serve` experiment sweeps.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.constants import UHF_CENTER_FREQUENCY
-from repro.errors import ConfigurationError
-from repro.hardware.tag import PassiveTag
 from repro.localization.grid import Grid2D
-from repro.localization.measurement import (
-    MeasurementModel,
-    ThroughRelayMeasurement,
-)
+from repro.localization.measurement import ThroughRelayMeasurement
 from repro.mobility.groundtruth import OptiTrack
-from repro.mobility.trajectory import LineTrajectory
 from repro.obs import tracing
 from repro.runtime.cache import ResultCache
 from repro.serve.config import ServeConfig
 from repro.serve.service import LocalizationService, ServiceReport
-from repro.sim.events import inventory_at_pose
 
 
 @dataclass(frozen=True)
@@ -81,8 +79,16 @@ def generate_workload(
     use_gen2_mac: bool = True,
     powering_range_m: float = 3.5,
     tracker: Optional[OptiTrack] = None,
+    scenario: Optional[Any] = None,
 ) -> TrafficWorkload:
     """Fly one line scan over ``n_tags`` tags and emit the read stream.
+
+    Delegates to :func:`repro.scenarios.compiler.generate_workload`
+    against the ``conveyor_flow_through`` scenario (or ``scenario``,
+    a name/path/:class:`~repro.scenarios.spec.Scenario`, when given),
+    whose spec matches the world this function historically built
+    inline — same reader, trajectory, tag box, and grid, drawn in the
+    same RNG order, so streams are byte-identical for a given seed.
 
     All randomness (tag placement, channel noise, MAC slot draws) comes
     from the single ``seed``, so the event stream — timestamps, order,
@@ -93,78 +99,23 @@ def generate_workload(
     (noise-free without an rng), which is where ``mobility.pose``
     faults — pose dropout and jitter — act on the stream.
     """
-    if n_tags < 1:
-        raise ConfigurationError("need at least one tag")
-    if load <= 0:
-        raise ConfigurationError("load factor must be positive")
-    rng = np.random.default_rng(seed)
-    model = MeasurementModel(
-        reader_position=(-8.0, 0.0),
-        reader_frequency_hz=UHF_CENTER_FREQUENCY,
-    )
-    trajectory = LineTrajectory((0.0, 0.0), (3.5, 0.0))
-    samples = trajectory.sample_every(pose_spacing_m)
-    if tracker is not None:
-        samples = tracker.observe_trajectory(samples)
-    tags = [
-        PassiveTag(
-            epc=index + 1,
-            position=(
-                float(rng.uniform(0.3, 3.2)),
-                float(rng.uniform(0.8, 2.4)),
-            ),
-            rng=rng,
-        )
-        for index in range(n_tags)
-    ]
-    session_ids = {tag.epc_int: f"tag-{tag.epc_int:04d}" for tag in tags}
-    grid = Grid2D(-0.5, 4.0, 0.2, 3.0, grid_resolution)
-    events: List[UpdateEvent] = []
-    with tracing.span("serve.traffic", n_tags=n_tags, poses=len(samples)):
-        for sample in samples:
-            powered = {
-                tag.epc_int: (
-                    float(
-                        np.linalg.norm(
-                            np.asarray(tag.position) - sample.position
-                        )
-                    )
-                    <= powering_range_m
-                )
-                for tag in tags
-            }
-            if use_gen2_mac:
-                read_epcs = inventory_at_pose(
-                    tags, lambda t: powered[t.epc_int], rng
-                )
-            else:
-                read_epcs = {epc for epc, on in powered.items() if on}
-            for tag in tags:
-                if tag.epc_int not in read_epcs:
-                    continue
-                measurement = model.measure(
-                    sample.position,
-                    tag.position,
-                    rng=rng,
-                    snr_db=snr_db,
-                    time=sample.time,
-                )
-                events.append(
-                    UpdateEvent(
-                        time_s=sample.time / load,
-                        session_id=session_ids[tag.epc_int],
-                        measurement=measurement,
-                    )
-                )
-    events.sort(key=lambda e: (e.time_s, e.session_id))
-    return TrafficWorkload(
-        events=tuple(events),
-        grids={sid: grid for sid in session_ids.values()},
-        tag_positions={
-            session_ids[tag.epc_int]: np.asarray(tag.position, dtype=float)
-            for tag in tags
-        },
-        duration_s=samples[-1].time / load,
+    # Imported lazily: the compiler imports this module's dataclasses
+    # (also lazily), and neither side wants the cycle at import time.
+    from repro.scenarios import compiler
+
+    if scenario is None:
+        scenario = "conveyor_flow_through"
+    return compiler.generate_workload(
+        scenario,
+        n_tags=n_tags,
+        seed=seed,
+        load=load,
+        pose_spacing_m=pose_spacing_m,
+        snr_db=snr_db,
+        grid_resolution=grid_resolution,
+        use_gen2_mac=use_gen2_mac,
+        powering_range_m=powering_range_m,
+        tracker=tracker,
     )
 
 

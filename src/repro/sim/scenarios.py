@@ -1,19 +1,29 @@
-"""Canned experiment scenarios.
+"""Canned experiment scenarios (legacy surface).
 
-Each builder constructs the geometry, environment, and measurement
-series for one of the paper's evaluation settings, with all randomness
-drawn from an explicit seed so every figure regenerates exactly.
+The geometry that used to be hard-coded here now lives declaratively in
+:mod:`repro.scenarios`: each evaluation world is a named
+:class:`~repro.scenarios.spec.Scenario` spec under
+``repro/scenarios/library/`` and the builders in
+:mod:`repro.scenarios.trials` lower a spec + seed to one
+:class:`LocalizationScenario`. The free functions below remain as
+deprecation shims that resolve the matching library scenario through
+the trial registry — byte-for-byte identical output, so every golden
+regenerates exactly.
+
+The measurement helpers (:func:`_measure_with_jitter`,
+:func:`_tag_side_grid`, :func:`_correlated_wander`,
+:func:`projected_distance_snr_db`) are *not* deprecated: the trial
+builders call back into them.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+import warnings
+from dataclasses import dataclass
+from typing import Any, List, Tuple
 
 import numpy as np
 
-from repro.channel.environment import DRYWALL, STEEL, Environment
-from repro.channel.pathloss import free_space_path_loss_db
 from repro.constants import UHF_CENTER_FREQUENCY
 from repro.errors import ConfigurationError
 from repro.localization.grid import Grid2D
@@ -23,29 +33,81 @@ from repro.localization.measurement import (
 )
 from repro.mobility.robot import GroundRobot
 from repro.mobility.trajectory import LineTrajectory
-from repro.dsp.units import db_to_linear
 
 F = UHF_CENTER_FREQUENCY
 
 
 @dataclass(frozen=True)
 class LocalizationScenario:
-    """Inputs a localization experiment needs for one trial."""
+    """Inputs a localization experiment needs for one trial.
+
+    The calibration gains are dimensionless *linear* amplitude ratios
+    (|G / C|), hence the ``_linear`` suffix; the unsuffixed names
+    remain as deprecated read-only aliases.
+    """
 
     measurements: List[ThroughRelayMeasurement]
     tag_position: np.ndarray
     search_grid: Grid2D
     trajectory_positions: np.ndarray
-    calibration_gain: float
+    calibration_gain_linear: float
     description: str = ""
-    rssi_calibration_gain: float = 0.0
-    
+    rssi_calibration_gain_linear: float = 0.0
 
     def __post_init__(self) -> None:
-        if self.rssi_calibration_gain == 0.0:
+        if self.rssi_calibration_gain_linear == 0.0:
             object.__setattr__(
-                self, "rssi_calibration_gain", self.calibration_gain
+                self,
+                "rssi_calibration_gain_linear",
+                self.calibration_gain_linear,
             )
+
+    @property
+    def calibration_gain(self) -> float:
+        """Deprecated alias of :attr:`calibration_gain_linear`."""
+        warnings.warn(
+            "LocalizationScenario.calibration_gain is deprecated; use "
+            "calibration_gain_linear",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.calibration_gain_linear
+
+    @property
+    def rssi_calibration_gain(self) -> float:
+        """Deprecated alias of :attr:`rssi_calibration_gain_linear`."""
+        warnings.warn(
+            "LocalizationScenario.rssi_calibration_gain is deprecated; "
+            "use rssi_calibration_gain_linear",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.rssi_calibration_gain_linear
+
+
+_FIELD_RENAMES = (
+    ("calibration_gain", "calibration_gain_linear"),
+    ("rssi_calibration_gain", "rssi_calibration_gain_linear"),
+)
+
+_dataclass_init = LocalizationScenario.__init__
+
+
+def _compat_init(self: LocalizationScenario, *args: Any, **kwargs: Any) -> None:
+    """Accept the pre-rename keyword arguments with a warning."""
+    for old, new in _FIELD_RENAMES:
+        if old in kwargs:
+            warnings.warn(
+                f"LocalizationScenario({old}=...) is deprecated; use "
+                f"{new}=...",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            kwargs[new] = kwargs.pop(old)
+    _dataclass_init(self, *args, **kwargs)
+
+
+LocalizationScenario.__init__ = _compat_init  # type: ignore[method-assign]
 
 
 def _measure_with_jitter(
@@ -85,51 +147,6 @@ def _tag_side_grid(
         y_min=y_min,
         y_max=y_max,
         resolution=resolution,
-    )
-
-
-def los_heatmap_scenario(seed: int = 0) -> LocalizationScenario:
-    """Fig. 6(a): a clean line-of-sight trial on a ~3 m trajectory."""
-    rng = np.random.default_rng(seed)
-    model = MeasurementModel(reader_position=(-8.0, 0.0), reader_frequency_hz=F)
-    trajectory = LineTrajectory((0.0, 0.0), (3.0, 0.0))
-    tag = np.array([1.3, 1.45])
-    measurements, positions = _measure_with_jitter(
-        model, trajectory, tag, rng, snr_db=30.0
-    )
-    grid = Grid2D(-0.5, 3.5, 0.2, 3.0, 0.05)
-    return LocalizationScenario(
-        measurements=measurements,
-        tag_position=tag,
-        search_grid=grid,
-        trajectory_positions=positions,
-        calibration_gain=abs(model.relay_gain / model.reference_gain),
-        description="line-of-sight heatmap (Fig. 6a)",
-    )
-
-
-def multipath_heatmap_scenario(seed: int = 0) -> LocalizationScenario:
-    """Fig. 6(b): steel shelving flanking the aisle creates ghosts."""
-    rng = np.random.default_rng(seed)
-    env = Environment(max_reflections=2)
-    env.add_wall((-1.0, 2.6), (5.0, 2.6), STEEL, "shelf-north")
-    env.add_wall((-1.0, -1.2), (5.0, -1.2), STEEL, "shelf-south")
-    model = MeasurementModel(
-        environment=env, reader_position=(-8.0, 0.0), reader_frequency_hz=F
-    )
-    trajectory = LineTrajectory((0.0, 0.0), (3.0, 0.0))
-    tag = np.array([1.3, 1.45])
-    measurements, positions = _measure_with_jitter(
-        model, trajectory, tag, rng, snr_db=25.0
-    )
-    grid = Grid2D(-0.5, 3.5, 0.2, 3.0, 0.05)
-    return LocalizationScenario(
-        measurements=measurements,
-        tag_position=tag,
-        search_grid=grid,
-        trajectory_positions=positions,
-        calibration_gain=abs(model.relay_gain / model.reference_gain),
-        description="strong multipath heatmap (Fig. 6b)",
     )
 
 
@@ -174,150 +191,63 @@ def projected_distance_snr_db(distance_m: float, reference_snr_db: float = 46.0)
     return reference_snr_db - 40.0 * np.log10(max(distance_m, 1.0) / 5.0)
 
 
+#: Deprecated builder -> (trial kind, library scenario) it now routes to.
+_BUILDER_ROUTES = {
+    "los_heatmap_scenario": ("heatmap", "los_aisle"),
+    "multipath_heatmap_scenario": ("heatmap", "cold_storage_aisles"),
+    "fig12_trial": ("warehouse", "paper_warehouse_two_floor"),
+    "aperture_microbenchmark": ("aperture", "aisle_microbench"),
+    "distance_microbenchmark": ("distance", "aisle_microbench"),
+}
+
+
+def _route(builder: str, **kwargs: Any) -> LocalizationScenario:
+    """Warn once per call site, then dispatch through the trial registry."""
+    kind, scenario = _BUILDER_ROUTES[builder]
+    warnings.warn(
+        f"sim.scenarios.{builder}() is deprecated; use "
+        f"repro.scenarios.trials.build_trial({kind!r}, {scenario!r}, ...)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    from repro.scenarios.trials import build_trial
+
+    return build_trial(kind, scenario, **kwargs)
+
+
+def los_heatmap_scenario(seed: int = 0) -> LocalizationScenario:
+    """Deprecated shim: the ``los_aisle`` scenario (Fig. 6a world)."""
+    return _route("los_heatmap_scenario", seed=seed)
+
+
+def multipath_heatmap_scenario(seed: int = 0) -> LocalizationScenario:
+    """Deprecated shim: the ``cold_storage_aisles`` scenario (Fig. 6b)."""
+    return _route("multipath_heatmap_scenario", seed=seed)
+
+
 def fig12_trial(seed: int) -> LocalizationScenario:
-    """One randomized end-to-end localization trial (Fig. 12).
-
-    Random reader placement in the 30 x 40 m building, a random ~3.5 m
-    flight segment, and a tag 0.8-3 m to one side of it — mixing
-    line-of-sight and through-wall reader-relay legs exactly as the
-    paper's 100 trials across two floors do. Drone-flight realism (the
-    antenna-phase-center offsets OptiTrack cannot see) is injected at
-    the calibrated magnitudes above.
-    """
-    rng = np.random.default_rng(seed)
-    env = Environment.two_floor_building()
-    # Clutter: a few reflective obstacles near the scanned aisle.
-    start = np.array([rng.uniform(5.0, 21.0), rng.uniform(5.0, 32.0)])
-    heading = rng.uniform(0.0, 2.0 * np.pi)
-    direction = np.array([np.cos(heading), np.sin(heading)])
-    length = rng.uniform(3.0, 4.5)
-    materials = (STEEL, DRYWALL, STEEL)
-    for _ in range(3):
-        center = start + rng.normal(0.0, 3.0, 2)
-        angle = rng.uniform(0.0, np.pi)
-        half = np.array([np.cos(angle), np.sin(angle)]) * rng.uniform(0.8, 2.0)
-        env.add_wall(
-            tuple(center - half),
-            tuple(center + half),
-            materials[int(rng.integers(0, len(materials)))],
-            "clutter",
-        )
-    # The reader sits 4-20 m from the scanned aisle (the paper varies
-    # reader placement across two floors but keeps links operational).
-    reader_angle = rng.uniform(0.0, 2.0 * np.pi)
-    reader_distance_draw = rng.uniform(4.0, 20.0)
-    reader = start + direction * (length / 2.0) + reader_distance_draw * np.array(
-        [np.cos(reader_angle), np.sin(reader_angle)]
-    )
-    reader = np.clip(reader, [1.0, 1.0], [29.0, 39.0])
-    trajectory = LineTrajectory(start, start + direction * length)
-    # Tag to one side of the path.
-    side = 1.0 if rng.random() < 0.5 else -1.0
-    normal = np.array([-direction[1], direction[0]]) * side
-    along = rng.uniform(0.25, 0.75)
-    offset = rng.uniform(0.8, 3.0)
-    tag = start + direction * (length * along) + normal * offset
-
-    model = MeasurementModel(
-        environment=env, reader_position=reader, reader_frequency_hz=F
-    )
-    # SNR follows the reader-relay distance (the paper's Fig. 14 law).
-    mid = start + direction * (length / 2.0)
-    reader_distance = float(np.linalg.norm(mid - reader))
-    wall_loss = env.obstruction_loss_db(reader, mid)
-    snr = float(
-        np.clip(projected_distance_snr_db(reader_distance) - wall_loss, 8.0, 25.0)
-    )
-    spacing = 0.05
-    measurements, positions = _measure_with_jitter(
-        model, trajectory, tag, rng, snr_db=snr, spacing_m=spacing,
-        jitter_std_m=0.01,
-    )
-    # The localizer sees the marker-frame positions: true antenna poses
-    # plus the per-flight bias and the correlated wander.
-    bias = rng.normal(0.0, DRONE_GEOMETRY_BIAS_STD_M, 2)
-    known_positions = positions + bias + _correlated_wander(
-        len(positions), DRONE_WANDER_STD_M, rng, spacing
-    )
-    # Search on the scanned side, in trajectory-aligned coordinates:
-    # rotate so the path runs along +x, then build the half-plane grid.
-    rotation = np.array(
-        [[direction[0], direction[1]], [-direction[1], direction[0]]]
-    )
-    rotated_positions = (known_positions - start) @ rotation.T
-    rotated_tag = rotation @ (tag - start)
-    rotated_measurements = [
-        ThroughRelayMeasurement(
-            position=rp, h_target=m.h_target, h_reference=m.h_reference,
-            snr_db=m.snr_db, time=m.time,
-        )
-        for rp, m in zip(rotated_positions, measurements)
-    ]
-    grid = _tag_side_grid(rotated_positions, float(np.sign(rotated_tag[1])), 4.5, 0.10)
-    return LocalizationScenario(
-        measurements=rotated_measurements,
-        tag_position=rotated_tag,
-        search_grid=grid,
-        trajectory_positions=rotated_positions,
-        calibration_gain=abs(model.relay_gain / model.reference_gain),
-        description=f"fig12 trial seed={seed}, reader at {reader_distance:.1f} m",
-    )
+    """Deprecated shim: the ``paper_warehouse_two_floor`` scenario."""
+    return _route("fig12_trial", seed=seed)
 
 
 def aperture_microbenchmark(
     aperture_m: float, seed: int, snr_db: float = 25.0
 ) -> LocalizationScenario:
-    """One Fig. 13 trial: fixed geometry, swept aperture.
-
-    The relay rides the ground robot; the reader sits ~5 m away; the
-    target tag is ~2 m from the track, its exact spot varied per trial.
-    A mildly reflective wall supplies the amplitude ripple that limits
-    the RSSI baseline.
-    """
-    if aperture_m <= 0:
-        raise ConfigurationError("aperture must be positive")
-    rng = np.random.default_rng(seed)
-    env = Environment(max_reflections=1)
-    env.add_wall((-2.0, 3.2), (6.0, 3.2), DRYWALL, "back-wall")
-    model = MeasurementModel(
-        environment=env, reader_position=(-5.0, 0.0), reader_frequency_hz=F
-    )
-    full = LineTrajectory((0.0, 0.0), (2.5, 0.0))
-    sub = full.aperture_segment(min(aperture_m, full.length))
-    # The tag stays near the aperture's broadside — the paper's
-    # controlled microbenchmark fixes the average relay-tag distance.
-    tag = np.array(
-        [rng.uniform(0.95, 1.55), rng.uniform(1.6, 2.4)]
-    )
-    measurements, positions = _measure_with_jitter(
-        model, sub, tag, rng, snr_db=snr_db, spacing_m=0.04
-    )
-    grid = _tag_side_grid(positions, +1.0, 3.5, 0.10)
-    calibration = abs(model.relay_gain / model.reference_gain)
-    # Indoor propagation deviates from the free-space model the RSSI
-    # baseline assumes by a few dB; the mismatch is what limits it to
-    # around a meter in the paper's Fig. 13.
-    rssi_calibration = calibration * float(db_to_linear(rng.normal(0.0, 3.0)))
-    return LocalizationScenario(
-        measurements=measurements,
-        tag_position=tag,
-        search_grid=grid,
-        trajectory_positions=positions,
-        calibration_gain=calibration,
-        description=f"aperture {aperture_m} m (Fig. 13)",
-        rssi_calibration_gain=rssi_calibration,
+    """Deprecated shim: the ``aisle_microbench`` aperture trial."""
+    return _route(
+        "aperture_microbenchmark",
+        aperture_m=aperture_m,
+        seed=seed,
+        snr_db=snr_db,
     )
 
 
 def distance_microbenchmark(
     projected_distance_m: float, seed: int
 ) -> LocalizationScenario:
-    """One Fig. 14 trial: fixed 1 m aperture, swept projected distance.
-
-    The paper adjusts the reader's transmit power and maps it to a
-    projected reader-relay distance with the free-space model; the
-    observable consequence is the estimate SNR, which falls 40 dB per
-    distance decade (both query and reply cross that leg).
-    """
-    snr = projected_distance_snr_db(projected_distance_m)
-    return aperture_microbenchmark(1.0, seed=seed, snr_db=snr)
+    """Deprecated shim: the ``aisle_microbench`` distance trial."""
+    return _route(
+        "distance_microbenchmark",
+        projected_distance_m=projected_distance_m,
+        seed=seed,
+    )

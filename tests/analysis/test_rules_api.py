@@ -13,11 +13,17 @@ API_ONLY = AnalysisConfig(select=("A",))
 CLEAN_HEADER = '"""Docstring."""\nfrom __future__ import annotations\n'
 
 
-def codes(source: str, header: str = CLEAN_HEADER) -> list:
+def codes(source: str, header: str = CLEAN_HEADER, path: str = "<string>") -> list:
     return [
         f.code
-        for f in analyze_source(header + textwrap.dedent(source), config=API_ONLY)
+        for f in analyze_source(
+            header + textwrap.dedent(source), path=path, config=API_ONLY
+        )
     ]
+
+
+#: A406 only bites under the experiments tree.
+EXPERIMENT_PATH = "src/repro/experiments/fig99_example.py"
 
 
 class TestMissingReturnAnnotation:
@@ -76,6 +82,64 @@ class TestBareExcept:
             pass
         """
         assert codes(src) == []
+
+
+class TestExperimentsBypassScenarioRegistry:
+    def test_inline_grid_in_experiment_is_flagged(self):
+        src = """
+        from repro.localization.grid import Grid2D
+
+        def build() -> None:
+            Grid2D(-0.5, 4.0, 0.2, 3.0, 0.1)
+        """
+        assert "A406" in codes(src, path=EXPERIMENT_PATH)
+
+    def test_aliased_import_is_still_flagged(self):
+        src = """
+        from repro.mobility.trajectory import LineTrajectory as LT
+
+        def build() -> None:
+            LT((0.0, 0.0), (3.5, 0.0))
+        """
+        assert "A406" in codes(src, path=EXPERIMENT_PATH)
+
+    def test_module_attribute_call_is_flagged(self):
+        src = """
+        import repro.serve.traffic
+
+        def build() -> None:
+            repro.serve.traffic.generate_workload(n_tags=4)
+        """
+        assert "A406" in codes(src, path=EXPERIMENT_PATH)
+
+    def test_deprecated_sim_builder_is_flagged(self):
+        src = """
+        from repro.sim.scenarios import fig12_trial
+
+        def build() -> None:
+            fig12_trial(seed=0)
+        """
+        assert "A406" in codes(src, path=EXPERIMENT_PATH)
+
+    def test_scenario_compiler_path_passes(self):
+        src = """
+        from repro.scenarios import registry as scenario_registry
+        from repro.scenarios.compiler import generate_workload
+
+        def build() -> None:
+            spec = scenario_registry.resolve("conveyor_flow_through")
+            generate_workload(spec, n_tags=4)
+        """
+        assert codes(src, path=EXPERIMENT_PATH) == []
+
+    def test_rule_is_scoped_to_the_experiments_tree(self):
+        src = """
+        from repro.localization.grid import Grid2D
+
+        def build() -> None:
+            Grid2D(-0.5, 4.0, 0.2, 3.0, 0.1)
+        """
+        assert codes(src, path="src/repro/serve/traffic.py") == []
 
 
 class TestMutableDefaultArgument:

@@ -1,15 +1,20 @@
-"""The deprecated ``run()`` shims must blame their *caller*.
+"""Every deprecated shim must warn once and blame its *caller*.
 
-Every figure module keeps a module-level ``run(...)`` shim that warns
-and delegates to the registry. ``stacklevel=2`` is what makes the
-DeprecationWarning point at the user's call site instead of the shim
-body — this suite pins that, so a refactor can't silently regress the
-warning back to "somewhere inside repro".
+Three shim families are pinned here: the figure modules' ``run(...)``
+delegators, the ``sim.scenarios`` free-function builders that now route
+through the scenario trial registry, and the
+``LocalizationScenario.calibration_gain`` -> ``calibration_gain_linear``
+rename (property aliases plus the keyword-compat constructor). The
+``stacklevel`` assertions are what make each DeprecationWarning point
+at the user's call site instead of the shim body — this suite pins
+that, so a refactor can't silently regress the warning back to
+"somewhere inside repro".
 """
 
 import warnings
 from types import SimpleNamespace
 
+import numpy as np
 import pytest
 
 from repro.experiments import (
@@ -24,6 +29,9 @@ from repro.experiments import (
     fig14_distance,
     registry,
 )
+from repro.localization.grid import Grid2D
+from repro.sim import scenarios as sim_scenarios
+from repro.sim.scenarios import LocalizationScenario
 
 SHIMS = {
     "fig4_spectrum": fig4_spectrum.run,
@@ -77,3 +85,113 @@ def test_shim_delegates_its_own_experiment(name, stub_registry):
         SHIMS[name]()
     delegated_name, _ = stub_registry[0]
     assert delegated_name == name
+
+
+#: Deprecated sim.scenarios builder -> a cheap invocation of it.
+BUILDER_SHIMS = {
+    "los_heatmap_scenario": lambda: sim_scenarios.los_heatmap_scenario(0),
+    "multipath_heatmap_scenario": (
+        lambda: sim_scenarios.multipath_heatmap_scenario(0)
+    ),
+    "fig12_trial": lambda: sim_scenarios.fig12_trial(0),
+    "aperture_microbenchmark": (
+        lambda: sim_scenarios.aperture_microbenchmark(1.0, 0)
+    ),
+    "distance_microbenchmark": (
+        lambda: sim_scenarios.distance_microbenchmark(5.0, 0)
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(BUILDER_SHIMS))
+def test_builder_shim_warns_at_the_call_site(name):
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        result = BUILDER_SHIMS[name]()
+    deprecations = [
+        w for w in caught if issubclass(w.category, DeprecationWarning)
+    ]
+    assert len(deprecations) == 1
+    warning = deprecations[0]
+    # stacklevel=3 through the _route helper: the warning is attributed
+    # to this test file (the caller), not the shim or its dispatcher.
+    assert warning.filename == __file__
+    assert "repro.scenarios.trials.build_trial" in str(warning.message)
+    assert isinstance(result, LocalizationScenario)
+
+
+@pytest.mark.parametrize("name", sorted(BUILDER_SHIMS))
+def test_builder_shim_matches_trial_registry(name):
+    from repro.scenarios.trials import build_trial
+
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        shimmed = BUILDER_SHIMS[name]()
+    kind, scenario = sim_scenarios._BUILDER_ROUTES[name]
+    message = str(caught[0].message)
+    assert repr(kind) in message and repr(scenario) in message
+    args = {
+        "aperture_microbenchmark": {"aperture_m": 1.0, "seed": 0},
+        "distance_microbenchmark": {
+            "projected_distance_m": 5.0,
+            "seed": 0,
+        },
+    }.get(name, {"seed": 0})
+    direct = build_trial(kind, scenario, **args)
+    assert shimmed.measurements[0].h_target == (
+        direct.measurements[0].h_target
+    )
+
+
+def _scenario(**kwargs):
+    base = dict(
+        measurements=[],
+        tag_position=np.array([1.0, 1.0]),
+        search_grid=Grid2D(0.0, 1.0, 0.0, 1.0, 0.5),
+        trajectory_positions=np.zeros((2, 2)),
+        calibration_gain_linear=2.0,
+    )
+    base.update(kwargs)
+    return LocalizationScenario(**base)
+
+
+class TestCalibrationGainRename:
+    def test_new_names_do_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            sc = _scenario()
+            assert sc.calibration_gain_linear == 2.0
+            assert sc.rssi_calibration_gain_linear == 2.0
+
+    @pytest.mark.parametrize(
+        "old", ["calibration_gain", "rssi_calibration_gain"]
+    )
+    def test_old_property_warns_at_the_call_site(self, old):
+        sc = _scenario()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            value = getattr(sc, old)
+        assert value == 2.0
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert deprecations[0].filename == __file__
+        assert f"{old}_linear" in str(deprecations[0].message)
+
+    @pytest.mark.parametrize(
+        "old", ["calibration_gain", "rssi_calibration_gain"]
+    )
+    def test_old_constructor_keyword_warns_and_maps(self, old):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            kwargs = {"calibration_gain_linear": 2.0, old: 7.0}
+            if old == "calibration_gain":
+                del kwargs["calibration_gain_linear"]
+            sc = _scenario(**kwargs)
+        assert getattr(sc, f"{old}_linear") == 7.0
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert deprecations[0].filename == __file__

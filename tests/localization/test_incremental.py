@@ -14,18 +14,14 @@ from repro.constants import SPEED_OF_LIGHT, UHF_CENTER_FREQUENCY
 from repro.errors import InsufficientMeasurementsError, LocalizationError
 from repro.localization import Grid2D, IncrementalSar, Localizer, sar_heatmap
 from repro.localization.disentangle import disentangle_series
-from repro.sim.scenarios import (
-    fig12_trial,
-    los_heatmap_scenario,
-    multipath_heatmap_scenario,
-)
+from repro.scenarios.trials import heatmap_trial, warehouse_trial
 
 F = UHF_CENTER_FREQUENCY
 
 GOLDEN_SCENES = {
-    "los": lambda: los_heatmap_scenario(seed=0),
-    "multipath": lambda: multipath_heatmap_scenario(seed=0),
-    "fig12": lambda: fig12_trial(3),
+    "los": lambda: heatmap_trial("los_aisle", seed=0),
+    "multipath": lambda: heatmap_trial("cold_storage_aisles", seed=0),
+    "fig12": lambda: warehouse_trial("paper_warehouse_two_floor", 3),
 }
 
 
@@ -160,7 +156,7 @@ def test_property_serial_equals_micro_batched(tag, n, resolution, split_seed):
 
 class TestCheckpointRoundTrip:
     def test_payload_round_trip_preserves_finalize(self):
-        scenario = los_heatmap_scenario(seed=1)
+        scenario = heatmap_trial("los_aisle", seed=1)
         inc = stream_scene(scenario)
         clone = IncrementalSar.from_payload(inc.to_payload())
         np.testing.assert_allclose(
@@ -169,7 +165,7 @@ class TestCheckpointRoundTrip:
         assert clone.n_poses == inc.n_poses
 
     def test_round_trip_keeps_streaming(self):
-        scenario = los_heatmap_scenario(seed=2)
+        scenario = heatmap_trial("los_aisle", seed=2)
         measurements = list(scenario.measurements)
         half = len(measurements) // 2
 

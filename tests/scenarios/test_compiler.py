@@ -1,0 +1,126 @@
+"""Compiler lowering: tasks, workloads, and end-to-end scenario runs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime import RuntimeConfig, run_sweep
+from repro.scenarios import compiler, registry
+from repro.scenarios.cli import smoke_variant
+from repro.scenarios.spec import Scenario
+from repro.serve import traffic as serve_traffic
+
+#: The named scenarios the twelve experiments resolve; each must run
+#: end to end (ISSUE acceptance: five named scenarios under --smoke).
+NAMED_SCENARIOS = (
+    "paper_warehouse_two_floor",
+    "cold_storage_aisles",
+    "conveyor_flow_through",
+    "multi_floor_atrium",
+    "outdoor_yard",
+)
+
+
+class TestCompileScenario:
+    def test_task_seeds_and_labels(self):
+        tasks = compiler.compile_scenario("rf_bench", n_replicates=3, seed=7)
+        assert [t.seed for t in tasks] == [7000, 7001, 7002]
+        assert [t.label for t in tasks] == [
+            "scenario/rf_bench/r0",
+            "scenario/rf_bench/r1",
+            "scenario/rf_bench/r2",
+        ]
+
+    def test_spec_rides_as_canonical_json(self):
+        (task,) = compiler.compile_scenario("rf_bench", n_replicates=1)
+        params = dict(task.params)
+        spec = Scenario.from_json(params["scenario_json"])
+        assert spec == registry.get("rf_bench")
+
+    def test_zero_replicates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            compiler.compile_scenario("rf_bench", n_replicates=0)
+
+
+class TestWorkloadDelegation:
+    def test_legacy_entry_point_matches_compiler(self):
+        """serve.traffic.generate_workload is a byte-exact delegator
+        pinned to conveyor_flow_through."""
+        legacy = serve_traffic.generate_workload(n_tags=3, seed=5, load=2.0)
+        compiled = compiler.generate_workload(
+            "conveyor_flow_through", n_tags=3, seed=5, load=2.0
+        )
+        assert len(legacy.events) == len(compiled.events)
+        for a, b in zip(legacy.events, compiled.events):
+            assert a.time_s == b.time_s
+            assert a.session_id == b.session_id
+            assert a.measurement.h_target == b.measurement.h_target
+        assert legacy.duration_s == compiled.duration_s
+        for sid in legacy.tag_positions:
+            np.testing.assert_array_equal(
+                legacy.tag_positions[sid], compiled.tag_positions[sid]
+            )
+
+    def test_legacy_entry_point_accepts_other_scenarios(self):
+        workload = serve_traffic.generate_workload(
+            n_tags=2, seed=1, scenario="outdoor_yard"
+        )
+        assert len(workload.grids) == 2
+
+    def test_explicit_knobs_override_the_spec(self):
+        coarse = compiler.generate_workload(
+            "conveyor_flow_through", seed=0, pose_spacing_m=0.5
+        )
+        fine = compiler.generate_workload("conveyor_flow_through", seed=0)
+        assert len(coarse.events) < len(fine.events)
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("name", NAMED_SCENARIOS)
+    def test_named_scenario_runs_under_smoke(self, name):
+        row = compiler.run_scenario(smoke_variant(registry.get(name)), seed=0)
+        assert row["scenario"] == name
+        assert row["offered"] > 0
+        assert row["sessions"] >= 1
+        assert np.isfinite(row["p99_latency_s"])
+
+    def test_run_scenario_is_seed_deterministic(self):
+        spec = smoke_variant(registry.get("conveyor_flow_through"))
+        assert compiler.run_scenario(spec, seed=3) == compiler.run_scenario(
+            spec, seed=3
+        )
+
+    def test_serial_equals_process_backend(self):
+        spec = smoke_variant(registry.get("conveyor_flow_through"))
+        tasks = compiler.compile_scenario(spec, n_replicates=2, seed=0)
+        serial = run_sweep(
+            tasks, RuntimeConfig(backend="serial"), name="scn-serial"
+        )
+        process = run_sweep(
+            tasks,
+            RuntimeConfig(backend="process", max_workers=2),
+            name="scn-process",
+        )
+        assert serial.results == process.results
+
+    def test_fault_plan_engages(self):
+        spec = smoke_variant(
+            registry.get("conveyor_flow_through")
+        ).with_overrides(
+            {
+                "fault_plan": {
+                    "specs": [
+                        {
+                            "site": "serve.ingest",
+                            "action": "drop",
+                            "rate": 1.0,
+                        }
+                    ]
+                }
+            }
+        )
+        row = compiler.run_scenario(spec, seed=0)
+        clean = compiler.run_scenario(
+            smoke_variant(registry.get("conveyor_flow_through")), seed=0
+        )
+        assert row["applied"] < clean["applied"]

@@ -1,0 +1,104 @@
+"""Registry lookup, registration, and resolve() dispatch."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scenarios import registry
+from repro.scenarios.spec import Scenario
+
+#: The five library scenarios the paper experiments resolve, plus the
+#: three worlds the heatmap/microbench figures use.
+SHIPPED = (
+    "aisle_microbench",
+    "cold_storage_aisles",
+    "conveyor_flow_through",
+    "los_aisle",
+    "multi_floor_atrium",
+    "outdoor_yard",
+    "paper_warehouse_two_floor",
+    "rf_bench",
+)
+
+
+@pytest.fixture
+def scratch_registry(monkeypatch):
+    """Isolate mutations: restore the module dict after the test."""
+    snapshot = dict(registry._SCENARIOS)
+    yield registry
+    registry._SCENARIOS.clear()
+    registry._SCENARIOS.update(snapshot)
+
+
+class TestLibrary:
+    def test_shipped_names(self):
+        assert registry.names() == SHIPPED
+
+    def test_get_returns_matching_name(self):
+        for name in SHIPPED:
+            assert registry.get(name).name == name
+
+    def test_unknown_name_lists_choices(self):
+        with pytest.raises(ConfigurationError) as err:
+            registry.get("nope")
+        assert "conveyor_flow_through" in str(err.value)
+
+
+class TestRegister:
+    def test_register_and_get(self, scratch_registry):
+        spec = Scenario(name="test_world")
+        scratch_registry.register(spec)
+        assert scratch_registry.get("test_world") is spec
+
+    def test_duplicate_rejected_without_replace(self, scratch_registry):
+        scratch_registry.register(Scenario(name="test_world"))
+        with pytest.raises(ConfigurationError):
+            scratch_registry.register(Scenario(name="test_world"))
+
+    def test_replace_wins(self, scratch_registry):
+        scratch_registry.register(Scenario(name="test_world"))
+        replacement = Scenario(name="test_world", description="v2")
+        scratch_registry.register(replacement, replace=True)
+        assert scratch_registry.get("test_world").description == "v2"
+
+
+class TestResolve:
+    def test_scenario_passthrough(self):
+        spec = Scenario(name="inline")
+        assert registry.resolve(spec) is spec
+
+    def test_name_resolves(self):
+        assert registry.resolve("rf_bench").name == "rf_bench"
+
+    def test_toml_path_resolves(self, tmp_path):
+        source = registry.LIBRARY_DIR / "rf_bench.toml"
+        copy = tmp_path / "my_bench.toml"
+        copy.write_text(source.read_text())
+        assert registry.resolve(str(copy)).name == "rf_bench"
+
+    def test_json_path_resolves(self, tmp_path):
+        spec = registry.get("outdoor_yard")
+        path = tmp_path / "yard.json"
+        path.write_text(json.dumps(spec.to_dict()))
+        assert registry.resolve(str(path)) == spec
+
+    def test_bad_extension_rejected(self, tmp_path):
+        path = tmp_path / "spec.yaml"
+        path.write_text("name: x\n")
+        with pytest.raises(ConfigurationError):
+            registry.resolve(str(path))
+
+    def test_non_string_rejected(self):
+        with pytest.raises(ConfigurationError):
+            registry.resolve(42)
+
+    def test_stem_mismatch_in_library_would_fail(self, tmp_path, monkeypatch):
+        bad = tmp_path / "wrong_stem.toml"
+        bad.write_text('name = "other_name"\ndescription = ""\n')
+        monkeypatch.setattr(registry, "LIBRARY_DIR", tmp_path)
+        monkeypatch.setattr(registry, "_library_loaded", False)
+        monkeypatch.setattr(registry, "_SCENARIOS", {})
+        with pytest.raises(ConfigurationError) as err:
+            registry.names()
+        assert "stem" in str(err.value)

@@ -1,0 +1,137 @@
+"""Scenario spec validation and lossless serialization."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import FaultPlan
+from repro.scenarios import registry, toml_codec
+from repro.scenarios.spec import (
+    GridSpec,
+    RadioSpec,
+    ReaderSpec,
+    Scenario,
+    TagLayoutSpec,
+    TrafficSpec,
+    TrajectorySpec,
+    WallSpec,
+)
+
+
+class TestValidation:
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Scenario(name="")
+
+    def test_non_identifier_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Scenario(name="bad name!")
+
+    def test_zero_length_wall_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WallSpec(1.0, 1.0, 1.0, 1.0)
+
+    def test_unknown_material_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WallSpec(0.0, 0.0, 1.0, 0.0, material="adamantium")
+
+    def test_nan_coordinate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WallSpec(float("nan"), 0.0, 1.0, 0.0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TrajectorySpec(kind="teleport")
+
+    def test_random_segment_needs_lengths(self):
+        with pytest.raises(ConfigurationError):
+            TrajectorySpec(
+                kind="random_segment", length_min_m=0.0, length_max_m=0.0
+            )
+
+    def test_fixed_tags_count_must_match(self):
+        with pytest.raises(ConfigurationError):
+            TagLayoutSpec(kind="fixed", n_tags=2, positions_m=((1.0, 1.0),))
+
+    def test_reader_ring_needs_clip_rectangle(self):
+        with pytest.raises(ConfigurationError):
+            ReaderSpec(kind="random_ring", distance_min_m=1.0, distance_max_m=2.0)
+
+    def test_band_edges_ordered(self):
+        with pytest.raises(ConfigurationError):
+            RadioSpec(band_low_hz=930e6, band_high_hz=900e6)
+
+    def test_traffic_load_positive(self):
+        with pytest.raises(ConfigurationError):
+            TrafficSpec(load=0.0)
+
+    def test_grid_needs_nonempty_rectangle(self):
+        with pytest.raises(ConfigurationError):
+            GridSpec(kind="fixed", x_min_m=2.0, x_max_m=1.0)
+
+    def test_unknown_key_in_from_dict_rejected(self):
+        with pytest.raises(ConfigurationError) as err:
+            Scenario.from_dict({"name": "x", "florplan": {}})
+        assert "florplan" in str(err.value)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", registry.names())
+    def test_shipped_scenarios_round_trip_json(self, name):
+        spec = registry.get(name)
+        clone = Scenario.from_json(spec.to_json())
+        assert clone == spec
+        assert clone.to_json() == spec.to_json()
+
+    @pytest.mark.parametrize("name", registry.names())
+    def test_shipped_scenarios_round_trip_toml(self, name):
+        spec = registry.get(name)
+        text = toml_codec.dumps(spec.to_dict())
+        clone = Scenario.from_dict(toml_codec.loads(text))
+        assert clone == spec
+        assert toml_codec.dumps(clone.to_dict()) == text
+
+    def test_fault_plan_round_trips(self):
+        spec = Scenario(
+            name="faulty",
+            fault_plan=FaultPlan.single(
+                "serve.ingest", "drop", rate=0.25
+            ),
+        )
+        clone = Scenario.from_json(spec.to_json())
+        assert clone == spec
+        assert clone.fault_plan is not None
+        assert clone.fault_plan.specs[0].rate == 0.25
+
+    def test_sparse_dict_takes_defaults(self):
+        spec = Scenario.from_dict({"name": "sparse"})
+        assert spec.radio == RadioSpec()
+        assert spec.traffic == TrafficSpec()
+        assert spec.fault_plan is None
+
+
+class TestWithOverrides:
+    def test_dotted_override_applies(self):
+        base = registry.get("conveyor_flow_through")
+        bumped = base.with_overrides({"traffic.load": 8.0})
+        assert bumped.traffic.load == 8.0
+        assert bumped.grid == base.grid
+
+    def test_override_is_non_destructive(self):
+        base = registry.get("conveyor_flow_through")
+        before = base.to_json()
+        base.with_overrides({"grid.resolution_m": 0.5})
+        assert base.to_json() == before
+
+    def test_unknown_path_rejected(self):
+        with pytest.raises(ConfigurationError):
+            registry.get("rf_bench").with_overrides({"radio.nope_hz": 1.0})
+
+    def test_override_through_value_rejected(self):
+        with pytest.raises(ConfigurationError):
+            registry.get("rf_bench").with_overrides(
+                {"name.sub.key": 1.0}
+            )
+
+    def test_invalid_value_rejected_by_validation(self):
+        with pytest.raises(ConfigurationError):
+            registry.get("rf_bench").with_overrides({"traffic.load": -1.0})

@@ -1,0 +1,93 @@
+"""Canonical TOML codec: emitter/parser agreement and error reporting."""
+
+import sys
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scenarios import registry, toml_codec
+
+SAMPLE = {
+    "name": "w",
+    "count": 3,
+    "scale": 0.5,
+    "flag": True,
+    "items": [1.0, 2.5],
+    "nested": {"a": 1, "b": {"c": "deep"}},
+    "rows": [{"x": 1.0, "y": 2.0}, {"x": 3.0, "y": 4.0}],
+}
+
+
+class TestCanonicalForm:
+    def test_dump_load_dump_is_identity(self):
+        text = toml_codec.dumps(SAMPLE)
+        assert toml_codec.dumps(toml_codec.loads(text)) == text
+
+    def test_keys_are_sorted(self):
+        text = toml_codec.dumps({"zeta": 1, "alpha": 2})
+        assert text.index("alpha") < text.index("zeta")
+
+    def test_floats_round_trip_exactly(self):
+        values = [0.1, 1e-9, 902.75e6, 3.5, -0.0]
+        loaded = toml_codec.loads(toml_codec.dumps({"v": values}))
+        assert loaded["v"] == values
+
+    def test_int_and_float_stay_distinct(self):
+        loaded = toml_codec.loads(toml_codec.dumps({"i": 3, "f": 3.0}))
+        assert isinstance(loaded["i"], int)
+        assert isinstance(loaded["f"], float)
+
+    def test_strings_escape_like_json(self):
+        tricky = 'quote " backslash \\ newline \n tab \t'
+        loaded = toml_codec.loads(toml_codec.dumps({"s": tricky}))
+        assert loaded["s"] == tricky
+
+    def test_null_is_rejected(self):
+        with pytest.raises(ConfigurationError):
+            toml_codec.dumps({"missing": None})
+
+
+class TestHandEdits:
+    def test_comments_and_blank_lines_ignored(self):
+        text = "# header\n\na = 1  # trailing\n\n[t]\nb = 2.0\n"
+        assert toml_codec.loads(text) == {"a": 1, "t": {"b": 2.0}}
+
+    def test_nested_arrays_parse(self):
+        assert toml_codec.loads("m = [[1.0, 2.0], [3.0, 4.0]]\n") == {
+            "m": [[1.0, 2.0], [3.0, 4.0]]
+        }
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text, lineno",
+        [
+            ("a = 1\nb\n", 2),
+            ('a = 1\na = 2\n', 2),
+            ("a = [1, 2\n", 1),
+            ('s = "unterminated\n', 1),
+            ("a = 1\n[bad header\n", 2),
+        ],
+    )
+    def test_errors_carry_line_numbers(self, text, lineno):
+        with pytest.raises(ConfigurationError) as err:
+            toml_codec.loads(text)
+        assert f"line {lineno}" in str(err.value)
+
+
+@pytest.mark.skipif(
+    sys.version_info < (3, 11), reason="tomllib ships with 3.11+"
+)
+class TestTomllibAgreement:
+    def test_sample_parses_identically(self):
+        import tomllib
+
+        text = toml_codec.dumps(SAMPLE)
+        assert tomllib.loads(text) == toml_codec.loads(text)
+
+    @pytest.mark.parametrize("name", registry.names())
+    def test_every_shipped_scenario_parses_identically(self, name):
+        import tomllib
+
+        text = toml_codec.dumps(registry.get(name).to_dict())
+        assert tomllib.loads(text) == toml_codec.loads(text)
