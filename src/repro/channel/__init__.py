@@ -31,6 +31,11 @@ from repro.channel.multipath import (
 )
 from repro.channel.environment import Environment, Material
 from repro.channel.antenna import DipoleAntenna, IsotropicAntenna, PatchAntenna
+from repro.channel.interference import (
+    co_channel,
+    co_channel_groups,
+    co_channel_penalty_db,
+)
 from repro.channel.link import Link, LinkBudget
 
 __all__ = [
@@ -50,6 +55,9 @@ __all__ = [
     "round_trip_channel",
     "Environment",
     "Material",
+    "co_channel",
+    "co_channel_groups",
+    "co_channel_penalty_db",
     "IsotropicAntenna",
     "DipoleAntenna",
     "PatchAntenna",

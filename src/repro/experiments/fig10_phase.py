@@ -20,13 +20,14 @@ import repro.channel.pathloss as pathloss
 from repro.dsp.units import db_to_linear
 from repro.experiments.runner import ExperimentOutput, fmt
 from repro.gen2.backscatter import TagParams
-from repro.hardware import PassiveTag, ReaderFrontend, Synthesizer
+from repro.hardware import ReaderFrontend, Synthesizer
 from repro.reader import Reader
 from repro.relay import MirroredRelay, NoMirrorRelay
 from repro.relay.mirrored import RelayConfig
 from repro.runtime import RuntimeConfig, SweepTask
 from repro.scenarios import registry as scenario_registry
 from repro.scenarios.spec import Scenario
+from repro.scenarios.trials import bench_tag
 from repro.sim.results import percentile
 
 #: Wired attenuation between reader and relay; calibrated so the
@@ -99,7 +100,7 @@ def _phase_trial(
     """
     rng = np.random.default_rng(seed)
     half_amp, wire_amp = _link_amplitudes(tag_distance_m)
-    tag = PassiveTag(epc=0x5EED, position=(tag_distance_m, 0.0), rng=rng)
+    tag = bench_tag(tag_distance_m, rng)
     if mirrored:
         relay = MirroredRelay(
             center_frequency_hz,

@@ -50,6 +50,7 @@ from repro.experiments import (
     fig12_localization,
     fig13_aperture,
     fig14_distance,
+    fleet_coverage,
     resilience,
     serve_bench,
     serve_scale,
@@ -255,6 +256,34 @@ REGISTRY: Tuple[ExperimentSpec, ...] = (
         },
         smoke_overrides={
             "shards": (1, 2, 4),
+            "n_tags": 3,
+            "grid_resolution": 0.15,
+        },
+        scenario="conveyor_flow_through",
+    ),
+    ExperimentSpec(
+        name="fleet_coverage",
+        alias="fleet_coverage",
+        description="multi-relay fleets: coverage scaling, policy shootout",
+        build_tasks=fleet_coverage.build_tasks,
+        reduce=fleet_coverage.reduce,
+        render=fleet_coverage.format_result,
+        defaults={
+            "fleet_sizes": fleet_coverage.DEFAULT_FLEET_SIZES,
+            "policies": fleet_coverage.POLICIES,
+            "policy_scenarios": fleet_coverage.POLICY_SCENARIOS,
+            "n_tags": 4,
+            "load": 8.0,
+            "grid_resolution": 0.10,
+            "pose_spacing_m": None,
+            "latency_slo_s": 0.25,
+            "handoff_drop_rate": 0.3,
+            "wrong_threshold_m": 0.75,
+            "seed": 0,
+        },
+        smoke_overrides={
+            "fleet_sizes": (1, 2),
+            "policies": ("nearest", "epsilon_greedy"),
             "n_tags": 3,
             "grid_resolution": 0.15,
         },

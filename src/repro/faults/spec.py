@@ -38,6 +38,7 @@ SITE_ACTIONS: Mapping[str, Tuple[str, ...]] = {
     "serve.ingest": ("drop", "stall"),
     "serve.session": ("reboot",),
     "serve.shard": ("reboot",),
+    "relay.handoff": ("drop", "stall"),
 }
 
 #: Trigger kinds and which optional fields each one requires.

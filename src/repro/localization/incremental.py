@@ -23,7 +23,7 @@ round-off).
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -369,3 +369,101 @@ class IncrementalSar:
             instance._channels = [channels]
         instance._n_poses = len(positions)
         return instance
+
+
+# -- multi-segment (fleet handoff) combination -----------------------------------
+
+
+def _check_segments(
+    segments: Sequence[IncrementalSar],
+) -> List[IncrementalSar]:
+    populated = [s for s in segments if s.n_poses > 0]
+    if not populated:
+        raise InsufficientMeasurementsError(
+            "no poses accumulated in any segment"
+        )
+    first = populated[0]
+    for other in populated[1:]:
+        if other.batch_signature() != first.batch_signature():
+            raise LocalizationError(
+                "segments must share grid and frequency to combine"
+            )
+    return populated
+
+
+def combined_coarse(segments: Sequence[IncrementalSar]) -> Heatmap:
+    """Noncoherent combination of per-segment coarse maps.
+
+    A tag served by several relays accumulates one coherent sum *per
+    relay* (each relay's constant hardware factor ``G_r`` carries an
+    unknown phase, so summing complex accumulators across relays would
+    mis-add phases that never belonged together — see
+    :mod:`repro.localization.disentangle`). Within a segment the sum
+    stays fully coherent; across segments only the magnitudes add:
+
+        P(x, y) = sum_r |S_r(x, y)| / sum_r K_r
+
+    which reduces *exactly* to :meth:`IncrementalSar.coarse_heatmap`
+    for a single segment.
+    """
+    populated = _check_segments(segments)
+    total = sum(s.n_poses for s in populated)
+    values = np.abs(populated[0]._accumulator)
+    for other in populated[1:]:
+        values += np.abs(other._accumulator)
+    grid = populated[0].grid
+    return Heatmap(grid=grid, values=(values / total).reshape(grid.shape))
+
+
+def finalize_segments(
+    segments: Sequence[IncrementalSar],
+) -> LocalizationResult:
+    """Batch-equivalent coarse-to-fine estimate over relay segments.
+
+    Single-segment inputs take :meth:`IncrementalSar.finalize`'s exact
+    path (byte-identical results for sessions that never handed off).
+    Multi-segment inputs combine noncoherently: the coarse peak comes
+    from :func:`combined_coarse`, the aperture/peak rules see the
+    concatenated pose history, and the fine stage sums per-segment
+    ``sar_heatmap`` magnitudes over one shared refined grid.
+    """
+    populated = _check_segments(segments)
+    if len(populated) == 1:
+        return populated[0].finalize()
+    first = populated[0]
+    all_positions = np.concatenate(
+        [s.history()[0] for s in populated], axis=0
+    )
+    all_channels = np.concatenate([s.history()[1] for s in populated])
+    _validate(all_positions, all_channels, first.frequency_hz)
+    coarse = combined_coarse(populated)
+    peaks = find_peaks(
+        coarse, relative_threshold=first.relative_threshold
+    )
+    if first.use_nearest_peak_rule:
+        chosen = select_nearest_to_trajectory(peaks, all_positions)
+    else:
+        chosen = peaks[0]
+    fine_grid = first.grid.refined_around(
+        chosen.position,
+        span=first.fine_span,
+        resolution=first.fine_resolution,
+    )
+    total = sum(s.n_poses for s in populated)
+    fine_values = np.zeros(fine_grid.shape)
+    for segment in populated:
+        positions, channels = segment.history()
+        segment_fine = sar_heatmap(
+            positions, channels, fine_grid, segment.frequency_hz
+        )
+        # ``sar_heatmap`` normalizes by the segment's own pose count;
+        # scale back to |S_r| so segments weight by evidence, then
+        # renormalize by the total.
+        fine_values += segment_fine.values * segment.n_poses
+    fine = Heatmap(grid=fine_grid, values=fine_values / total)
+    return LocalizationResult(
+        position=fine.argmax_position(),
+        coarse_heatmap=coarse,
+        fine_heatmap=fine,
+        peak_distance_to_trajectory_m=chosen.distance_to_trajectory_m,
+    )

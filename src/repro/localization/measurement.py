@@ -39,7 +39,9 @@ class ThroughRelayMeasurement:
     ``h_target`` and ``h_reference`` are the reader's channel estimates
     for the environment tag and the relay-embedded reference RFID;
     ``position`` is the drone pose the SAR solver will use (in practice
-    the OptiTrack observation of it).
+    the OptiTrack observation of it). ``relay`` names which fleet relay
+    carried the observation (``""`` on the single-relay paths, where
+    there is nothing to distinguish).
     """
 
     position: np.ndarray
@@ -47,6 +49,7 @@ class ThroughRelayMeasurement:
     h_reference: complex
     snr_db: float
     time: float = 0.0
+    relay: str = ""
 
 
 class MeasurementModel:

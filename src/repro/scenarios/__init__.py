@@ -41,14 +41,17 @@ from repro.scenarios.spec import (
     GRID_KINDS,
     MATERIAL_NAMES,
     READER_KINDS,
+    SELECTION_KINDS,
     SNR_KINDS,
     TAG_KINDS,
     TRAJECTORY_KINDS,
     ClutterSpec,
+    FleetSpec,
     FloorplanSpec,
     GridSpec,
     RadioSpec,
     ReaderSpec,
+    RelaySpec,
     Scenario,
     TagLayoutSpec,
     TrafficSpec,
@@ -60,14 +63,17 @@ __all__ = [
     "GRID_KINDS",
     "MATERIAL_NAMES",
     "READER_KINDS",
+    "SELECTION_KINDS",
     "SNR_KINDS",
     "TAG_KINDS",
     "TRAJECTORY_KINDS",
     "ClutterSpec",
+    "FleetSpec",
     "FloorplanSpec",
     "GridSpec",
     "RadioSpec",
     "ReaderSpec",
+    "RelaySpec",
     "Scenario",
     "TagLayoutSpec",
     "TrafficSpec",

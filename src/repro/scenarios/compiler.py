@@ -372,6 +372,23 @@ def generate_workload(
     from repro.sim.events import inventory_at_pose
 
     spec = registry.resolve(scenario)
+    if spec.fleet is not None:
+        # Fleet scenarios lower through the multi-relay generator; a
+        # one-relay fleet reproduces this function's stream bit for bit.
+        from repro.fleet.workload import generate_fleet_workload
+
+        return generate_fleet_workload(
+            spec,
+            n_tags=n_tags,
+            seed=seed,
+            load=load,
+            pose_spacing_m=pose_spacing_m,
+            snr_db=snr_db,
+            grid_resolution=grid_resolution,
+            use_gen2_mac=use_gen2_mac,
+            powering_range_m=powering_range_m,
+            tracker=tracker,
+        )
     resolved_load = spec.traffic.load if load is None else float(load)
     if resolved_load <= 0:
         raise ConfigurationError("load factor must be positive")

@@ -46,6 +46,11 @@ TRAJECTORY_KINDS: Tuple[str, ...] = ("line", "random_segment")
 TAG_KINDS: Tuple[str, ...] = ("fixed", "uniform_box", "side_offset")
 SNR_KINDS: Tuple[str, ...] = ("fixed", "distance_law")
 GRID_KINDS: Tuple[str, ...] = ("fixed", "tag_side")
+SELECTION_KINDS: Tuple[str, ...] = (
+    "nearest",
+    "best_link_budget",
+    "epsilon_greedy",
+)
 
 _S = TypeVar("_S")
 
@@ -610,6 +615,137 @@ class GridSpec:
 
 
 @dataclass(frozen=True)
+class RelaySpec:
+    """One relay drone in a fleet.
+
+    Everything is optional and inherits from the scenario: a ``None``
+    ``trajectory`` flies the scenario's :class:`TrajectorySpec` (the
+    pre-fleet single-relay path), a ``None`` ``shift_hz`` /
+    ``gain_db`` takes ``radio.relay_shift_hz`` / ``radio.relay_gain_db``.
+    ``name`` defaults to ``relay-{index:02d}`` when empty; resolved
+    names must be unique — they key per-relay session segments and
+    handoff accounting downstream.
+    """
+
+    name: str = ""
+    trajectory: Optional[TrajectorySpec] = None
+    shift_hz: Optional[float] = None
+    gain_db: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.name and not all(
+            ch.isalnum() or ch in "_-" for ch in self.name
+        ):
+            raise ConfigurationError(
+                f"relay name {self.name!r} must be alphanumeric/_/- "
+                "(it keys session segments and TOML table paths)"
+            )
+        for label in ("shift_hz", "gain_db"):
+            value = getattr(self, label)
+            if value is not None:
+                object.__setattr__(
+                    self, label, _require_finite(label, value)
+                )
+        if self.shift_hz is not None and self.shift_hz <= 0.0:
+            raise ConfigurationError(
+                "relay shift_hz must be > 0 (the tag-side carrier must "
+                "clear the reader's channel)"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready mapping (``None`` fields omitted — TOML-safe)."""
+        out: Dict[str, Any] = {"name": self.name}
+        if self.trajectory is not None:
+            out["trajectory"] = self.trajectory.to_dict()
+        if self.shift_hz is not None:
+            out["shift_hz"] = self.shift_hz
+        if self.gain_db is not None:
+            out["gain_db"] = self.gain_db
+        return out
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "RelaySpec":
+        """Rebuild from :meth:`to_dict` output."""
+        kwargs = _filtered_kwargs(RelaySpec, data)
+        if kwargs.get("trajectory") is not None:
+            kwargs["trajectory"] = TrajectorySpec.from_dict(
+                kwargs["trajectory"]
+            )
+        return RelaySpec(**kwargs)
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """A fleet of relay drones plus the per-tag selection policy.
+
+    ``selection`` picks which relay serves each powered tag at each
+    pose (see :mod:`repro.fleet.selection`); ``epsilon`` /
+    ``learning_rate`` parameterize the ``epsilon_greedy`` learned
+    policy (ignored by the others); ``guard_hz`` is the co-channel
+    gate — two relays whose tag-side carriers sit within ``guard_hz``
+    of each other interfere at the tag and reader (see
+    :mod:`repro.channel.interference`).
+    """
+
+    relays: Tuple[RelaySpec, ...] = (RelaySpec(),)
+    selection: str = "nearest"
+    epsilon: float = 0.1
+    learning_rate: float = 0.5
+    guard_hz: float = 200e3
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "relays", tuple(self.relays))
+        _check_kind("selection", self.selection, SELECTION_KINDS)
+        for label in ("epsilon", "learning_rate", "guard_hz"):
+            object.__setattr__(
+                self, label, _require_finite(label, getattr(self, label))
+            )
+        if not self.relays:
+            raise ConfigurationError("fleet needs at least one relay")
+        resolved = [
+            relay.name or f"relay-{index:02d}"
+            for index, relay in enumerate(self.relays)
+        ]
+        if len(set(resolved)) != len(resolved):
+            raise ConfigurationError(
+                f"fleet relay names must be unique, got {resolved}"
+            )
+        if not 0.0 <= self.epsilon <= 1.0:
+            raise ConfigurationError("epsilon must be in [0, 1]")
+        if not 0.0 < self.learning_rate <= 1.0:
+            raise ConfigurationError("learning_rate must be in (0, 1]")
+        if self.guard_hz < 0.0:
+            raise ConfigurationError("guard_hz must be >= 0")
+
+    def relay_names(self) -> Tuple[str, ...]:
+        """Resolved (defaulted, unique) relay names in fleet order."""
+        return tuple(
+            relay.name or f"relay-{index:02d}"
+            for index, relay in enumerate(self.relays)
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready mapping."""
+        return {
+            "relays": [relay.to_dict() for relay in self.relays],
+            "selection": self.selection,
+            "epsilon": self.epsilon,
+            "learning_rate": self.learning_rate,
+            "guard_hz": self.guard_hz,
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "FleetSpec":
+        """Rebuild from :meth:`to_dict` output."""
+        kwargs = _filtered_kwargs(FleetSpec, data)
+        if "relays" in kwargs:
+            kwargs["relays"] = tuple(
+                RelaySpec.from_dict(item) for item in kwargs["relays"]
+            )
+        return FleetSpec(**kwargs)
+
+
+@dataclass(frozen=True)
 class Scenario:
     """One declarative evaluation world.
 
@@ -628,6 +764,7 @@ class Scenario:
     radio: RadioSpec = field(default_factory=RadioSpec)
     traffic: TrafficSpec = field(default_factory=TrafficSpec)
     grid: GridSpec = field(default_factory=GridSpec)
+    fleet: Optional[FleetSpec] = None
     fault_plan: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
@@ -640,7 +777,8 @@ class Scenario:
             )
 
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-ready mapping (``fault_plan`` omitted when absent)."""
+        """JSON-ready mapping (``fleet``/``fault_plan`` omitted when
+        absent — pre-fleet specs keep their canonical form)."""
         out: Dict[str, Any] = {
             "name": self.name,
             "description": self.description,
@@ -652,6 +790,8 @@ class Scenario:
             "traffic": self.traffic.to_dict(),
             "grid": self.grid.to_dict(),
         }
+        if self.fleet is not None:
+            out["fleet"] = self.fleet.to_dict()
         if self.fault_plan is not None:
             out["fault_plan"] = self.fault_plan.to_dict()
         return out
@@ -669,6 +809,7 @@ class Scenario:
             "radio": RadioSpec.from_dict,
             "traffic": TrafficSpec.from_dict,
             "grid": GridSpec.from_dict,
+            "fleet": FleetSpec.from_dict,
             "fault_plan": FaultPlan.from_dict,
         }
         for key, converter in converters.items():

@@ -112,25 +112,47 @@ def _emit_table(
             if lines:
                 lines.append("")
             lines.append("[[" + ".".join(path + (key,)) + "]]")
-            _emit_inline_table_body(item, lines)
+            _emit_inline_table_body(item, path + (key,), lines)
 
 
 def _emit_inline_table_body(
-    data: Mapping[str, Any], lines: List[str]
+    data: Mapping[str, Any], path: Tuple[str, ...], lines: List[str]
 ) -> None:
+    scalars = []
+    tables = []
     for key in sorted(data):
         value = data[key]
-        if isinstance(value, list) and not any(
+        if isinstance(value, Mapping):
+            tables.append(key)
+        elif isinstance(value, list) and any(
             isinstance(item, Mapping) for item in value
         ):
+            raise ConfigurationError(
+                f"array-of-table entries cannot nest table arrays; "
+                f"key {key!r}"
+            )
+        else:
+            scalars.append(key)
+    for key in scalars:
+        value = data[key]
+        if isinstance(value, list):
             lines.append(f"{key} = {_format_array(value)}")
         elif _is_scalar(value):
             lines.append(f"{key} = {_format_scalar(value)}")
+        elif value is None:
+            raise ConfigurationError(
+                f"TOML has no null: omit key {key!r} instead"
+            )
         else:
             raise ConfigurationError(
-                f"array-of-table entries must be flat; key {key!r} is "
-                f"{type(value).__name__}"
+                f"cannot emit {type(value).__name__} for key {key!r}"
             )
+    # A sub-table header after an array-of-table entry attaches to the
+    # *last* entry of that array (standard TOML; the parser's
+    # ``_descend`` takes ``child[-1]``), so nested mappings emit as
+    # ``[path.key]`` sections before the next ``[[path]]`` line.
+    for key in tables:
+        _emit_table(data[key], path + (key,), lines)
 
 
 def dumps(data: Mapping[str, Any]) -> str:

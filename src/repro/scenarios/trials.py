@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.dsp.units import db_to_linear
 from repro.errors import ConfigurationError
+from repro.hardware import PassiveTag
 from repro.localization.measurement import ThroughRelayMeasurement
 from repro.scenarios import registry
 from repro.scenarios.compiler import (
@@ -218,6 +219,24 @@ def distance_trial(
         projected_distance_m, spec.radio.reference_snr_db
     )
     return aperture_trial(spec, aperture_m, seed=seed, snr_db=snr)
+
+
+def bench_tag(
+    tag_distance_m: float,
+    rng: np.random.Generator,
+    epc: int = 0x5EED,
+) -> PassiveTag:
+    """The wired-bench tag sitting ``tag_distance_m`` down the boresight.
+
+    The Fig. 9/10 RF-bench rigs place one tag on-axis at the spec'd
+    bench distance; experiments resolve it through this builder rather
+    than constructing :class:`~repro.hardware.PassiveTag` inline
+    (reprolint A406). Draw-order exact: the constructor consumes the
+    caller's ``rng`` exactly as the inline site did.
+    """
+    return PassiveTag(
+        epc=epc, position=(float(tag_distance_m), 0.0), rng=rng
+    )
 
 
 TrialBuilder = Callable[..., LocalizationScenario]

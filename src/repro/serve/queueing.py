@@ -45,6 +45,9 @@ class PendingUpdate:
     channel: complex
     arrival_s: float
     seq: int
+    #: Serving relay's name (``""`` on single-relay paths); a change
+    #: between consecutive staged updates is a session handoff.
+    relay: str = ""
 
 
 class BoundedBuffer:

@@ -72,6 +72,8 @@ class ServiceReport:
     updates_lost: int = 0
     recoveries: int = 0
     mean_recovery_latency_s: float = 0.0
+    handoffs: int = 0
+    mean_handoff_latency_s: float = 0.0
 
 
 def _percentile_s(latencies_s: List[float], q: float) -> float:
@@ -111,6 +113,11 @@ class LocalizationService:
         self._lost_in_kill = 0
         self._recoveries = 0
         self._recovery_latencies_s: List[float] = []
+        self._handoffs = 0
+        #: Virtual-time cost of each session handoff: how long the
+        #: first update staged on the new relay's segment waited from
+        #: arrival to fold-in.
+        self._handoff_latencies_s: List[float] = []
         self._killed_at_s: Dict[str, float] = {}
         self._ref_lost_since_s: Dict[str, float] = {}
         self._loss_by_session: Dict[str, int] = {}
@@ -257,7 +264,7 @@ class LocalizationService:
         session = self._get_session(session_id, self.clock.now_s)
         while len(session.pending):
             self.step()
-        catchup = session.lag_poses
+        catchup = session.total_lag_poses
         cost_s = self.config.batch_cost_s(catchup * session.full_nodes)
         if self._partitioned:
             done_s = (
@@ -308,6 +315,24 @@ class LocalizationService:
                 return self._reject_update(session_id, "retries_exhausted")
             arrival_s = delayed_s
         session = self._get_session(session_id, arrival_s)
+        if (
+            faults.watching("relay.handoff")
+            and session.last_ingest_relay is not None
+            and measurement.relay != session.last_ingest_relay
+        ):
+            # The RF handoff window: the first update(s) arriving from
+            # a new serving relay can stall (re-synchronization charged
+            # to the virtual server) or be lost outright — a loss is
+            # rejected loudly and flags the session's final fix.
+            stall_s = faults.stall_s("relay.handoff", now_s=arrival_s)
+            if stall_s > 0.0:
+                self._busy_until_s = (
+                    max(self._busy_until_s, arrival_s) + stall_s
+                )
+                metrics.observe("serve.handoff.stall_s", stall_s)
+            if faults.dropped("relay.handoff", now_s=arrival_s):
+                return self._reject_update(session_id, "handoff")
+        session.last_ingest_relay = measurement.relay
         try:
             channel = disentangle(
                 measurement.h_target, measurement.h_reference
@@ -325,6 +350,7 @@ class LocalizationService:
             channel=channel,
             arrival_s=arrival_s,
             seq=self._seq,
+            relay=measurement.relay,
         )
         self._seq += 1
         admission = session.offer(update, arrival_s)
@@ -382,6 +408,7 @@ class LocalizationService:
             staged: List[PoseBlock] = []
             for plan in plans:
                 session = self.store.get(plan.session_id)
+                handoffs_before = session.handoffs
                 with tracing.span(
                     "serve.batch",
                     session=plan.session_id,
@@ -413,6 +440,20 @@ class LocalizationService:
                 else:
                     busy_until_s += plan.cost_s
                     done_s = busy_until_s
+                handoff_delta = session.handoffs - handoffs_before
+                if handoff_delta:
+                    # Handoff latency: the first update of the batch
+                    # that triggered the segment swap, arrival to
+                    # fold-in, in virtual time.
+                    handoff_latency_s = done_s - plan.updates[0].arrival_s
+                    self._handoffs += handoff_delta
+                    self._handoff_latencies_s.extend(
+                        [handoff_latency_s] * handoff_delta
+                    )
+                    metrics.count("serve.handoffs", handoff_delta)
+                    metrics.observe(
+                        "serve.handoff.latency_s", handoff_latency_s
+                    )
                 for update in plan.updates:
                     latency_s = done_s - update.arrival_s
                     self._latencies_s.append(latency_s)
@@ -485,6 +526,15 @@ class LocalizationService:
         """Raw recovery-latency samples, in recovery order."""
         return tuple(self._recovery_latencies_s)
 
+    def handoff_latency_samples(self) -> Tuple[float, ...]:
+        """Raw handoff-latency samples, in handoff order.
+
+        Like :meth:`latency_samples`, pooled (not averaged) by the
+        shard merge layer so the merged mean is order-insensitive and
+        identical to the unsharded one.
+        """
+        return tuple(self._handoff_latencies_s)
+
     def final_ladder(
         self, session_id: str
     ) -> Tuple[Tuple[int, str], ...]:
@@ -519,6 +569,23 @@ class LocalizationService:
             mean_recovery_latency_s=(
                 float(np.mean(self._recovery_latencies_s))
                 if self._recovery_latencies_s
+                else 0.0
+            ),
+            handoffs=self._handoffs,
+            # Sorted before the mean so the number is exactly
+            # permutation-invariant — the shard merge layer pools and
+            # sorts the same way, keeping merged == unsharded bitwise.
+            mean_handoff_latency_s=(
+                float(
+                    np.mean(
+                        np.sort(
+                            np.asarray(
+                                self._handoff_latencies_s, dtype=float
+                            )
+                        )
+                    )
+                )
+                if self._handoff_latencies_s
                 else 0.0
             ),
         )

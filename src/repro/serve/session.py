@@ -27,7 +27,11 @@ import numpy as np
 from repro.errors import ServeError, SessionNotFoundError
 from repro.localization.batched import PoseBlock
 from repro.localization.grid import Grid2D
-from repro.localization.incremental import IncrementalSar
+from repro.localization.incremental import (
+    IncrementalSar,
+    combined_coarse,
+    finalize_segments,
+)
 from repro.localization.pipeline import LocalizationResult
 from repro.obs import metrics
 from repro.runtime.cache import ResultCache
@@ -85,32 +89,55 @@ class TagSession:
         self.last_seen_s = float(opened_s)
         self.pending = BoundedBuffer(config.queue_capacity)
         self.stats = SessionStats()
-        self.full = IncrementalSar(
-            config.frequency_hz,
-            grid,
-            chunk_nodes=config.chunk_nodes,
-            fine_resolution=config.fine_resolution,
-            fine_span=config.fine_span,
-            relative_threshold=config.relative_threshold,
-            use_nearest_peak_rule=config.use_nearest_peak_rule,
-        )
-        self.degraded = IncrementalSar(
-            config.frequency_hz,
-            _degraded_grid(grid, config.degraded_resolution_factor),
-            chunk_nodes=config.chunk_nodes,
-            fine_resolution=min(
-                config.fine_resolution, grid.resolution
-            ),
-            fine_span=config.fine_span,
-            relative_threshold=config.relative_threshold,
-            use_nearest_peak_rule=config.use_nearest_peak_rule,
-        )
+        self.full = self._fresh_full()
+        self.degraded = self._fresh_degraded()
         self._lag: List[Tuple[np.ndarray, np.ndarray]] = []
         self._lag_poses = 0
         #: Degradation-ladder transition log: ``(applied_before, mode)``
         #: per mode change, keyed by the session-local applied-update
         #: count so the log is invariant to how sessions are sharded.
         self.ladder: List[Tuple[int, str]] = []
+        #: Which fleet relay the *active* accumulators belong to. None
+        #: until the first staged update; the single-relay paths tag
+        #: updates with ``relay=""``, which is a legal (constant) name,
+        #: so legacy sessions stay on one segment forever.
+        self.active_relay: Optional[str] = None
+        #: Relay named by the most recently *ingested* update (the
+        #: ``relay.handoff`` fault site triggers on changes here).
+        self.last_ingest_relay: Optional[str] = None
+        #: Completed segment switches (one per serving-relay change).
+        self.handoffs = 0
+        #: Archived per-relay segments: phase disentanglement leaves a
+        #: per-relay constant phase in every channel, so accumulators
+        #: must never sum coherently across relays — each relay keeps
+        #: its own (full, degraded, lag) triple, swapped in on handoff.
+        self._archive: Dict[str, Dict[str, Any]] = {}
+
+    def _fresh_full(self) -> IncrementalSar:
+        return IncrementalSar(
+            self.config.frequency_hz,
+            self.grid,
+            chunk_nodes=self.config.chunk_nodes,
+            fine_resolution=self.config.fine_resolution,
+            fine_span=self.config.fine_span,
+            relative_threshold=self.config.relative_threshold,
+            use_nearest_peak_rule=self.config.use_nearest_peak_rule,
+        )
+
+    def _fresh_degraded(self) -> IncrementalSar:
+        return IncrementalSar(
+            self.config.frequency_hz,
+            _degraded_grid(
+                self.grid, self.config.degraded_resolution_factor
+            ),
+            chunk_nodes=self.config.chunk_nodes,
+            fine_resolution=min(
+                self.config.fine_resolution, self.grid.resolution
+            ),
+            fine_span=self.config.fine_span,
+            relative_threshold=self.config.relative_threshold,
+            use_nearest_peak_rule=self.config.use_nearest_peak_rule,
+        )
 
     # -- ingest ------------------------------------------------------------------
 
@@ -128,8 +155,20 @@ class TagSession:
 
     @property
     def lag_poses(self) -> int:
-        """Deferred full-resolution poses awaiting catch-up."""
+        """Deferred full-resolution poses awaiting catch-up.
+
+        Active segment only — this is the scheduler-facing catch-up
+        budget, and only the active segment's lag can grow; archived
+        segments drain at finalize (see :attr:`total_lag_poses`).
+        """
         return self._lag_poses
+
+    @property
+    def total_lag_poses(self) -> int:
+        """Deferred poses across the active *and* archived segments."""
+        return self._lag_poses + sum(
+            segment["lag_poses"] for segment in self._archive.values()
+        )
 
     @property
     def full_nodes(self) -> int:
@@ -155,6 +194,39 @@ class TagSession:
             applied = self.stats.applied_full + self.stats.applied_degraded
             self.ladder.append((applied, mode))
 
+    def _switch_segment(self, relay: str) -> None:
+        """Swap the active accumulator triple for ``relay``'s segment.
+
+        The outgoing segment (accumulators *and* its undrained lag) is
+        parked in the archive under its relay name; the incoming relay
+        resumes its own archived segment if it served this tag before,
+        or starts fresh. Nothing is ever summed across the swap — the
+        per-relay constant phase makes cross-relay coherent sums
+        meaningless (see :func:`~repro.localization.incremental.
+        combined_coarse`).
+        """
+        assert self.active_relay is not None
+        self._archive[self.active_relay] = {
+            "full": self.full,
+            "degraded": self.degraded,
+            "lag": self._lag,
+            "lag_poses": self._lag_poses,
+        }
+        resumed = self._archive.pop(relay, None)
+        if resumed is not None:
+            self.full = resumed["full"]
+            self.degraded = resumed["degraded"]
+            self._lag = resumed["lag"]
+            self._lag_poses = resumed["lag_poses"]
+        else:
+            self.full = self._fresh_full()
+            self.degraded = self._fresh_degraded()
+            self._lag = []
+            self._lag_poses = 0
+        self.active_relay = relay
+        self.handoffs += 1
+        metrics.count("serve.session.handoffs")
+
     def stage_batch(
         self, updates: Sequence[PendingUpdate], degraded: bool
     ) -> List[PoseBlock]:
@@ -166,9 +238,37 @@ class TagSession:
         round's single stacked kernel call. FULL mode stages both
         accumulators; DEGRADED mode stages only the cheap one and
         defers the full-resolution fold-in to the lag list.
+
+        A batch mixing updates from several relays is split into
+        contiguous same-relay runs (FIFO order preserved); each relay
+        change between runs is a session handoff that swaps the active
+        segment. Single-relay traffic carries a constant relay name
+        (``""`` from the legacy paths), so it always forms one run and
+        takes the exact pre-fleet staging path.
         """
         if not updates:
             return []
+        blocks: List[PoseBlock] = []
+        start = 0
+        for end in range(1, len(updates) + 1):
+            if (
+                end < len(updates)
+                and updates[end].relay == updates[start].relay
+            ):
+                continue
+            blocks.extend(self._stage_run(updates[start:end], degraded))
+            start = end
+        return blocks
+
+    def _stage_run(
+        self, updates: Sequence[PendingUpdate], degraded: bool
+    ) -> List[PoseBlock]:
+        """Stage one contiguous same-relay run, handing off if needed."""
+        relay = updates[0].relay
+        if self.active_relay is None:
+            self.active_relay = relay
+        elif relay != self.active_relay:
+            self._switch_segment(relay)
         positions = np.stack([u.position for u in updates])
         channels = np.array([u.channel for u in updates], dtype=complex)
         self._record_mode(degraded)
@@ -245,16 +345,40 @@ class TagSession:
 
         The full accumulator wins when it has seen everything; while it
         lags (degraded mode), the degraded accumulator — which always
-        sees every pose — answers instead.
+        sees every pose — answers instead. With archived segments the
+        degraded accumulators of *all* segments (each complete for its
+        relay's poses) combine noncoherently; without any archive this
+        is byte-for-byte the single-relay readout.
         """
-        if self._lag_poses == 0 and self.full.n_poses > 0:
-            return self.full.estimate()
-        return self.degraded.estimate()
+        if not self._archive:
+            if self._lag_poses == 0 and self.full.n_poses > 0:
+                return self.full.estimate()
+            return self.degraded.estimate()
+        segments = [self.degraded] + [
+            entry["degraded"] for entry in self._archive.values()
+        ]
+        return combined_coarse(segments).argmax_position()
 
     def finalize(self) -> LocalizationResult:
-        """Catch up in full and run the batch-equivalent fine stage."""
+        """Catch up in full and run the batch-equivalent fine stage.
+
+        Archived segments drain their own lag lists first (each into
+        its own full accumulator — the fold is linear per segment, so
+        deferral costs nothing), then all full segments combine through
+        the noncoherent fine stage. One segment means the exact
+        single-relay finalize path.
+        """
         self.catch_up(None)
-        return self.full.finalize()
+        for entry in self._archive.values():
+            for positions, channels in entry["lag"]:
+                entry["full"].update(positions, channels)
+                self.stats.caught_up += len(positions)
+            entry["lag"] = []
+            entry["lag_poses"] = 0
+        segments = [self.full] + [
+            entry["full"] for entry in self._archive.values()
+        ]
+        return finalize_segments(segments)
 
     # -- checkpointing -----------------------------------------------------------
 
@@ -272,6 +396,19 @@ class TagSession:
             "degraded": self.degraded.to_payload(),
             "lag": [(p.copy(), c.copy()) for p, c in self._lag],
             "ladder": [tuple(entry) for entry in self.ladder],
+            "active_relay": self.active_relay,
+            "last_ingest_relay": self.last_ingest_relay,
+            "handoffs": self.handoffs,
+            "archive": {
+                relay: {
+                    "full": entry["full"].to_payload(),
+                    "degraded": entry["degraded"].to_payload(),
+                    "lag": [
+                        (p.copy(), c.copy()) for p, c in entry["lag"]
+                    ],
+                }
+                for relay, entry in self._archive.items()
+            },
             "stats": {
                 "accepted": self.stats.accepted,
                 "shed": self.stats.shed,
@@ -305,6 +442,28 @@ class TagSession:
             (int(applied), str(mode))
             for applied, mode in payload.get("ladder", [])
         ]
+        # Fleet keys are read with defaults so pre-fleet checkpoints
+        # (no handoff state) restore unchanged.
+        raw_relay = payload.get("active_relay")
+        session.active_relay = (
+            None if raw_relay is None else str(raw_relay)
+        )
+        raw_ingest = payload.get("last_ingest_relay")
+        session.last_ingest_relay = (
+            None if raw_ingest is None else str(raw_ingest)
+        )
+        session.handoffs = int(payload.get("handoffs", 0))
+        for relay, entry in payload.get("archive", {}).items():
+            lag = [
+                (np.asarray(p, dtype=float), np.asarray(c, dtype=complex))
+                for p, c in entry["lag"]
+            ]
+            session._archive[str(relay)] = {
+                "full": IncrementalSar.from_payload(entry["full"]),
+                "degraded": IncrementalSar.from_payload(entry["degraded"]),
+                "lag": lag,
+                "lag_poses": sum(len(p) for p, _ in lag),
+            }
         session.stats = SessionStats(**payload["stats"])
         return session
 

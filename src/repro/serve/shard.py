@@ -216,6 +216,7 @@ def merge_service_reports(
     reports: Sequence[ServiceReport],
     latencies_s: Sequence[Sequence[float]],
     recoveries_s: Sequence[Sequence[float]],
+    handoffs_s: Sequence[Sequence[float]] = (),
 ) -> ServiceReport:
     """Merge per-shard reports into one service-level report.
 
@@ -223,13 +224,20 @@ def merge_service_reports(
     (bitwise what the unsharded service reports, since
     ``np.percentile`` sorts); ``busy_s`` is the makespan — the shards
     run concurrently, so the fleet is busy as long as its slowest
-    member.
+    member. Handoff counts add and the mean handoff latency pools the
+    per-shard samples, so heterogeneous per-shard counters merge the
+    same whatever order the shards are listed in (a sum of samples is
+    permutation-invariant up to float association; the tests pin
+    order-insensitivity of the merged numbers).
     """
     pooled: List[float] = [
         sample for samples in latencies_s for sample in samples
     ]
     recoveries: List[float] = [
         sample for samples in recoveries_s for sample in samples
+    ]
+    handoffs: List[float] = [
+        sample for samples in handoffs_s for sample in samples
     ]
     return ServiceReport(
         updates_accepted=sum(r.updates_accepted for r in reports),
@@ -248,6 +256,15 @@ def merge_service_reports(
         recoveries=sum(r.recoveries for r in reports),
         mean_recovery_latency_s=(
             float(np.mean(recoveries)) if recoveries else 0.0
+        ),
+        handoffs=sum(r.handoffs for r in reports),
+        # Sorting canonicalizes the float summation order, so the
+        # merged mean is exactly permutation-invariant and matches the
+        # unsharded service (which sorts too).
+        mean_handoff_latency_s=(
+            float(np.mean(np.sort(np.asarray(handoffs, dtype=float))))
+            if handoffs
+            else 0.0
         ),
     )
 
@@ -355,6 +372,7 @@ class ShardedLocalizationService:
             [w.report() for w in self.workers],
             [w.latency_samples() for w in self.workers],
             [w.recovery_latency_samples() for w in self.workers],
+            [w.handoff_latency_samples() for w in self.workers],
         )
 
 
@@ -386,6 +404,7 @@ class _ShardResult:
     report: ServiceReport
     latencies_s: Tuple[float, ...]
     recovery_latencies_s: Tuple[float, ...]
+    handoff_latencies_s: Tuple[float, ...]
     estimates: Dict[str, np.ndarray]
     errors_m: Dict[str, float]
     ladders: Dict[str, Tuple[Tuple[int, str], ...]]
@@ -489,6 +508,7 @@ def _replay_shard(payload: _ShardPayload) -> _ShardResult:
             report=service.report(),
             latencies_s=service.latency_samples(),
             recovery_latencies_s=service.recovery_latency_samples(),
+            handoff_latencies_s=service.handoff_latency_samples(),
             estimates=estimates,
             errors_m=errors_m,
             ladders=ladders,
@@ -591,6 +611,7 @@ def run_sharded_workload(
         [result.report for result in results],
         [result.latencies_s for result in results],
         [result.recovery_latencies_s for result in results],
+        [result.handoff_latencies_s for result in results],
     )
     offered = len(workload.events)
     busy_s = max(merged.busy_s, 1e-12)

@@ -1,0 +1,39 @@
+"""The baseline ratchet: no grandfathered findings may remain.
+
+The reprolint baseline exists to adopt the linter on a tree with
+accepted legacy findings and then ratchet them away PR by PR. The last
+grandfathered entry (A406 against ``fig10_phase.py``'s inline
+``PassiveTag`` bench rig) was retired by porting the rig onto
+:func:`repro.scenarios.trials.bench_tag`, so the checked-in baseline
+must now be empty — and stay empty. Adding a key back is a regression,
+not a workaround.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BASELINE = REPO_ROOT / "reprolint-baseline.json"
+
+
+class TestBaselineRatchet:
+    def test_checked_in_baseline_is_empty(self):
+        payload = json.loads(BASELINE.read_text(encoding="utf-8"))
+        assert payload["version"] == 2
+        assert payload["keys"] == [], (
+            "reprolint-baseline.json must stay empty: fix new findings "
+            "at the source instead of grandfathering them"
+        )
+
+    def test_fig10_bench_rig_carries_no_a406(self, capsys):
+        # The retired entry's file must lint clean *without* the
+        # baseline — the ratchet is real, not suppressed.
+        target = REPO_ROOT / "src/repro/experiments/fig10_phase.py"
+        exit_code = main([str(target), "--select", "A406"])
+        out = capsys.readouterr().out
+        assert exit_code == 0, out
+        assert "A406" not in out

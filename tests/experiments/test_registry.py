@@ -23,15 +23,15 @@ GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
 
 
 class TestLookup:
-    def test_twelve_specs_in_registry_order(self):
-        assert len(registry.REGISTRY) == 12
+    def test_thirteen_specs_in_registry_order(self):
+        assert len(registry.REGISTRY) == 13
         assert registry.names()[0] == "fig4_spectrum"
-        assert registry.names()[-2] == "serve_scale"
+        assert registry.names()[-2] == "fleet_coverage"
         assert registry.names()[-1] == "ablations"
 
     def test_names_and_aliases_unique(self):
-        assert len(set(registry.names())) == 12
-        assert len(set(registry.aliases())) == 12
+        assert len(set(registry.names())) == 13
+        assert len(set(registry.aliases())) == 13
 
     def test_name_and_alias_resolve_to_same_spec(self):
         for spec in registry.REGISTRY:

@@ -1,0 +1,105 @@
+"""Fleet traffic generation: the N=1 bit-identity pin and the merged
+multi-relay stream's ordering/tagging contracts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fleet.plan import scale_fleet
+from repro.fleet.workload import generate_fleet_workload
+from repro.scenarios import registry
+from repro.scenarios.compiler import generate_workload
+
+BASE = "conveyor_flow_through"
+
+
+def assert_same_physics(got, want):
+    """Bitwise measurement equality, ignoring the relay name tag."""
+    np.testing.assert_array_equal(got.position, want.position)
+    assert got.h_target == want.h_target
+    assert got.h_reference == want.h_reference
+    assert got.snr_db == want.snr_db
+    assert got.time == want.time
+
+
+def base_workload(**kwargs):
+    return generate_workload(BASE, **kwargs)
+
+
+def fleet_workload(n, **kwargs):
+    return generate_workload(
+        scale_fleet(registry.get(BASE), n), **kwargs
+    )
+
+
+class TestSingleRelayBitIdentity:
+    def test_one_relay_fleet_is_bit_identical_modulo_relay_name(self):
+        reference = base_workload(n_tags=3, seed=0, load=8.0)
+        fleet = fleet_workload(1, n_tags=3, seed=0, load=8.0)
+        assert len(fleet.events) == len(reference.events)
+        for got, want in zip(fleet.events, reference.events):
+            assert got.time_s == want.time_s
+            assert got.session_id == want.session_id
+            assert got.measurement.relay == "relay-00"
+            # Everything physical is bitwise the pre-fleet draw.
+            assert_same_physics(got.measurement, want.measurement)
+        assert fleet.duration_s == reference.duration_s
+        assert fleet.grids.keys() == reference.grids.keys()
+        for session_id, grid in reference.grids.items():
+            assert fleet.grids[session_id].resolution == grid.resolution
+        for session_id, position in reference.tag_positions.items():
+            np.testing.assert_array_equal(
+                fleet.tag_positions[session_id], position
+            )
+
+    def test_compiler_delegates_fleet_scenarios(self):
+        # generate_workload on a fleet scenario must route through the
+        # fleet generator (events carry relay names), not silently
+        # ignore the fleet block.
+        workload = fleet_workload(2, n_tags=3, seed=0, load=8.0)
+        relays = {event.measurement.relay for event in workload.events}
+        assert relays == {"relay-00", "relay-01"}
+
+
+class TestMultiRelayStream:
+    def _workload(self, n=2, seed=0):
+        return fleet_workload(n, n_tags=3, seed=seed, load=8.0)
+
+    def test_events_sorted_by_time_then_session(self):
+        workload = self._workload()
+        keys = [(e.time_s, e.session_id) for e in workload.events]
+        assert keys == sorted(keys)
+
+    def test_deterministic_under_seed(self):
+        first = self._workload(seed=4)
+        second = self._workload(seed=4)
+        assert len(first.events) == len(second.events)
+        for a, b in zip(first.events, second.events):
+            assert a.time_s == b.time_s
+            assert a.session_id == b.session_id
+            assert a.measurement.relay == b.measurement.relay
+            assert_same_physics(a.measurement, b.measurement)
+
+    def test_fleet_scans_faster(self):
+        # N segments flown simultaneously: the whole aisle is covered
+        # in roughly 1/N the (virtual) wall time.
+        single = self._workload(n=1)
+        quad = self._workload(n=4)
+        assert quad.duration_s < single.duration_s * 0.75
+
+    def test_boundary_tags_hand_off(self):
+        # At least one session must be served by both relays — the
+        # overlap region guarantees it for tags near the midline.
+        workload = self._workload(n=2)
+        by_session = {}
+        for event in workload.events:
+            by_session.setdefault(event.session_id, set()).add(
+                event.measurement.relay
+            )
+        assert any(len(relays) > 1 for relays in by_session.values())
+
+    def test_plain_scenario_rejected(self):
+        with pytest.raises(ConfigurationError, match="declares no fleet"):
+            generate_fleet_workload(BASE, n_tags=2, seed=0)

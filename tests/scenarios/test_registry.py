@@ -8,9 +8,10 @@ from repro.errors import ConfigurationError
 from repro.scenarios import registry
 from repro.scenarios.spec import Scenario
 
-#: The five library scenarios the paper experiments resolve, plus the
-#: three worlds the heatmap/microbench figures use.
+#: The five library scenarios the paper experiments resolve, the three
+#: worlds the heatmap/microbench figures use, plus the two fleet worlds.
 SHIPPED = (
+    "aisle_crossover_handoff",
     "aisle_microbench",
     "cold_storage_aisles",
     "conveyor_flow_through",
@@ -19,6 +20,7 @@ SHIPPED = (
     "outdoor_yard",
     "paper_warehouse_two_floor",
     "rf_bench",
+    "warehouse_twin_aisle",
 )
 
 

@@ -292,3 +292,57 @@ def test_sharding_requires_partitioned_isolation(workload):
     config = ServeConfig(frequency_hz=F)
     with pytest.raises(ConfigurationError, match="partitioned"):
         run_sharded_workload(workload, config, ShardConfig(n_shards=2))
+
+
+# -- fleet workloads -------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def fleet_workload():
+    """A two-relay fleet stream whose boundary tags hand off."""
+    from repro.fleet.plan import scale_fleet
+    from repro.scenarios import registry as scenario_registry
+    from repro.scenarios.compiler import generate_workload as compile_workload
+
+    spec = scale_fleet(scenario_registry.get("conveyor_flow_through"), 2)
+    return compile_workload(
+        spec, n_tags=4, seed=3, load=16.0, grid_resolution=0.15
+    )
+
+
+@pytest.fixture(scope="module")
+def fleet_unsharded(fleet_workload):
+    config = ServeConfig(**PARTITIONED)
+    report = run_sharded_workload(
+        fleet_workload, config, ShardConfig(n_shards=1)
+    )
+    assert report.service.handoffs > 0  # the case exists to cover these
+    return report
+
+
+@pytest.mark.parametrize("n_shards", [2, 4])
+def test_fleet_sharded_serial_matches_unsharded(
+    fleet_workload, fleet_unsharded, n_shards
+):
+    """Handoff bookkeeping (segment archives, handoff counters and
+    latency samples) must survive sharding bit for bit."""
+    config = ServeConfig(**PARTITIONED)
+    candidate = run_sharded_workload(
+        fleet_workload, config, ShardConfig(n_shards=n_shards)
+    )
+    _assert_equivalent(fleet_unsharded, candidate)
+    assert candidate.service.handoffs == fleet_unsharded.service.handoffs
+
+
+@pytest.mark.slow
+def test_fleet_sharded_process_matches_unsharded(
+    fleet_workload, fleet_unsharded
+):
+    config = ServeConfig(**PARTITIONED)
+    candidate = run_sharded_workload(
+        fleet_workload,
+        config,
+        ShardConfig(n_shards=4, backend="process", max_workers=2),
+    )
+    _assert_equivalent(fleet_unsharded, candidate)
+    assert candidate.service.handoffs == fleet_unsharded.service.handoffs
