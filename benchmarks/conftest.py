@@ -10,11 +10,12 @@ under ``benchmarks/reports/manifests/``.
 
 from __future__ import annotations
 
-import json
 from pathlib import Path
+from typing import Optional
 
 import pytest
 
+from repro.obs.reports import bench_report, write_json_atomic
 from repro.runtime import RuntimeConfig
 
 REPORTS_DIR = Path(__file__).parent / "reports"
@@ -55,14 +56,18 @@ def save_report(reports_dir):
 
 @pytest.fixture(scope="session")
 def save_bench_json(reports_dir):
-    """Write a timing-delta record to reports/BENCH_<name>.json."""
+    """Write a schema-validated record to reports/BENCH_<name>.json.
 
-    def _save(name: str, payload: dict) -> Path:
-        path = reports_dir / f"BENCH_{name}.json"
-        path.write_text(
-            json.dumps(payload, indent=2, sort_keys=False) + "\n",
-            encoding="utf-8",
-        )
-        return path
+    Every report goes through the shared :mod:`repro.obs.reports`
+    envelope — float metrics must carry unit suffixes, configuration
+    goes in ``context`` — and lands atomically in canonical JSON, so
+    committed reports diff cleanly and never half-write.
+    """
+
+    def _save(
+        name: str, metrics: dict, context: Optional[dict] = None
+    ) -> Path:
+        doc = bench_report(name, metrics, context)
+        return write_json_atomic(reports_dir / f"BENCH_{name}.json", doc)
 
     return _save

@@ -80,13 +80,31 @@ def obs_record(tmp_path_factory):
         "observed_wall_s": observed_s,
         "overhead_ratio": observed_s / plain_s,
         "max_overhead_ratio": MAX_OVERHEAD_RATIO,
-        "task_span_coverage": task_span_coverage(traced.sweep.manifest),
+        "task_span_coverage_fraction": task_span_coverage(
+            traced.sweep.manifest
+        ),
         "min_span_coverage": MIN_SPAN_COVERAGE,
     }
 
 
 def test_tracing_overhead_below_five_percent(obs_record, save_bench_json):
-    save_bench_json("obs", obs_record)
+    save_bench_json(
+        "obs",
+        {
+            "plain_wall_s": obs_record["plain_wall_s"],
+            "observed_wall_s": obs_record["observed_wall_s"],
+            "overhead_ratio": obs_record["overhead_ratio"],
+            "task_span_coverage_fraction": obs_record[
+                "task_span_coverage_fraction"
+            ],
+        },
+        context={
+            "fig12_trials": obs_record["fig12_trials"],
+            "best_of": obs_record["best_of"],
+            "max_overhead_ratio": obs_record["max_overhead_ratio"],
+            "min_span_coverage": obs_record["min_span_coverage"],
+        },
+    )
     assert obs_record["overhead_ratio"] < MAX_OVERHEAD_RATIO, (
         f"tracing overhead {100 * (obs_record['overhead_ratio'] - 1):.1f}% "
         f"exceeds the {100 * (MAX_OVERHEAD_RATIO - 1):.0f}% budget"
@@ -94,9 +112,9 @@ def test_tracing_overhead_below_five_percent(obs_record, save_bench_json):
 
 
 def test_task_spans_cover_ninety_percent_of_wall_time(obs_record):
-    assert obs_record["task_span_coverage"] >= MIN_SPAN_COVERAGE, (
-        f"task spans cover only "
-        f"{100 * obs_record['task_span_coverage']:.1f}% of sweep wall time"
+    coverage = obs_record["task_span_coverage_fraction"]
+    assert coverage >= MIN_SPAN_COVERAGE, (
+        f"task spans cover only {100 * coverage:.1f}% of sweep wall time"
     )
 
 

@@ -80,6 +80,18 @@ class ReferenceLostError(ServeError):
     """The reference tag stayed undecodable past the reacquisition timeout."""
 
 
+class ReportError(RFlyError):
+    """A benchmark/soak report violates the shared report schema."""
+
+
+class TrendError(ReportError):
+    """The committed soak trend file is missing, corrupt, or inconsistent."""
+
+
+class GateError(RFlyError):
+    """The soak regression gate was invoked with unusable inputs."""
+
+
 class GeometryError(RFlyError):
     """Invalid geometric input (degenerate segment, point outside room...)."""
 

@@ -138,6 +138,41 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--hours",
+        type=float,
+        default=None,
+        metavar="H",
+        help="soak: virtual horizon in hours (experiments with an "
+        "'hours' knob only)",
+    )
+    parser.add_argument(
+        "--snapshot-every",
+        type=float,
+        default=None,
+        dest="snapshot_every_s",
+        metavar="SECONDS",
+        help="soak: virtual seconds between metric snapshots",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="M",
+        help="shard count (experiments with a scalar 'shards' knob only)",
+    )
+    parser.add_argument(
+        "--trend-file",
+        default=None,
+        metavar="PATH",
+        help="soak: trend file to append to (default: "
+        "benchmarks/reports/SOAK_TREND.json)",
+    )
+    parser.add_argument(
+        "--no-trend",
+        action="store_true",
+        help="soak: skip appending this run to the trend file",
+    )
+    parser.add_argument(
         "--trace",
         action="store_true",
         help="record span trees and print the engine span tree per sweep",
@@ -204,10 +239,50 @@ def run_experiment(
     observers: Optional[Sequence[SweepObserver]] = None,
     **overrides: Any,
 ) -> List[ExperimentOutput]:
-    """Run one named experiment and return its rendered outputs."""
+    """Run one named experiment and return its rendered outputs.
+
+    Side-effect free — ``post_run`` hooks (e.g. the soak trend append)
+    only fire from :func:`main`, so the golden and observer suites can
+    call this freely.
+    """
     return registry.run_experiment(
         name, runtime=runtime, smoke=smoke, observers=observers, **overrides
     ).outputs
+
+
+def knob_overrides(
+    parser: argparse.ArgumentParser,
+    spec: ExperimentSpec,
+    args: argparse.Namespace,
+) -> Dict[str, Any]:
+    """Scalar knob flags -> parameter overrides, validated per spec.
+
+    A knob applies only when the spec's defaults carry the same key as
+    a scalar (``--shards 4`` must not silently replace ``serve_scale``'s
+    swept tuple); anything else is a usage error, not a typo-eating
+    no-op.
+    """
+    knobs = {
+        "hours": ("--hours", args.hours),
+        "snapshot_every_s": ("--snapshot-every", args.snapshot_every_s),
+        "shards": ("--shards", args.shards),
+    }
+    overrides: Dict[str, Any] = {}
+    for key, (flag, value) in knobs.items():
+        if value is None:
+            continue
+        default = spec.defaults.get(key)
+        if key not in spec.defaults:
+            parser.error(
+                f"{flag} does not apply to experiment {spec.alias!r}"
+            )
+        if isinstance(default, (tuple, list)):
+            parser.error(
+                f"{flag} expects a scalar knob, but {spec.alias!r} "
+                f"sweeps {key!r}; use the module API instead"
+            )
+        overrides[key] = value
+    return overrides
 
 
 def parse_set_overrides(items: Sequence[str]) -> Dict[str, Any]:
@@ -314,23 +389,37 @@ def main(argv: Optional[List[str]] = None) -> int:
     for name in chosen:
         start_s = wall_clock_s()
         observers = observers_from_args(args)
-        overrides: Dict[str, Any] = {}
+        spec = registry.get(name)
+        overrides: Dict[str, Any] = knob_overrides(parser, spec, args)
         try:
             scenario = scenario_override(
-                registry.get(name), args.scenario, args.scenario_sets
+                spec, args.scenario, args.scenario_sets
             )
         except ConfigurationError as error:
             parser.error(str(error))
         if scenario is not None:
             overrides["scenario"] = scenario
-        for output in run_experiment(
-            name, runtime, smoke=args.smoke, observers=observers, **overrides
-        ):
+        run = registry.run_experiment(
+            spec, runtime=runtime, smoke=args.smoke,
+            observers=observers, **overrides,
+        )
+        for output in run.outputs:
             print(output.report())
             print()
         for report in _observer_reports(observers):
             print(report)
             print()
+        if spec.post_run is not None:
+            message = spec.post_run(
+                run,
+                {
+                    "trend_file": args.trend_file,
+                    "no_trend": args.no_trend,
+                },
+            )
+            if message:
+                print(message)
+                print()
         print(f"[{name} regenerated in {wall_clock_s() - start_s:.1f} s]")
         print()
     return 0

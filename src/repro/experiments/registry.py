@@ -54,6 +54,7 @@ from repro.experiments import (
     resilience,
     serve_bench,
     serve_scale,
+    soak,
 )
 from repro.experiments.runner import ExperimentOutput
 from repro.obs.observers import SweepObserver
@@ -76,6 +77,15 @@ class ExperimentSpec:
     #: traffic resolve from; ``run_experiment`` threads it into the
     #: params as ``scenario`` (overridable via ``--scenario``).
     scenario: str = ""
+    #: CLI-only side-effect hook, invoked by ``python -m
+    #: repro.experiments`` after a successful run with ``(run,
+    #: options)`` — never by :func:`run_experiment` itself, so golden
+    #: and observer tests stay side-effect free. The soak experiment
+    #: uses it to append to the committed trend file. Returns an
+    #: optional message for the CLI to print.
+    post_run: Optional[
+        Callable[["ExperimentRun", Mapping[str, Any]], Optional[str]]
+    ] = None
 
     @property
     def golden_filename(self) -> str:
@@ -288,6 +298,31 @@ REGISTRY: Tuple[ExperimentSpec, ...] = (
             "grid_resolution": 0.15,
         },
         scenario="conveyor_flow_through",
+    ),
+    ExperimentSpec(
+        name="soak",
+        alias="soak",
+        description="long-horizon soak: trend file + regression gate",
+        build_tasks=soak.build_tasks,
+        reduce=soak.reduce,
+        render=lambda result: [soak.format_result(result)],
+        defaults={
+            "hours": 2.0,
+            "snapshot_every_s": 600.0,
+            "shards": 2,
+            "n_tags": None,
+            "load": 8.0,
+            "grid_resolution": 0.10,
+            "latency_slo_s": 0.25,
+            "fault_profile": "calm",
+            "seed": 0,
+        },
+        smoke_overrides={
+            "hours": 0.5,
+            "grid_resolution": 0.15,
+        },
+        scenario="warehouse_twin_aisle",
+        post_run=soak.post_run,
     ),
     ExperimentSpec(
         name="ablations",

@@ -32,6 +32,16 @@ class ExperimentOutput:
             for key, claim in self.paper_claims.items():
                 measured = self.measured.get(key, "n/a")
                 lines.append(f"  {key}: paper {claim} | measured {measured}")
+        extra = {
+            key: value
+            for key, value in self.measured.items()
+            if key not in self.paper_claims
+        }
+        if extra:
+            lines.append("")
+            lines.append("measured:")
+            for key, value in extra.items():
+                lines.append(f"  {key}: {value}")
         if self.notes:
             lines.append("")
             lines.append(self.notes)

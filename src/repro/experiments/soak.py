@@ -1,0 +1,161 @@
+"""`soak`: hours of virtual traffic, one trend entry, one table.
+
+The registry face of :mod:`repro.soak`: ``build_tasks`` turns the soak
+knobs into the driver's seeded epoch tasks, ``reduce`` folds the
+snapshot payloads order-insensitively into a
+:class:`~repro.soak.snapshot.SoakSummary`, and ``format_result``
+renders one row per snapshot interval plus the whole-run numbers the
+trend file commits. :func:`post_run` — invoked only by the CLI, never
+by :func:`repro.experiments.registry.run_experiment`, so golden and
+observer tests stay side-effect free — appends the run's entry to
+``benchmarks/reports/SOAK_TREND.json``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.experiments.runner import ExperimentOutput
+from repro.runtime import SweepTask
+from repro.scenarios.spec import Scenario
+from repro.soak import driver, trend
+from repro.soak.snapshot import SoakSnapshot, SoakSummary, summarize_snapshots
+
+
+@dataclass
+class SoakResult:
+    """Per-interval snapshots (epoch order) plus the run summary."""
+
+    snapshots: List[SoakSnapshot]
+    summary: SoakSummary
+
+
+def build_tasks(
+    hours: float = 2.0,
+    snapshot_every_s: float = 600.0,
+    shards: int = 2,
+    n_tags: Optional[int] = None,
+    load: float = 8.0,
+    grid_resolution: float = 0.10,
+    latency_slo_s: float = 0.25,
+    fault_profile: str = "calm",
+    seed: int = 0,
+    scenario: Union[str, Scenario] = "warehouse_twin_aisle",
+) -> List[SweepTask]:
+    """One seeded epoch task per snapshot interval of the horizon."""
+    config = driver.SoakConfig(
+        scenario=scenario,
+        hours=float(hours),
+        snapshot_every_s=float(snapshot_every_s),
+        shards=int(shards),
+        n_tags=n_tags,
+        load=float(load),
+        grid_resolution=float(grid_resolution),
+        latency_slo_s=float(latency_slo_s),
+        fault_profile=fault_profile,
+        seed=int(seed),
+    )
+    return driver.build_epoch_tasks(config)
+
+
+def reduce(
+    payloads: Sequence[Dict[str, Any]], params: Mapping[str, Any]
+) -> SoakResult:
+    """Snapshot payloads -> typed snapshots + order-insensitive summary."""
+    snapshots = driver.snapshots_from_payloads(list(payloads))
+    snapshots.sort(key=lambda snapshot: snapshot.epoch)
+    return SoakResult(
+        snapshots=snapshots, summary=summarize_snapshots(snapshots)
+    )
+
+
+def _epoch_p99_latency_ms(snapshot: SoakSnapshot) -> float:
+    """One interval's own p99 latency (the table's drill-down column)."""
+    if not snapshot.latency_samples_s:
+        return 0.0
+    samples = np.asarray(snapshot.latency_samples_s, dtype=float)
+    return float(np.percentile(samples, 99.0)) * 1e3
+
+
+def format_result(result: SoakResult) -> ExperimentOutput:
+    """Render the per-interval table and the trend-committed numbers."""
+    rows = []
+    for snapshot in result.snapshots:
+        errors = np.asarray(snapshot.error_samples_m, dtype=float)
+        rows.append(
+            [
+                str(snapshot.epoch),
+                f"{snapshot.start_s / 60.0:.0f}",
+                str(snapshot.offered),
+                str(snapshot.applied),
+                f"{_epoch_p99_latency_ms(snapshot):.2f}",
+                str(snapshot.degraded),
+                str(snapshot.shed),
+                str(snapshot.handoffs),
+                str(snapshot.recoveries),
+                str(snapshot.injected),
+                f"{float(errors.mean()):.3f}" if errors.size else "-",
+            ]
+        )
+    summary = result.summary
+    measured = {
+        "virtual hours": f"{summary.virtual_hours:.2f}",
+        "throughput (applied/busy-s)": f"{summary.throughput_per_s:.1f}",
+        "p99 latency (ms)": f"{summary.p99_latency_ms:.2f}",
+        "mean error (m)": f"{summary.mean_error_m:.3f}",
+        "degraded fraction": f"{summary.degraded_fraction:.3f}",
+        "session failure fraction": f"{summary.failure_fraction:.3f}",
+    }
+    return ExperimentOutput(
+        name="soak — long-horizon service trend under faults",
+        headers=[
+            "epoch",
+            "t (min)",
+            "offered",
+            "applied",
+            "p99 (ms)",
+            "degr",
+            "shed",
+            "hand",
+            "recov",
+            "inj",
+            "err (m)",
+        ],
+        rows=rows,
+        paper_claims={},
+        measured=measured,
+        notes=(
+            "Each row is one snapshot interval of virtual time: a fleet "
+            "inventory pass replayed through the sharded service with "
+            "the run's fault plan engaged. The whole-run numbers above "
+            "are exactly what `repro.soak.trend` commits to "
+            "SOAK_TREND.json and what `python -m repro.soak gate` "
+            "ratchets against the previous PR."
+        ),
+    )
+
+
+def post_run(run: Any, options: Mapping[str, Any]) -> Optional[str]:
+    """Append this run's entry to the committed trend (CLI-only hook).
+
+    Honors ``--no-trend`` and ``--trend-file``; idempotent because
+    :func:`repro.soak.trend.append_entry` dedupes an identical tail
+    entry, so CI re-runs of an unchanged tree never grow the file.
+    """
+    if options.get("no_trend"):
+        return None
+    trend_path = options.get("trend_file") or trend.TREND_FILENAME
+    entry = trend.entry_from_summary(run.result.summary, run.params)
+    doc, appended = trend.append_entry(trend_path, entry)
+    count = len(doc["entries"])
+    verdict = "appended entry" if appended else "tail entry unchanged"
+    return f"[soak trend: {verdict}; {count} entries at {trend_path}]"
+
+
+if __name__ == "__main__":  # pragma: no cover - manual regeneration
+    from repro.experiments import registry
+
+    print(registry.run_experiment("soak", smoke=True).outputs[0].report())

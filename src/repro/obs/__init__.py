@@ -13,6 +13,9 @@ live in the hottest code paths:
 * :mod:`repro.obs.observers` — the :class:`SweepObserver` protocol the
   sweep engine accepts via ``run_sweep(..., observers=[...])``, plus
   the concrete trace/metrics/tracemalloc/cProfile observers.
+* :mod:`repro.obs.reports` — the shared envelope + unit-suffix schema
+  of every committed ``benchmarks/reports`` file, its canonical JSON
+  serialization, and the atomic writer all reports go through.
 
 Nothing here imports ``repro.runtime``; the engine imports us.
 """
@@ -26,6 +29,18 @@ from repro.obs.metrics import (
     count,
     observe,
     set_gauge,
+)
+from repro.obs.reports import (
+    METRIC_SUFFIXES,
+    REPORT_KINDS,
+    REPORT_SCHEMA_VERSION,
+    bench_report,
+    canonical_json,
+    load_report,
+    metric_suffix_of,
+    validate_metrics,
+    validate_report,
+    write_json_atomic,
 )
 from repro.obs.observers import (
     NULL_PROBE,
@@ -79,4 +94,14 @@ __all__ = [
     "combined_probe",
     "probed",
     "task_span_coverage",
+    "REPORT_SCHEMA_VERSION",
+    "REPORT_KINDS",
+    "METRIC_SUFFIXES",
+    "metric_suffix_of",
+    "validate_metrics",
+    "validate_report",
+    "bench_report",
+    "canonical_json",
+    "write_json_atomic",
+    "load_report",
 ]

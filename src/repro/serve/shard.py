@@ -431,6 +431,11 @@ class ShardedRunReport:
     session_loss: Dict[str, int]
     per_shard: Tuple[ServiceReport, ...] = field(default_factory=tuple)
     injected: int = 0
+    #: Raw per-update latency samples pooled across shards, sorted —
+    #: what long-horizon consumers (``repro.soak``) pool further to
+    #: compute whole-run percentiles instead of averaging per-run
+    #: percentiles.
+    latency_samples_s: Tuple[float, ...] = ()
 
 
 def _replay_shard(payload: _ShardPayload) -> _ShardResult:
@@ -632,4 +637,11 @@ def run_sharded_workload(
         session_loss=session_loss,
         per_shard=tuple(result.report for result in results),
         injected=sum(result.injected for result in results),
+        latency_samples_s=tuple(
+            sorted(
+                sample
+                for result in results
+                for sample in result.latencies_s
+            )
+        ),
     )

@@ -1,0 +1,72 @@
+"""Long-horizon soak runs over the serving stack, with a regression gate.
+
+The repo's benchmarks emit point-in-time ``BENCH_*.json`` reports;
+this package is what tracks the serving stack *across* PRs. A soak run
+replays hours of virtual-clock Gen2 traffic through the sharded serve
+layer over a registry scenario (fleet worlds included) with a fault
+plan engaged at realistic rates, snapshotting service metrics every
+``snapshot_every_s`` of virtual time:
+
+* :mod:`repro.soak.snapshot` — the per-interval :class:`SoakSnapshot`
+  and its order-insensitive reduction to a :class:`SoakSummary`.
+* :mod:`repro.soak.driver` — :class:`SoakConfig` and the epoch tasks
+  that ride the :mod:`repro.runtime` sweep engine (one seeded,
+  picklable task per snapshot interval; serial == process bit-exact).
+* :mod:`repro.soak.trend` — the compact canonical trend file
+  (``benchmarks/reports/SOAK_TREND.json``) appended once per PR.
+* :mod:`repro.soak.gate` — the CI ratchet: diff the current summary
+  against the committed trend and fail on >X% regressions in
+  throughput / p99 / error, with explicit bootstrap behavior when no
+  comparable baseline exists.
+
+``python -m repro.experiments run soak`` drives a run end to end;
+``python -m repro.soak gate`` executes the ratchet.
+"""
+
+from __future__ import annotations
+
+from repro.soak.driver import (
+    FAULT_PROFILES,
+    SoakConfig,
+    build_epoch_tasks,
+    fault_plan_for,
+)
+from repro.soak.gate import (
+    DEFAULT_TOLERANCE_FRACTION,
+    WATCHED_METRICS,
+    GateCheck,
+    GateReport,
+    run_gate,
+)
+from repro.soak.snapshot import (
+    SoakSnapshot,
+    SoakSummary,
+    summarize_snapshots,
+)
+from repro.soak.trend import (
+    TREND_FILENAME,
+    append_entry,
+    entry_from_summary,
+    load_trend,
+    new_trend,
+)
+
+__all__ = [
+    "FAULT_PROFILES",
+    "SoakConfig",
+    "build_epoch_tasks",
+    "fault_plan_for",
+    "DEFAULT_TOLERANCE_FRACTION",
+    "WATCHED_METRICS",
+    "GateCheck",
+    "GateReport",
+    "run_gate",
+    "SoakSnapshot",
+    "SoakSummary",
+    "summarize_snapshots",
+    "TREND_FILENAME",
+    "append_entry",
+    "entry_from_summary",
+    "load_trend",
+    "new_trend",
+]

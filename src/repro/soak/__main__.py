@@ -1,0 +1,29 @@
+"""``python -m repro.soak`` — subcommand dispatch (currently: gate)."""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional, Sequence
+
+from repro.soak import gate
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Dispatch ``gate`` (the only subcommand so far)."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print(
+            "usage: python -m repro.soak gate [--trend PATH] "
+            "[--current PATH] [--tolerance FRACTION]",
+            file=sys.stderr,
+        )
+        return 0 if argv else 2
+    command, rest = argv[0], argv[1:]
+    if command == "gate":
+        return gate.main(rest)
+    print(f"unknown command {command!r}; try 'gate'", file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

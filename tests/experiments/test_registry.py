@@ -23,15 +23,16 @@ GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
 
 
 class TestLookup:
-    def test_thirteen_specs_in_registry_order(self):
-        assert len(registry.REGISTRY) == 13
+    def test_fourteen_specs_in_registry_order(self):
+        assert len(registry.REGISTRY) == 14
         assert registry.names()[0] == "fig4_spectrum"
-        assert registry.names()[-2] == "fleet_coverage"
+        assert registry.names()[-3] == "fleet_coverage"
+        assert registry.names()[-2] == "soak"
         assert registry.names()[-1] == "ablations"
 
     def test_names_and_aliases_unique(self):
-        assert len(set(registry.names())) == 13
-        assert len(set(registry.aliases())) == 13
+        assert len(set(registry.names())) == 14
+        assert len(set(registry.aliases())) == 14
 
     def test_name_and_alias_resolve_to_same_spec(self):
         for spec in registry.REGISTRY:

@@ -1,0 +1,90 @@
+"""The soak driver's configuration, fault profiles, and epoch tasks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults
+from repro.errors import ConfigurationError
+from repro.soak.driver import (
+    FAULT_PROFILES,
+    SoakConfig,
+    build_epoch_tasks,
+    fault_plan_for,
+)
+
+
+def test_defaults_are_valid():
+    config = SoakConfig()
+    assert config.n_epochs == 12  # 2 h / 600 s
+
+
+@pytest.mark.parametrize(
+    ("hours", "every", "expected"),
+    [
+        (0.5, 600.0, 3),
+        (1.0, 600.0, 6),
+        # Partial last interval still gets an epoch (ceil).
+        (1.01, 600.0, 7),
+        # A horizon shorter than one interval is one epoch, not zero.
+        (0.01, 600.0, 1),
+    ],
+)
+def test_epoch_count_covers_the_horizon(hours, every, expected):
+    config = SoakConfig(hours=hours, snapshot_every_s=every)
+    assert config.n_epochs == expected
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        {"hours": 0.0},
+        {"hours": -1.0},
+        {"snapshot_every_s": 0.0},
+        {"shards": 0},
+        {"load": 0.0},
+        {"fault_profile": "apocalyptic"},
+    ],
+)
+def test_invalid_configs_are_rejected(bad):
+    with pytest.raises(ConfigurationError):
+        SoakConfig(**bad)
+
+
+def test_unknown_fault_profile_names_the_choices():
+    with pytest.raises(ConfigurationError, match="calm"):
+        fault_plan_for("nope")
+
+
+def test_fault_profiles_round_trip_their_json():
+    for name, plan in FAULT_PROFILES.items():
+        assert faults.FaultPlan.from_json(plan.to_json()) == plan, name
+
+
+def test_epoch_tasks_one_per_interval_with_distinct_seeds():
+    config = SoakConfig(hours=0.5, snapshot_every_s=600.0)
+    tasks = build_epoch_tasks(config)
+    assert len(tasks) == config.n_epochs == 3
+    assert [task.label for task in tasks] == [
+        "soak/e000",
+        "soak/e001",
+        "soak/e002",
+    ]
+    seeds = [task.seed for task in tasks]
+    assert len(set(seeds)) == len(seeds)
+
+
+def test_epoch_tasks_are_a_pure_function_of_the_config():
+    config = SoakConfig(hours=0.5)
+    first = build_epoch_tasks(config)
+    second = build_epoch_tasks(config)
+    assert [task.seed for task in first] == [task.seed for task in second]
+    assert [task.params for task in first] == [
+        task.params for task in second
+    ]
+
+
+def test_different_run_seeds_spawn_different_epoch_seeds():
+    base = build_epoch_tasks(SoakConfig(hours=0.5, seed=0))
+    other = build_epoch_tasks(SoakConfig(hours=0.5, seed=1))
+    assert [task.seed for task in base] != [task.seed for task in other]

@@ -1,0 +1,57 @@
+"""Smoke soak bit-identity: serial == process, and trend determinism.
+
+The soak's whole value as a ratchet rests on runs being pure functions
+of their config: the same smoke soak must render the same table and
+produce the same trend entry whether epochs run in-process or across a
+process pool. Marked slow — it runs the smoke soak twice end to end.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import registry, soak as soak_experiment
+from repro.runtime import RuntimeConfig
+from repro.soak import trend
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def serial_run():
+    return registry.run_experiment(
+        "soak", RuntimeConfig(backend="serial"), smoke=True
+    )
+
+
+@pytest.fixture(scope="module")
+def process_run():
+    return registry.run_experiment(
+        "soak", RuntimeConfig(backend="process", max_workers=2), smoke=True
+    )
+
+
+def test_smoke_soak_serial_process_bit_identical(serial_run, process_run):
+    assert serial_run.result.snapshots == process_run.result.snapshots
+    assert serial_run.result.summary == process_run.result.summary
+    assert [output.report() for output in serial_run.outputs] == [
+        output.report() for output in process_run.outputs
+    ]
+
+
+def test_trend_entries_identical_across_backends(
+    serial_run, process_run, tmp_path
+):
+    serial_entry = trend.entry_from_summary(
+        serial_run.result.summary, serial_run.params
+    )
+    process_entry = trend.entry_from_summary(
+        process_run.result.summary, process_run.params
+    )
+    assert serial_entry == process_entry
+    # And the post_run hook writes exactly one entry however often the
+    # identical run repeats.
+    path = tmp_path / "SOAK_TREND.json"
+    for run in (serial_run, process_run, serial_run):
+        soak_experiment.post_run(run, {"trend_file": str(path)})
+    assert len(trend.load_trend(path)["entries"]) == 1

@@ -1,0 +1,163 @@
+"""The trend file: canonical round-trips, idempotent appends, loud rot.
+
+The hypothesis property here is the satellite's "trend-file JSON
+round-trips losslessly and canonically": for any generated entry set,
+writing the document and re-loading it reproduces the same document,
+and re-serializing the loaded document reproduces the same *bytes* —
+so a committed trend file never churns under rewrite.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TrendError
+from repro.obs.reports import canonical_json, write_json_atomic
+from repro.soak import trend
+
+metric_values = st.floats(
+    min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def entries(draw):
+    key = {
+        "scenario": draw(st.sampled_from(["warehouse_twin_aisle", "x"])),
+        "hours": draw(st.sampled_from([0.5, 2.0])),
+        "snapshot_every_s": 600.0,
+        "shards": draw(st.integers(min_value=1, max_value=4)),
+        "n_tags": None,
+        "load": 8.0,
+        "grid_resolution": 0.15,
+        "fault_profile": "calm",
+        "seed": draw(st.integers(min_value=0, max_value=3)),
+    }
+    return {
+        "schema_version": 1,
+        "key": key,
+        "counts": {"epochs": draw(st.integers(min_value=1, max_value=20))},
+        "metrics": {
+            "throughput_per_s": draw(metric_values),
+            "p99_latency_ms": draw(metric_values),
+            "mean_error_m": draw(metric_values),
+        },
+    }
+
+
+@given(entry_list=st.lists(entries(), min_size=0, max_size=4))
+@settings(max_examples=40)
+def test_trend_round_trips_losslessly_and_canonically(
+    entry_list, tmp_path_factory
+):
+    path = tmp_path_factory.mktemp("trend") / "SOAK_TREND.json"
+    doc = trend.new_trend()
+    doc["entries"] = entry_list
+    write_json_atomic(path, doc)
+    loaded = trend.load_trend(path)
+    assert loaded == json.loads(canonical_json(doc))
+    # Canonical: re-serializing the loaded document reproduces the
+    # committed bytes exactly.
+    assert canonical_json(loaded) == path.read_text(encoding="utf-8")
+
+
+def _entry(p99_ms: float = 2.0, seed: int = 0) -> dict:
+    return {
+        "schema_version": 1,
+        "key": {"scenario": "warehouse_twin_aisle", "seed": seed},
+        "counts": {"epochs": 3},
+        "metrics": {
+            "throughput_per_s": 300.0,
+            "p99_latency_ms": p99_ms,
+            "mean_error_m": 0.04,
+        },
+    }
+
+
+def test_missing_file_loads_as_an_empty_trend(tmp_path):
+    doc = trend.load_trend(tmp_path / "SOAK_TREND.json")
+    assert doc["entries"] == []
+    assert doc["kind"] == "soak_trend"
+
+
+def test_append_is_idempotent_on_identical_tail(tmp_path):
+    path = tmp_path / "SOAK_TREND.json"
+    _, appended = trend.append_entry(path, _entry())
+    assert appended
+    _, appended = trend.append_entry(path, _entry())
+    assert not appended
+    assert len(trend.load_trend(path)["entries"]) == 1
+
+
+def test_append_grows_on_a_different_entry(tmp_path):
+    path = tmp_path / "SOAK_TREND.json"
+    trend.append_entry(path, _entry(p99_ms=2.0))
+    doc, appended = trend.append_entry(path, _entry(p99_ms=3.0))
+    assert appended
+    assert len(doc["entries"]) == 2
+
+
+def test_corrupt_entry_is_reported_with_its_index(tmp_path):
+    path = tmp_path / "SOAK_TREND.json"
+    doc = trend.new_trend()
+    doc["entries"] = [_entry(), {"key": {}, "counts": {}}]
+    path.write_text(canonical_json(doc), encoding="utf-8")
+    with pytest.raises(TrendError, match=r"entry 1"):
+        trend.load_trend(path)
+
+
+def test_non_numeric_metric_is_reported_with_its_index(tmp_path):
+    path = tmp_path / "SOAK_TREND.json"
+    broken = _entry()
+    broken["metrics"]["p99_latency_ms"] = "fast"
+    doc = trend.new_trend()
+    doc["entries"] = [broken]
+    path.write_text(canonical_json(doc), encoding="utf-8")
+    with pytest.raises(TrendError, match=r"entry 0.*p99_latency_ms"):
+        trend.load_trend(path)
+
+
+def test_unparseable_json_is_a_trend_error(tmp_path):
+    path = tmp_path / "SOAK_TREND.json"
+    path.write_text('{"entries": [', encoding="utf-8")
+    with pytest.raises(TrendError, match="not valid JSON"):
+        trend.load_trend(path)
+
+
+def test_append_writes_atomically_and_leaves_no_tmp(tmp_path):
+    path = tmp_path / "SOAK_TREND.json"
+    trend.append_entry(path, _entry())
+    assert not list(tmp_path.glob("*.tmp"))
+    assert canonical_json(trend.load_trend(path)) == path.read_text(
+        encoding="utf-8"
+    )
+
+
+def test_entry_key_uses_a_scenario_objects_own_name():
+    class Named:
+        name = "custom_world"
+
+    key = trend.entry_key({"scenario": Named(), "seed": 7})
+    assert key["scenario"] == "custom_world"
+    assert key["seed"] == 7
+
+
+def test_matching_baseline_respects_key_and_order():
+    doc = trend.new_trend()
+    doc["entries"] = [
+        _entry(p99_ms=1.0, seed=0),
+        _entry(p99_ms=2.0, seed=1),
+        _entry(p99_ms=3.0, seed=0),
+    ]
+    key = doc["entries"][0]["key"]
+    latest = trend.matching_baseline(doc, key)
+    assert latest is not None and latest["metrics"]["p99_latency_ms"] == 3.0
+    earlier = trend.matching_baseline(doc, key, before_index=2)
+    assert (
+        earlier is not None and earlier["metrics"]["p99_latency_ms"] == 1.0
+    )
+    assert trend.matching_baseline(doc, {"scenario": "other"}) is None
